@@ -1,0 +1,194 @@
+//! Permutations of `0..n`.
+
+use std::fmt;
+
+/// A permutation of `0..n`, stored as an image table.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_aut::Permutation;
+/// let p = Permutation::from_images(vec![1, 2, 0]).expect("valid");
+/// assert_eq!(p.apply(0), 1);
+/// assert_eq!(p.compose(&p).apply(0), 2);
+/// assert_eq!(p.inverse().apply(1), 0);
+/// assert!(p.compose(&p).compose(&p).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    images: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` points.
+    pub fn identity(n: usize) -> Self {
+        Permutation { images: (0..n as u32).collect() }
+    }
+
+    /// Builds a permutation from an image table; returns `None` if the
+    /// table is not a bijection of `0..len`.
+    pub fn from_images(images: Vec<u32>) -> Option<Self> {
+        let n = images.len();
+        let mut seen = vec![false; n];
+        for &img in &images {
+            let i = img as usize;
+            if i >= n || seen[i] {
+                return None;
+            }
+            seen[i] = true;
+        }
+        Some(Permutation { images })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` for the empty permutation (on zero points).
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image of `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= len()`.
+    pub fn apply(&self, point: usize) -> usize {
+        self.images[point] as usize
+    }
+
+    /// The image table.
+    pub fn images(&self) -> &[u32] {
+        &self.images
+    }
+
+    /// Returns `true` if every point is fixed.
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(i, &img)| i == img as usize)
+    }
+
+    /// Functional composition: `(self.compose(other)).apply(x) ==
+    /// self.apply(other.apply(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        Permutation {
+            images: other.images.iter().map(|&m| self.images[m as usize]).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.images.len()];
+        for (i, &img) in self.images.iter().enumerate() {
+            inv[img as usize] = i as u32;
+        }
+        Permutation { images: inv }
+    }
+
+    /// The points moved by this permutation (its support), ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|&(i, &img)| i != img as usize)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The cycle decomposition, omitting fixed points; each cycle starts at
+    /// its smallest element, cycles sorted by first element.
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.images.len();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] || self.apply(start) == start {
+                seen[start] = true;
+                continue;
+            }
+            let mut cycle = vec![start];
+            seen[start] = true;
+            let mut cur = self.apply(start);
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = self.apply(cur);
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation{}", self)
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            return write!(f, "()");
+        }
+        for cycle in cycles {
+            write!(f, "(")?;
+            for (i, v) in cycle.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(Permutation::from_images(vec![0, 0]).is_none());
+        assert!(Permutation::from_images(vec![0, 5]).is_none());
+        assert!(Permutation::from_images(vec![1, 0]).is_some());
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        let p = Permutation::from_images(vec![1, 2, 0, 3]).expect("valid");
+        let q = Permutation::from_images(vec![0, 1, 3, 2]).expect("valid");
+        let pq = p.compose(&q);
+        for x in 0..4 {
+            assert_eq!(pq.apply(x), p.apply(q.apply(x)));
+        }
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn cycle_decomposition() {
+        let p = Permutation::from_images(vec![1, 0, 3, 4, 2]).expect("valid");
+        assert_eq!(p.cycles(), vec![vec![0, 1], vec![2, 3, 4]]);
+        assert_eq!(p.support(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.to_string(), "(0 1)(2 3 4)");
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(5);
+        assert!(id.is_identity());
+        assert!(id.cycles().is_empty());
+        assert!(id.support().is_empty());
+        assert_eq!(id.to_string(), "()");
+    }
+}

@@ -1,0 +1,215 @@
+//! Equitable partition refinement (1-dimensional Weisfeiler–Leman).
+//!
+//! Signatures are 64-bit hashes combining a vertex's own cell with the
+//! (order-independent) multiset of its neighbors' cells; one refinement
+//! step sorts the signatures and renumbers cells densely. A hash collision
+//! could only *merge* cells that should split, which costs search time but
+//! never soundness: every automorphism candidate is verified at the leaves
+//! ([`crate::ColoredGraph::is_automorphism`]).
+
+use crate::ColoredGraph;
+use std::collections::BTreeMap;
+
+/// A vertex partition, stored as a dense cell id per vertex.
+pub(crate) type Cells = Vec<u32>;
+
+/// Builds the initial partition from the graph's vertex colors, with dense
+/// cell ids assigned in ascending color order.
+pub(crate) fn initial_cells(g: &ColoredGraph) -> Cells {
+    let mut ids: BTreeMap<u32, u32> = BTreeMap::new();
+    for &c in g.colors() {
+        let next = ids.len() as u32;
+        ids.entry(c).or_insert(next);
+    }
+    g.colors().iter().map(|c| ids[c]).collect()
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixing 64-bit hash.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-vertex refinement signature under `cells`: own cell + multiset of
+/// neighbor cells (commutative sum of mixed neighbor ids).
+fn signatures(g: &ColoredGraph, cells: &Cells, out: &mut Vec<u64>) {
+    out.clear();
+    for v in 0..g.num_vertices() {
+        let mut acc: u64 = 0;
+        for &w in g.neighbors(v) {
+            acc = acc.wrapping_add(mix(cells[w as usize] as u64 + 1));
+        }
+        out.push(mix(acc ^ mix((cells[v] as u64) << 32)));
+    }
+}
+
+/// Renumbers `sigs` densely (ids in ascending signature order) into
+/// `cells`; `scratch` is the sorted unique signature table. Returns the
+/// number of cells.
+fn renumber(sigs: &[u64], table: &[u64], cells: &mut Cells) -> usize {
+    for (v, &s) in sigs.iter().enumerate() {
+        let id = table.binary_search(&s).expect("signature present in table");
+        cells[v] = id as u32;
+    }
+    table.len()
+}
+
+fn num_cells(cells: &Cells) -> usize {
+    cells.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Refines a single partition to equitability. Returns the final number of
+/// cells.
+pub(crate) fn refine(g: &ColoredGraph, cells: &mut Cells) -> usize {
+    let mut count = num_cells(cells);
+    let mut sigs = Vec::with_capacity(g.num_vertices());
+    loop {
+        signatures(g, cells, &mut sigs);
+        let mut table = sigs.clone();
+        table.sort_unstable();
+        table.dedup();
+        let new_count = renumber(&sigs, &table, cells);
+        if new_count == count {
+            return count;
+        }
+        count = new_count;
+    }
+}
+
+/// Refines a source/target partition pair in lockstep, sharing one
+/// signature → cell-id table so cells correspond across the two
+/// partitions.
+///
+/// Returns `false` if the partitions diverge (different signature
+/// multisets), proving no color-preserving isomorphism can respect the
+/// current individualization.
+pub(crate) fn refine_pair(g: &ColoredGraph, a: &mut Cells, b: &mut Cells) -> bool {
+    let mut count = num_cells(a);
+    let n = g.num_vertices();
+    let mut sigs_a = Vec::with_capacity(n);
+    let mut sigs_b = Vec::with_capacity(n);
+    loop {
+        signatures(g, a, &mut sigs_a);
+        signatures(g, b, &mut sigs_b);
+        // The two sides must have identical signature *multisets*.
+        let mut sorted_a = sigs_a.clone();
+        let mut sorted_b = sigs_b.clone();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        if sorted_a != sorted_b {
+            return false;
+        }
+        sorted_a.dedup();
+        let table = sorted_a;
+        let new_count = renumber(&sigs_a, &table, a);
+        let _ = renumber(&sigs_b, &table, b);
+        if new_count == count {
+            return true;
+        }
+        count = new_count;
+    }
+}
+
+/// Finds the non-singleton cell with the smallest id, returning
+/// `(cell_id, members)`; `None` when the partition is discrete.
+pub(crate) fn first_non_singleton(cells: &Cells) -> Option<(u32, Vec<usize>)> {
+    let n = num_cells(cells);
+    let mut size = vec![0u32; n];
+    for &c in cells.iter() {
+        size[c as usize] += 1;
+    }
+    let target = size.iter().position(|&s| s > 1)? as u32;
+    let members = cells
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == target)
+        .map(|(v, _)| v)
+        .collect();
+    Some((target, members))
+}
+
+/// Individualizes `v`: gives it a fresh singleton cell id.
+pub(crate) fn individualize(cells: &mut Cells, v: usize) {
+    let fresh = num_cells(cells) as u32;
+    cells[v] = fresh;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refine_splits_by_degree() {
+        // Path 0-1-2: endpoints vs middle.
+        let g = ColoredGraph::from_edges(3, [(0, 1), (1, 2)], None);
+        let mut cells = initial_cells(&g);
+        let count = refine(&g, &mut cells);
+        assert_eq!(count, 2);
+        assert_eq!(cells[0], cells[2]);
+        assert_ne!(cells[0], cells[1]);
+    }
+
+    #[test]
+    fn refine_respects_initial_colors() {
+        let g = ColoredGraph::from_edges(2, [], Some(vec![7, 9]));
+        let mut cells = initial_cells(&g);
+        assert_eq!(refine(&g, &mut cells), 2);
+    }
+
+    #[test]
+    fn cycle_stays_one_cell() {
+        let g = ColoredGraph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)), None);
+        let mut cells = initial_cells(&g);
+        assert_eq!(refine(&g, &mut cells), 1);
+        assert!(first_non_singleton(&cells).is_some());
+    }
+
+    #[test]
+    fn refinement_distinguishes_distance_classes() {
+        // Star plus a pendant path: 0 center; leaves 1,2,3; path 3-4.
+        let g = ColoredGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)], None);
+        let mut cells = initial_cells(&g);
+        let count = refine(&g, &mut cells);
+        // Cells: {0}, {1,2}, {3}, {4}.
+        assert_eq!(count, 4);
+        assert_eq!(cells[1], cells[2]);
+    }
+
+    #[test]
+    fn pair_refinement_diverges_on_individualization_mismatch() {
+        // Path 0-1-2: individualizing endpoint on one side and the middle
+        // on the other must diverge.
+        let g = ColoredGraph::from_edges(3, [(0, 1), (1, 2)], None);
+        let mut a = initial_cells(&g);
+        let mut b = initial_cells(&g);
+        individualize(&mut a, 0);
+        individualize(&mut b, 1);
+        assert!(!refine_pair(&g, &mut a, &mut b));
+    }
+
+    #[test]
+    fn pair_refinement_succeeds_on_symmetric_choice() {
+        let g = ColoredGraph::from_edges(3, [(0, 1), (1, 2)], None);
+        let mut a = initial_cells(&g);
+        let mut b = initial_cells(&g);
+        individualize(&mut a, 0);
+        individualize(&mut b, 2);
+        assert!(refine_pair(&g, &mut a, &mut b));
+        // Both partitions are now discrete and correspond.
+        assert!(first_non_singleton(&a).is_none());
+        assert!(first_non_singleton(&b).is_none());
+    }
+
+    #[test]
+    fn individualize_creates_singleton() {
+        let g = ColoredGraph::from_edges(4, (0..4).map(|i| (i, (i + 1) % 4)), None);
+        let mut cells = initial_cells(&g);
+        refine(&g, &mut cells);
+        individualize(&mut cells, 2);
+        let (_, members) = first_non_singleton(&cells).expect("cycle still symmetric");
+        assert!(!members.contains(&2));
+    }
+}

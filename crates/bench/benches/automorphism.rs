@@ -1,0 +1,72 @@
+//! Symmetry detection cost (the paper's Table 2 "Saucy time" column):
+//! formula-graph construction plus automorphism search, per SBP mode.
+//!
+//! The paper's observation to reproduce: adding instance-independent SBPs
+//! *shrinks* detection time (smaller group to discover), except SC which
+//! barely changes it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgc_aut::automorphisms;
+use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
+use sbgc_graph::{gen, suite};
+use sbgc_shatter::{detect_symmetries, formula_graph, AutomorphismOptions};
+
+fn bench_raw_graph_groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automorphism_raw");
+    let cases: Vec<(&str, sbgc_aut::ColoredGraph)> = vec![
+        ("petersen", {
+            let outer = (0..5).map(|i| (i, (i + 1) % 5));
+            let spokes = (0..5).map(|i| (i, i + 5));
+            let inner = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5));
+            sbgc_aut::ColoredGraph::from_edges(10, outer.chain(spokes).chain(inner), None)
+        }),
+        ("queen5_5", {
+            let g = gen::queens(5, 5);
+            sbgc_aut::ColoredGraph::from_edges(g.num_vertices(), g.edges(), None)
+        }),
+    ];
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| automorphisms(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_per_sbp_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_detection");
+    group.sample_size(10);
+    let inst = suite::build("myciel4");
+    for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Li, SbpMode::Sc] {
+        let mut enc = ColoringEncoding::new(&inst.graph, 6);
+        let _ = add_instance_independent_sbps(&mut enc, &inst.graph, mode);
+        let formula = enc.into_formula();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.display_name()),
+            &formula,
+            |b, f| b.iter(|| detect_symmetries(f, &AutomorphismOptions::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_formula_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formula_graph");
+    for name in ["myciel4", "queen6_6"] {
+        let inst = suite::build(name);
+        let enc = ColoringEncoding::new(&inst.graph, 10);
+        let formula = enc.into_formula();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &formula, |b, f| {
+            b.iter(|| formula_graph(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_raw_graph_groups, bench_detection_per_sbp_mode,
+              bench_formula_graph_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Encoding throughput: graph → 0-1 ILP formula, and the cost of each
+//! instance-independent SBP construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
+use sbgc_graph::suite;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for name in ["myciel4", "queen6_6", "games120"] {
+        let inst = suite::build(name);
+        for k in [10usize, 20] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(&inst.graph, k),
+                |b, (graph, k)| b.iter(|| ColoringEncoding::new(graph, *k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sbp_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbp_construction");
+    let inst = suite::build("queen6_6");
+    for mode in SbpMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.display_name()),
+            &mode,
+            |b, &mode| {
+                b.iter_batched(
+                    || ColoringEncoding::new(&inst.graph, 10),
+                    |mut enc| add_instance_independent_sbps(&mut enc, &inst.graph, mode),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode, bench_sbp_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! The solver grid in micro-benchmark form (Tables 3–5 at reduced scale):
+//! solve time per (SBP mode × solver × symmetry handling) on instances
+//! small enough for Criterion's repeated sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgc_core::{solve_coloring, SbpMode, SolveOptions, SolverKind};
+use sbgc_graph::suite;
+
+fn bench_sbp_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_by_sbp_mode");
+    group.sample_size(10);
+    let inst = suite::build("myciel3");
+    for mode in SbpMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.display_name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let opts = SolveOptions::new(6).with_sbp_mode(mode);
+                    let report = solve_coloring(&inst.graph, &opts);
+                    assert_eq!(report.outcome.colors(), Some(4));
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_by_solver");
+    group.sample_size(10);
+    let inst = suite::build("queen5_5");
+    for solver in SolverKind::APPENDIX {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.display_name()),
+            &solver,
+            |b, &solver| {
+                b.iter(|| {
+                    let opts = SolveOptions::new(6)
+                        .with_sbp_mode(SbpMode::NuSc)
+                        .with_solver(solver);
+                    let report = solve_coloring(&inst.graph, &opts);
+                    assert_eq!(report.outcome.colors(), Some(5));
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_instance_dependent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_instance_dependent");
+    group.sample_size(10);
+    let inst = suite::build("myciel4");
+    for (label, instance_dependent) in [("without", false), ("with", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &instance_dependent,
+            |b, &id| {
+                b.iter(|| {
+                    let mut opts = SolveOptions::new(7).with_sbp_mode(SbpMode::Sc);
+                    if id {
+                        opts = opts.with_instance_dependent_sbps();
+                    }
+                    let report = solve_coloring(&inst.graph, &opts);
+                    assert_eq!(report.outcome.colors(), Some(5));
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sbp_modes, bench_solvers, bench_instance_dependent
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 1 — the worked SBP example. Delegates to the same logic as
+//! `examples/figure1.rs` so the figure is regenerable from the harness:
+//! enumerates the color assignments admitted by each construction on the
+//! paper's 4-vertex example graph.
+//!
+//! `cargo run --release -p sbgc-bench --bin figure1`
+
+use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
+use sbgc_graph::{Coloring, Graph};
+use sbgc_pb::{PbEngine, SolveOutcome, SolverKind};
+
+fn figure1_graph() -> Graph {
+    // Triangle V1-V2-V3 plus V4 adjacent to V3 only.
+    Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+}
+
+fn enumerate_colorings(graph: &Graph, k: usize, mode: SbpMode) -> Vec<Coloring> {
+    let mut encoding = ColoringEncoding::new(graph, k);
+    encoding.formula_mut().clear_objective();
+    let _ = add_instance_independent_sbps(&mut encoding, graph, mode);
+    let config = SolverKind::PbsII.engine_config().expect("cdcl kind");
+    let mut engine = PbEngine::from_formula(encoding.formula(), config);
+    let mut found = Vec::new();
+    while let SolveOutcome::Sat(model) = engine.solve() {
+        if let Some(c) = encoding.decode(&model) {
+            found.push(c);
+        }
+        engine.block_model(&model);
+        assert!(found.len() <= 5000, "runaway enumeration");
+    }
+    found.sort_by(|a, b| a.colors().cmp(b.colors()));
+    found.dedup_by(|a, b| a.colors() == b.colors());
+    found
+}
+
+fn main() {
+    let graph = figure1_graph();
+    println!("Figure 1: admitted 4-colorings of the example graph per SBP mode");
+    println!("{:<8} {:>12}   distinct cardinality vectors", "SBP", "#assignments");
+    for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::LiPrefix] {
+        let colorings = enumerate_colorings(&graph, 4, mode);
+        let mut vectors: Vec<Vec<usize>> = colorings
+            .iter()
+            .map(|c| {
+                let mut sizes = c.class_sizes();
+                sizes.resize(4, 0);
+                sizes
+            })
+            .collect();
+        vectors.sort();
+        vectors.dedup();
+        println!(
+            "{:<8} {:>12}   {}",
+            mode.display_name(),
+            colorings.len(),
+            vectors.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!(
+        "\nExpected: every construction admits a subset of the previous one.\n\
+         The paper's LI (anchor encoding) breaks incompletely; our LI-pfx\n\
+         extension realizes the full lowest-index semantics and admits\n\
+         exactly one assignment per independent-set partition (3 here)."
+    );
+}

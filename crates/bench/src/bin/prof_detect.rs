@@ -1,0 +1,22 @@
+//! Diagnostic: symmetry-detection cost per instance/K — the Table 2
+//! "Saucy time" column in isolation. Useful for sizing `--full` runs.
+//!
+//! `cargo run --release -p sbgc-bench --bin prof_detect`
+
+use sbgc_core::ColoringEncoding;
+use sbgc_shatter::{detect_symmetries, AutomorphismOptions};
+use std::time::Instant;
+
+fn main() {
+    for (name, k) in [("myciel4", 10usize), ("myciel5", 20), ("queen6_6", 20)] {
+        let inst = sbgc_graph::suite::build(name);
+        let enc = ColoringEncoding::new(&inst.graph, k);
+        let t = Instant::now();
+        let (perms, report) = detect_symmetries(enc.formula(), &AutomorphismOptions::default());
+        println!(
+            "{name} K={k}: graph {}v/{}e, |S|=10^{:.1}, #G={}, exact={}, {:?}",
+            report.graph_vertices, report.graph_edges, report.order_log10,
+            perms.len(), report.exact, t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 4 — the solver grid at K = 30 (same layout as Table 3; the paper
+//! re-runs the grid at the higher color limit to confirm the trends on
+//! larger formulas).
+//!
+//! `cargo run --release -p sbgc-bench --bin table4 -- --timeout 2`
+
+use sbgc_bench::{run_grid_row, HarnessConfig};
+use sbgc_core::{SbpMode, SolverKind, SymmetryHandling};
+use std::time::Duration;
+
+fn main() {
+    let config = HarnessConfig::from_args(30, Duration::from_secs(2));
+    let instances = config.build_instances();
+    println!(
+        "Table 4: solver grid, {} instances, K = {}, timeout {:?}/run",
+        instances.len(),
+        config.k,
+        config.timeout
+    );
+    let header: Vec<String> = SolverKind::MAIN
+        .iter()
+        .flat_map(|s| {
+            [format!("{:>12}", format!("{s} orig")), format!("{:>12}", format!("{s} w/id"))]
+        })
+        .collect();
+    println!("{:<8} {}", "SBP", header.join(" "));
+    for mode in SbpMode::ALL {
+        // Prepare each instance once per symmetry handling and reuse it for
+        // all four solvers; interleave so columns come out in table order.
+        let orig = run_grid_row(
+            &instances,
+            config.k,
+            mode,
+            SymmetryHandling::InstanceIndependentOnly,
+            &SolverKind::MAIN,
+            || config.budget(),
+            config.per_instance,
+        );
+        let with_id = run_grid_row(
+            &instances,
+            config.k,
+            mode,
+            SymmetryHandling::WithInstanceDependent,
+            &SolverKind::MAIN,
+            || config.budget(),
+            config.per_instance,
+        );
+        let cells: Vec<String> = orig
+            .iter()
+            .zip(&with_id)
+            .flat_map(|(o, w)| [format!("{:>12}", o.render()), format!("{:>12}", w.render())])
+            .collect();
+        println!("{:<8} {}", mode.display_name(), cells.join(" "));
+    }
+    println!(
+        "\nExpect the same trends as Table 3 but fewer instances decided: the\n\
+         K = 30 encodings are half again as large."
+    );
+}

@@ -1,0 +1,78 @@
+//! Table 5 (Appendix) — per-instance detail for the queens family, with
+//! all five solvers (including the retired original PBS), every SBP
+//! construction, with and without instance-dependent SBPs.
+//!
+//! `cargo run --release -p sbgc-bench --bin table5 -- --timeout 2`
+
+use sbgc_bench::HarnessConfig;
+use sbgc_core::{PreparedColoring, SbpMode, SolveOptions, SolverKind, SymmetryHandling};
+use sbgc_graph::suite;
+use std::time::Duration;
+
+fn main() {
+    let mut config = HarnessConfig::from_args(20, Duration::from_secs(2));
+    // Default instance set for this table is the queens family. The
+    // largest (queen8_12) is also the paper's hardest; include it only
+    // with --full or an explicit --instances list.
+    if std::env::args().skip(1).all(|a| a.starts_with("--timeout") || a.starts_with("--k")
+        || a == "--per-instance")
+    {
+        config.instances = vec![
+            "queen5_5".to_string(),
+            "queen6_6".to_string(),
+            "queen7_7".to_string(),
+        ];
+    } else if config.instances.len() == sbgc_bench::QUICK_INSTANCES.len() {
+        config.instances = suite::QUEENS_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "Table 5: queens family detail, K = {}, timeout {:?}/run",
+        config.k, config.timeout
+    );
+    println!(
+        "{:<10} {:<8} | {}",
+        "Instance",
+        "SBP",
+        SolverKind::APPENDIX
+            .iter()
+            .map(|s| format!("{:>19}", format!("{s} (no|yes i.d.)")))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for inst in config.build_instances() {
+        for mode in SbpMode::ALL {
+            // Prepare once per symmetry handling, reuse for all solvers.
+            let prepare = |symmetry| {
+                let mut options = SolveOptions::new(config.k).with_sbp_mode(mode);
+                options.symmetry = symmetry;
+                PreparedColoring::new(&inst.graph, &options)
+            };
+            let prepared = [
+                prepare(SymmetryHandling::InstanceIndependentOnly),
+                prepare(SymmetryHandling::WithInstanceDependent),
+            ];
+            let mut cells = Vec::new();
+            for solver in SolverKind::APPENDIX {
+                let mut pair = Vec::new();
+                for p in &prepared {
+                    let report = p.solve(&inst.graph, solver, &config.budget());
+                    pair.push(if report.outcome.is_decided() {
+                        format!("{:>7.2}", report.solve_time.as_secs_f64())
+                    } else {
+                        format!("{:>7}", "T/O")
+                    });
+                }
+                cells.push(format!("{:>19}", pair.join("|")));
+            }
+            println!("{:<10} {:<8} | {}", inst.meta.name, mode.display_name(), cells.join(" "));
+        }
+        println!();
+    }
+    println!(
+        "Each cell: solve seconds without | with instance-dependent SBPs;\n\
+         T/O = not decided within the timeout. Paper trends: best no-i.d.\n\
+         results with NU+SC; best with-i.d. results with SC; PBS (legacy)\n\
+         follows the same trends as PBS II/Galena/Pueblo."
+    );
+}

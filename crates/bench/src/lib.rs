@@ -1,0 +1,238 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — the 20-instance benchmark suite |
+//! | `table2` | Table 2 — formula sizes + symmetry statistics per SBP mode |
+//! | `table3` | Table 3 — solver grid at K = 20 |
+//! | `table4` | Table 4 — solver grid at K = 30 |
+//! | `table5` | Table 5 — per-instance queens detail, five solvers |
+//! | `figure1` | Figure 1 — admitted assignments per SBP construction |
+//!
+//! All binaries accept `--timeout <secs>`, `--k <K>`, `--instances a,b,c`
+//! and `--full` (full 20-instance suite at paper parameters; the default is
+//! a quick subset so a complete run finishes in minutes — absolute times
+//! differ from the paper's 2002-era Sun Blade 1000s anyway, it is the
+//! relative ordering that reproduces).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sbgc_core::{PreparedColoring, SbpMode, SolveOptions, SolverKind, SymmetryHandling};
+use sbgc_graph::suite::{self, Instance};
+use sbgc_pb::Budget;
+use std::time::Duration;
+
+/// Harness configuration parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Per-run wall-clock timeout (the paper used 1000 s).
+    pub timeout: Duration,
+    /// The color bound K.
+    pub k: usize,
+    /// Instance names to run.
+    pub instances: Vec<String>,
+    /// Print per-instance rows in addition to totals.
+    pub per_instance: bool,
+}
+
+/// The quick default subset: small and medium instances from five of the
+/// seven families, chosen so the full grid finishes in minutes.
+pub const QUICK_INSTANCES: [&str; 8] = [
+    "myciel3",
+    "myciel4",
+    "myciel5",
+    "queen5_5",
+    "queen6_6",
+    "huck",
+    "jean",
+    "miles250",
+];
+
+impl HarnessConfig {
+    /// Parses `std::env::args`-style flags. Unknown flags abort with a
+    /// usage message.
+    pub fn from_args(default_k: usize, default_timeout: Duration) -> Self {
+        let mut config = HarnessConfig {
+            timeout: default_timeout,
+            k: default_k,
+            instances: QUICK_INSTANCES.iter().map(|s| s.to_string()).collect(),
+            per_instance: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--timeout" => {
+                    i += 1;
+                    let secs: f64 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--timeout needs seconds"));
+                    config.timeout = Duration::from_secs_f64(secs);
+                }
+                "--k" => {
+                    i += 1;
+                    config.k = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--k needs an integer"));
+                }
+                "--instances" => {
+                    i += 1;
+                    let list = args.get(i).unwrap_or_else(|| usage("--instances needs a list"));
+                    config.instances = list.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--full" => {
+                    config.instances =
+                        suite::SUITE.iter().map(|m| m.name.to_string()).collect();
+                }
+                "--per-instance" => config.per_instance = true,
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+            i += 1;
+        }
+        config
+    }
+
+    /// Builds the configured instances.
+    pub fn build_instances(&self) -> Vec<Instance> {
+        self.instances.iter().map(|name| suite::build(name)).collect()
+    }
+
+    /// The solver budget for one run.
+    pub fn budget(&self) -> Budget {
+        Budget::unlimited().with_timeout(self.timeout)
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance]"
+    );
+    std::process::exit(2)
+}
+
+/// One cell of the solver grid: total time over the instance set and the
+/// number of instances decided (solved to optimality or proven UNSAT) —
+/// the `Tm.`/`#S` pairs of Tables 3–5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GridCell {
+    /// Summed wall-clock solve time (timeouts contribute the timeout).
+    pub total_time: Duration,
+    /// Number of instances decided within the budget.
+    pub solved: usize,
+}
+
+impl GridCell {
+    /// Formats like the paper: total seconds (rounded) and solve count.
+    pub fn render(&self) -> String {
+        format!("{:>8.1}s {:>3}", self.total_time.as_secs_f64(), self.solved)
+    }
+}
+
+/// Runs one (SBP mode × symmetry handling) configuration over the instance
+/// set for *all* the given solvers, preparing each instance (encoding +
+/// symmetry detection) only once. Returns one `Tm.`/`#S` cell per solver,
+/// in the given order.
+pub fn run_grid_row(
+    instances: &[Instance],
+    k: usize,
+    mode: SbpMode,
+    symmetry: SymmetryHandling,
+    solvers: &[SolverKind],
+    budget_for: impl Fn() -> Budget,
+    per_instance: bool,
+) -> Vec<GridCell> {
+    let mut cells = vec![GridCell::default(); solvers.len()];
+    for inst in instances {
+        let mut options = SolveOptions::new(k).with_sbp_mode(mode);
+        options.symmetry = symmetry;
+        let prepared = PreparedColoring::new(&inst.graph, &options);
+        for (cell, &solver) in cells.iter_mut().zip(solvers) {
+            let report = prepared.solve(&inst.graph, solver, &budget_for());
+            cell.total_time += report.solve_time;
+            if report.outcome.is_decided() {
+                cell.solved += 1;
+            }
+            if per_instance {
+                let outcome = match &report.outcome {
+                    o if o.is_decided() => match o.colors() {
+                        Some(c) => format!("optimal {c}"),
+                        None => format!("UNSAT at K={k}"),
+                    },
+                    o => match o.colors() {
+                        Some(c) => format!("feasible {c} (timeout)"),
+                        None => "timeout".to_string(),
+                    },
+                };
+                println!(
+                    "    {:<12} {:<7} i.d.={:<5} {:<7} {:>8.2}s  {}",
+                    inst.meta.name,
+                    mode.display_name(),
+                    matches!(symmetry, SymmetryHandling::WithInstanceDependent),
+                    solver.display_name(),
+                    report.solve_time.as_secs_f64(),
+                    outcome
+                );
+            }
+        }
+    }
+    cells
+}
+
+/// Convenience wrapper for a single (mode × symmetry × solver) cell.
+pub fn run_grid_cell(
+    instances: &[Instance],
+    k: usize,
+    mode: SbpMode,
+    symmetry: SymmetryHandling,
+    solver: SolverKind,
+    budget_for: impl Fn() -> Budget,
+    per_instance: bool,
+) -> GridCell {
+    run_grid_row(instances, k, mode, symmetry, &[solver], budget_for, per_instance)
+        .pop()
+        .expect("one cell per solver")
+}
+
+/// Renders a Markdown-ish table row.
+pub fn render_row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_instances_exist_in_suite() {
+        for name in QUICK_INSTANCES {
+            assert!(suite::SUITE.iter().any(|m| m.name == name), "{name}");
+        }
+    }
+
+    #[test]
+    fn grid_cell_accumulates() {
+        let instances = vec![suite::build("myciel3")];
+        let cell = run_grid_cell(
+            &instances,
+            5,
+            SbpMode::NuSc,
+            SymmetryHandling::InstanceIndependentOnly,
+            SolverKind::PbsII,
+            Budget::unlimited,
+            false,
+        );
+        assert_eq!(cell.solved, 1);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let c = GridCell { total_time: Duration::from_millis(1500), solved: 3 };
+        assert_eq!(c.render(), "     1.5s   3");
+    }
+}

@@ -1,0 +1,274 @@
+//! The paper's motivating applications as reductions *to* graph coloring
+//! (Section 2): register allocation, radio frequency assignment, printed
+//! circuit board testing, and exam/time-tabling.
+//!
+//! Each builder returns the coloring instance plus the bookkeeping needed
+//! to map a coloring back to the application's terms. The frequency
+//! reduction also exposes the clique-interchange symmetries it introduces
+//! (Section 3.4's closing remark) so callers can break them at the
+//! specification level.
+
+use sbgc_graph::Graph;
+
+/// A live range `[def, kill)` of a program variable — the input of the
+/// register-allocation reduction (Chaitin et al. 1981).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LiveRange {
+    /// First program point at which the variable is live.
+    pub def: usize,
+    /// First program point at which it is dead again (exclusive).
+    pub kill: usize,
+}
+
+impl LiveRange {
+    /// Creates a live range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kill <= def` (empty ranges are not live anywhere).
+    pub fn new(def: usize, kill: usize) -> Self {
+        assert!(kill > def, "live range must be non-empty");
+        LiveRange { def, kill }
+    }
+
+    /// Two ranges interfere when they overlap.
+    pub fn interferes(self, other: LiveRange) -> bool {
+        self.def < other.kill && other.def < self.kill
+    }
+}
+
+/// Builds the interference graph of a set of live ranges: one vertex per
+/// variable, an edge between variables that are simultaneously live.
+/// A proper K-coloring is a conflict-free assignment to K registers.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_core::applications::{register_interference_graph, LiveRange};
+/// let g = register_interference_graph(&[
+///     LiveRange::new(0, 4),
+///     LiveRange::new(2, 6),
+///     LiveRange::new(5, 8),
+/// ]);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+pub fn register_interference_graph(ranges: &[LiveRange]) -> Graph {
+    let n = ranges.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if ranges[i].interferes(ranges[j]) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A geographic region demanding a number of radio frequencies — the input
+/// of the frequency-assignment reduction (paper Section 2).
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Display name.
+    pub name: String,
+    /// Number of frequencies this region needs.
+    pub demand: usize,
+}
+
+/// The frequency-assignment coloring instance: the reduced graph plus the
+/// vertex block (clique) of each region, and the clique-interchange
+/// symmetry classes the reduction introduces.
+#[derive(Clone, Debug)]
+pub struct FrequencyInstance {
+    /// The reduced graph: a `demand`-clique per region, complete bipartite
+    /// edges between adjacent regions.
+    pub graph: Graph,
+    /// `blocks[r]` — the vertices (frequency slots) of region `r`.
+    pub blocks: Vec<Vec<usize>>,
+}
+
+impl FrequencyInstance {
+    /// The region a vertex belongs to.
+    pub fn region_of(&self, vertex: usize) -> Option<usize> {
+        self.blocks.iter().position(|b| b.contains(&vertex))
+    }
+
+    /// The interchange symmetry classes introduced by the reduction: the
+    /// vertices within one region's clique are mutually interchangeable
+    /// (paper Section 3.4: "adding all possible bipartite edges between
+    /// cliques for adjacent regions will result in symmetries between
+    /// vertices in these cliques").
+    pub fn interchange_classes(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+}
+
+/// Reduces frequency assignment to graph coloring: each region needing `K`
+/// frequencies becomes a `K`-clique; adjacent regions get all bipartite
+/// edges between their cliques (paper Section 2).
+///
+/// # Panics
+///
+/// Panics if an adjacency index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_core::applications::{frequency_instance, Region};
+/// let regions = vec![
+///     Region { name: "north".into(), demand: 2 },
+///     Region { name: "south".into(), demand: 3 },
+/// ];
+/// let inst = frequency_instance(&regions, &[(0, 1)]);
+/// assert_eq!(inst.graph.num_vertices(), 5);
+/// // Clique edges (1 + 3) + bipartite edges (6).
+/// assert_eq!(inst.graph.num_edges(), 10);
+/// ```
+pub fn frequency_instance(regions: &[Region], adjacent: &[(usize, usize)]) -> FrequencyInstance {
+    let mut blocks = Vec::with_capacity(regions.len());
+    let mut next = 0usize;
+    let mut edges = Vec::new();
+    for region in regions {
+        let members: Vec<usize> = (next..next + region.demand).collect();
+        next += region.demand;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                edges.push((a, b));
+            }
+        }
+        blocks.push(members);
+    }
+    for &(r1, r2) in adjacent {
+        assert!(r1 < regions.len() && r2 < regions.len(), "region index out of range");
+        for &a in &blocks[r1] {
+            for &b in &blocks[r2] {
+                edges.push((a, b));
+            }
+        }
+    }
+    FrequencyInstance { graph: Graph::from_edges(next, edges), blocks }
+}
+
+/// Builds the PCB short-circuit testing graph (paper Section 2 / Garey &
+/// Johnson): one vertex per net, an edge where two nets could short. The
+/// color classes are "supernets" testable simultaneously.
+///
+/// `potential_shorts` lists the net pairs at risk.
+pub fn pcb_test_graph(num_nets: usize, potential_shorts: &[(usize, usize)]) -> Graph {
+    Graph::from_edges(num_nets, potential_shorts.iter().copied())
+}
+
+/// Builds a time-tabling conflict graph (paper Section 2, Leighton 1979 /
+/// Welsh & Powell 1967): one vertex per event; an edge joins events
+/// sharing a resource (student group, teacher, room). `enrollments[e]`
+/// lists the resource ids event `e` uses.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_core::applications::timetabling_graph;
+/// // Events 0 and 1 share teacher 7; event 2 is independent.
+/// let g = timetabling_graph(&[vec![7, 1], vec![7, 2], vec![3]]);
+/// assert!(g.has_edge(0, 1));
+/// assert_eq!(g.degree(2), 0);
+/// ```
+pub fn timetabling_graph(enrollments: &[Vec<usize>]) -> Graph {
+    let n = enrollments.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if enrollments[i].iter().any(|r| enrollments[j].contains(r)) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_coloring, SbpMode, SolveOptions};
+
+    #[test]
+    fn interference_is_interval_overlap() {
+        let a = LiveRange::new(0, 5);
+        let b = LiveRange::new(4, 8);
+        let c = LiveRange::new(5, 9);
+        assert!(a.interferes(b));
+        assert!(!a.interferes(c)); // half-open: kill == def touches, no overlap
+        assert!(b.interferes(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_live_range_rejected() {
+        let _ = LiveRange::new(3, 3);
+    }
+
+    #[test]
+    fn interval_graph_chromatic_equals_max_overlap() {
+        // Max simultaneous liveness = 3 at point 4..5.
+        let ranges = [
+            LiveRange::new(0, 6),
+            LiveRange::new(2, 7),
+            LiveRange::new(4, 9),
+            LiveRange::new(7, 10),
+        ];
+        let g = register_interference_graph(&ranges);
+        let report = solve_coloring(&g, &SolveOptions::new(5).with_sbp_mode(SbpMode::NuSc));
+        assert_eq!(report.outcome.colors(), Some(3));
+    }
+
+    #[test]
+    fn frequency_instance_demands_are_cliques() {
+        let regions = vec![
+            Region { name: "a".into(), demand: 3 },
+            Region { name: "b".into(), demand: 2 },
+            Region { name: "c".into(), demand: 1 },
+        ];
+        let inst = frequency_instance(&regions, &[(0, 1), (1, 2)]);
+        assert_eq!(inst.graph.num_vertices(), 6);
+        // Region a's block is a triangle.
+        let a = &inst.blocks[0];
+        assert!(inst.graph.has_edge(a[0], a[1]));
+        assert!(inst.graph.has_edge(a[1], a[2]));
+        // Non-adjacent regions a and c share no edges.
+        for &u in &inst.blocks[0] {
+            for &v in &inst.blocks[2] {
+                assert!(!inst.graph.has_edge(u, v));
+            }
+        }
+        assert_eq!(inst.region_of(0), Some(0));
+        assert_eq!(inst.region_of(5), Some(2));
+    }
+
+    #[test]
+    fn frequency_chromatic_number_is_adjacent_demand_sum() {
+        // Two adjacent regions demanding 2 and 3: need 5 frequencies.
+        let regions = vec![
+            Region { name: "x".into(), demand: 2 },
+            Region { name: "y".into(), demand: 3 },
+        ];
+        let inst = frequency_instance(&regions, &[(0, 1)]);
+        let report =
+            solve_coloring(&inst.graph, &SolveOptions::new(6).with_sbp_mode(SbpMode::NuSc));
+        assert_eq!(report.outcome.colors(), Some(5));
+    }
+
+    #[test]
+    fn timetabling_conflicts() {
+        let g = timetabling_graph(&[vec![1], vec![1, 2], vec![2], vec![9]]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn pcb_graph_is_just_the_conflict_graph() {
+        let g = pcb_test_graph(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,411 @@
+//! Exact chromatic numbers via the paper's K-selection procedure.
+
+use crate::flow::{solve_coloring, ColoringOutcome, SolveOptions};
+use sbgc_graph::{algo, Coloring, Graph};
+
+/// Cheap combinatorial bounds on the chromatic number.
+#[derive(Clone, Debug)]
+pub struct ChromaticBounds {
+    /// Clique lower bound (greedy max clique).
+    pub lower: usize,
+    /// DSATUR upper bound.
+    pub upper: usize,
+    /// The DSATUR coloring that witnesses the upper bound.
+    pub witness: Coloring,
+}
+
+/// Computes the clique lower bound and DSATUR upper bound — step 1 of the
+/// paper's per-instance K-selection procedure (Section 4.1).
+pub fn bounds(graph: &Graph) -> ChromaticBounds {
+    let witness = algo::dsatur(graph);
+    let lower = algo::greedy_clique(graph).len().max(usize::from(graph.num_vertices() > 0));
+    ChromaticBounds { lower, upper: witness.num_colors(), witness }
+}
+
+/// Result of [`chromatic_number`].
+#[derive(Clone, Debug)]
+pub enum ChromaticResult {
+    /// Chromatic number determined exactly, with a witness coloring.
+    Exact {
+        /// χ(G).
+        chromatic_number: usize,
+        /// A proper coloring using χ(G) colors.
+        witness: Coloring,
+    },
+    /// The budget ran out; χ is within the given (inclusive) bounds.
+    Bounded {
+        /// Best known lower bound.
+        lower: usize,
+        /// Best known upper bound, witnessed by `witness`.
+        upper: usize,
+        /// A proper coloring using `upper` colors.
+        witness: Coloring,
+    },
+}
+
+impl ChromaticResult {
+    /// The exact chromatic number, if determined.
+    pub fn exact(&self) -> Option<usize> {
+        match self {
+            ChromaticResult::Exact { chromatic_number, .. } => Some(*chromatic_number),
+            ChromaticResult::Bounded { .. } => None,
+        }
+    }
+
+    /// The best witness coloring available.
+    pub fn witness(&self) -> &Coloring {
+        match self {
+            ChromaticResult::Exact { witness, .. } | ChromaticResult::Bounded { witness, .. } => {
+                witness
+            }
+        }
+    }
+}
+
+/// Computes the chromatic number exactly, following the paper's procedure:
+/// take the DSATUR upper bound as K (clamped by `options.k` if smaller),
+/// then run the exact optimizer. The clique bound can certify optimality
+/// without search.
+///
+/// `options.k` acts as a cap (like the paper's K = 20 application bound);
+/// the effective K is `min(options.k, DSATUR bound)`.
+///
+/// # Panics
+///
+/// Panics if `options.k == 0` or the graph has no vertices.
+pub fn chromatic_number(graph: &Graph, options: &SolveOptions) -> ChromaticResult {
+    assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
+    let b = bounds(graph);
+    if b.lower >= b.upper {
+        // DSATUR met the clique bound: provably optimal without search.
+        return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
+    }
+    let k = b.upper.min(options.k);
+    if k < b.upper {
+        // The cap is below the known-feasible bound; the search below can
+        // still determine χ exactly if χ ≤ k.
+    }
+    let mut opts = options.clone();
+    opts.k = k;
+    let report = solve_coloring(graph, &opts);
+    match report.outcome {
+        ColoringOutcome::Optimal { coloring, colors } => {
+            ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
+        }
+        ColoringOutcome::InfeasibleAtK => {
+            // χ > k; DSATUR's bound stands as the upper bound.
+            ChromaticResult::Bounded { lower: k + 1, upper: b.upper, witness: b.witness }
+        }
+        ColoringOutcome::Feasible { coloring, colors } => {
+            if colors <= b.lower {
+                // The feasible solution meets the clique bound: optimal
+                // even though the solver ran out of budget.
+                ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
+            } else {
+                ChromaticResult::Bounded { lower: b.lower, upper: colors, witness: coloring }
+            }
+        }
+        ColoringOutcome::Unknown => {
+            ChromaticResult::Bounded { lower: b.lower, upper: b.upper, witness: b.witness }
+        }
+    }
+}
+
+/// How [`chromatic_number_by_decision`] walks the K range — the two
+/// options of the paper's Section 4.1 procedure ("perform linear search by
+/// incrementally tightening the color constraint, otherwise perform binary
+/// search").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SearchStrategy {
+    /// Tighten K one color at a time from the DSATUR bound downwards.
+    Linear,
+    /// Bisect between the clique bound and the DSATUR bound.
+    Binary,
+}
+
+/// Computes the chromatic number with repeated *decision* queries ("is G
+/// K-colorable?"), the way a pure CNF-SAT solver would be driven (paper
+/// Section 2.3 / 4.1), instead of one optimization run.
+///
+/// Uses `options` for the per-query SBP/solver/budget configuration; the
+/// objective is dropped from each query. Returns bounds if the budget runs
+/// out mid-search.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn chromatic_number_by_decision(
+    graph: &Graph,
+    options: &SolveOptions,
+    strategy: SearchStrategy,
+) -> ChromaticResult {
+    use crate::encode::ColoringEncoding;
+    use crate::sbp::add_instance_independent_sbps;
+    use sbgc_pb::solve_decision;
+
+    assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
+    let b = bounds(graph);
+    if b.lower >= b.upper {
+        return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
+    }
+    // Query: is the graph k-colorable? Some(witness) / None, or Err on
+    // budget exhaustion.
+    let query = |k: usize| -> Result<Option<Coloring>, ()> {
+        let mut enc = ColoringEncoding::new(graph, k);
+        enc.formula_mut().clear_objective();
+        let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+        if matches!(options.symmetry, crate::flow::SymmetryHandling::WithInstanceDependent) {
+            let _ = sbgc_shatter::shatter(enc.formula_mut(), &options.shatter);
+        }
+        let out = solve_decision(enc.formula(), options.solver, &options.budget);
+        match out {
+            out if out.is_unsat() => Ok(None),
+            out => match out.model() {
+                Some(m) => {
+                    let c = enc.decode(m).filter(|c| c.is_proper(graph)).ok_or(())?;
+                    Ok(Some(c.compacted()))
+                }
+                None => Err(()),
+            },
+        }
+    };
+
+    let mut lo = b.lower; // known: χ >= lo
+    let mut hi = b.upper; // known: χ <= hi, witnessed
+    let mut witness = b.witness;
+    loop {
+        if lo >= hi {
+            return ChromaticResult::Exact { chromatic_number: hi, witness };
+        }
+        let k = match strategy {
+            SearchStrategy::Linear => hi - 1,
+            SearchStrategy::Binary => (lo + hi - 1) / 2,
+        };
+        match query(k) {
+            Ok(Some(c)) => {
+                hi = c.num_colors().min(k);
+                witness = c;
+            }
+            Ok(None) => lo = k + 1,
+            Err(()) => return ChromaticResult::Bounded { lower: lo, upper: hi, witness },
+        }
+    }
+}
+
+/// Computes the chromatic number *incrementally*: one solver instance is
+/// built at `K = min(options.k, DSATUR bound)` and the color budget is
+/// tightened by **assuming** the usage indicators `y[target..K]` false,
+/// one step at a time — so clauses learned while proving "not
+/// (target)-colorable-with-these-assumptions" are reused by every later
+/// query (the incremental-SAT refinement of the paper's Section 4.1
+/// procedure).
+///
+/// Uses `options.sbp_mode` (instance-independent SBPs are compatible with
+/// the suffix assumptions: they only ever *prefer* low color indices) and
+/// `options.solver`'s engine configuration; the CPLEX baseline has no
+/// incremental interface, so [`sbgc_pb::SolverKind::Cplex`] falls back to
+/// [`chromatic_number`].
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn chromatic_number_incremental(graph: &Graph, options: &SolveOptions) -> ChromaticResult {
+    use crate::encode::ColoringEncoding;
+    use crate::sbp::add_instance_independent_sbps;
+    use sbgc_pb::{PbEngine, SolveOutcome};
+    use sbgc_pb::SolverKind;
+
+    assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
+    let Some(config) = options.solver.engine_config() else {
+        return chromatic_number(graph, options);
+    };
+    let b = bounds(graph);
+    if b.lower >= b.upper {
+        return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
+    }
+    debug_assert!(!matches!(options.solver, SolverKind::Cplex));
+    let k = b.upper.min(options.k);
+    let mut enc = ColoringEncoding::new(graph, k);
+    enc.formula_mut().clear_objective();
+    let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+    let mut engine = PbEngine::from_formula(enc.formula(), config);
+
+    let mut best = b.witness.clone();
+    let mut upper = b.upper.min(k + 1); // colors known achievable (may exceed k by DSATUR)
+    if b.upper <= k {
+        upper = b.upper;
+    }
+    let mut lower = b.lower;
+    while lower < upper {
+        let target = upper - 1; // try to color with `target` colors
+        if target >= k {
+            // The encoding cannot express more than k colors; the DSATUR
+            // witness stands.
+            break;
+        }
+        let assumptions: Vec<sbgc_formula::Lit> =
+            (target..k).map(|j| enc.y(j).negative()).collect();
+        match engine.solve_with_assumptions(&assumptions, &options.budget) {
+            SolveOutcome::Sat(model) => {
+                let Some(coloring) = enc.decode(&model).filter(|c| c.is_proper(graph)) else {
+                    return ChromaticResult::Bounded { lower, upper, witness: best };
+                };
+                let coloring = coloring.compacted();
+                upper = coloring.num_colors();
+                best = coloring;
+            }
+            SolveOutcome::Unsat => {
+                lower = upper;
+            }
+            SolveOutcome::Unknown => {
+                return ChromaticResult::Bounded { lower, upper, witness: best };
+            }
+        }
+    }
+    ChromaticResult::Exact { chromatic_number: upper, witness: best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbp::SbpMode;
+    use sbgc_graph::gen::{mycielski, queens};
+    use sbgc_pb::Budget;
+
+    #[test]
+    fn known_chromatic_numbers() {
+        let cases: [(&str, Graph, usize); 5] = [
+            ("K4", Graph::complete(4), 4),
+            ("C5", Graph::cycle(5), 3),
+            ("C6", Graph::cycle(6), 2),
+            ("myciel3", mycielski(3), 4),
+            ("queen5_5", queens(5, 5), 5),
+        ];
+        for (name, g, expected) in cases {
+            let result = chromatic_number(&g, &SolveOptions::new(20));
+            assert_eq!(result.exact(), Some(expected), "{name}");
+            assert!(result.witness().is_proper(&g), "{name}");
+        }
+    }
+
+    #[test]
+    fn clique_certificate_avoids_search() {
+        // Complete graphs: clique bound == DSATUR bound, no solver needed.
+        let g = Graph::complete(6);
+        let result = chromatic_number(
+            &g,
+            &SolveOptions::new(20).with_budget(Budget::unlimited().with_max_conflicts(0)),
+        );
+        assert_eq!(result.exact(), Some(6));
+    }
+
+    #[test]
+    fn cap_below_chi_reports_bounds() {
+        let g = Graph::complete(5); // χ = 5
+        // bounds() certifies K5 without search, so use a graph where
+        // DSATUR overshoots: Mycielski-3 has clique 2 but χ = 4.
+        let g2 = mycielski(3);
+        let _ = g;
+        let result = chromatic_number(&g2, &SolveOptions::new(3));
+        match result {
+            ChromaticResult::Bounded { lower, upper, ref witness } => {
+                assert_eq!(lower, 4);
+                assert!(witness.is_proper(&g2));
+                assert!(upper >= 4);
+            }
+            ChromaticResult::Exact { .. } => panic!("cap 3 cannot certify χ=4"),
+        }
+    }
+
+    #[test]
+    fn sbp_modes_do_not_change_chi() {
+        let g = queens(5, 5);
+        for mode in SbpMode::ALL {
+            let result = chromatic_number(&g, &SolveOptions::new(20).with_sbp_mode(mode));
+            assert_eq!(result.exact(), Some(5), "{mode}");
+        }
+    }
+
+    #[test]
+    fn decision_search_agrees_with_optimization() {
+        for g in [Graph::cycle(5), mycielski(3), queens(4, 4), Graph::complete(4)] {
+            let expected = chromatic_number(&g, &SolveOptions::new(20)).exact();
+            for strategy in [SearchStrategy::Linear, SearchStrategy::Binary] {
+                let result =
+                    chromatic_number_by_decision(&g, &SolveOptions::new(20), strategy);
+                assert_eq!(result.exact(), expected, "{strategy:?}");
+                assert!(result.witness().is_proper(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_search_with_sbps_and_shatter() {
+        let g = queens(5, 5);
+        let opts = SolveOptions::new(20)
+            .with_sbp_mode(SbpMode::NuSc)
+            .with_instance_dependent_sbps();
+        let result = chromatic_number_by_decision(&g, &opts, SearchStrategy::Binary);
+        assert_eq!(result.exact(), Some(5));
+    }
+
+    #[test]
+    fn decision_search_budget_exhaustion_gives_bounds() {
+        use sbgc_pb::Budget;
+        let g = mycielski(4);
+        let opts = SolveOptions::new(20)
+            .with_budget(Budget::unlimited().with_max_conflicts(1));
+        let result = chromatic_number_by_decision(&g, &opts, SearchStrategy::Linear);
+        match result {
+            ChromaticResult::Bounded { lower, upper, ref witness } => {
+                assert!(lower <= 5 && upper >= 5);
+                assert!(witness.is_proper(&g));
+            }
+            ChromaticResult::Exact { chromatic_number, .. } => {
+                assert_eq!(chromatic_number, 5)
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_agrees_with_optimization() {
+        for g in [Graph::cycle(5), mycielski(3), queens(4, 4), Graph::cycle(6)] {
+            let expected = chromatic_number(&g, &SolveOptions::new(20)).exact();
+            for mode in [SbpMode::None, SbpMode::Nu, SbpMode::NuSc] {
+                let opts = SolveOptions::new(20).with_sbp_mode(mode);
+                let result = chromatic_number_incremental(&g, &opts);
+                assert_eq!(result.exact(), expected, "{mode}");
+                assert!(result.witness().is_proper(&g), "{mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_on_queens() {
+        let g = queens(5, 5);
+        let result = chromatic_number_incremental(
+            &g,
+            &SolveOptions::new(20).with_sbp_mode(SbpMode::Nu),
+        );
+        assert_eq!(result.exact(), Some(5));
+    }
+
+    #[test]
+    fn incremental_cplex_falls_back() {
+        use sbgc_pb::SolverKind;
+        let g = mycielski(3);
+        let opts = SolveOptions::new(20).with_solver(SolverKind::Cplex);
+        let result = chromatic_number_incremental(&g, &opts);
+        assert_eq!(result.exact(), Some(4));
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        for g in [Graph::cycle(7), mycielski(4), queens(4, 4)] {
+            let b = bounds(&g);
+            assert!(b.lower <= b.upper);
+            assert!(b.witness.is_proper(&g));
+            assert_eq!(b.witness.num_colors(), b.upper);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! End-to-end coloring flows: encode → SBPs → (Shatter) → solve → decode
+//! → verify.
+
+use crate::encode::ColoringEncoding;
+use crate::sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
+use sbgc_formula::FormulaStats;
+use sbgc_graph::{Coloring, Graph};
+use sbgc_pb::{optimize, Budget, OptOutcome, SolverKind};
+use sbgc_shatter::{shatter, ShatterOptions, ShatterReport};
+use std::time::{Duration, Instant};
+
+/// Whether to run the instance-dependent (Shatter) symmetry-breaking flow
+/// after the instance-independent constructions — the "w/ i.-d. SBPs"
+/// column split of Tables 3–5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SymmetryHandling {
+    /// Instance-independent SBPs only (the `Orig.` columns).
+    #[default]
+    InstanceIndependentOnly,
+    /// Also detect and break instance-dependent symmetries.
+    WithInstanceDependent,
+}
+
+/// Options for [`solve_coloring`].
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// The color bound K (the paper uses 20 and 30).
+    pub k: usize,
+    /// Instance-independent SBP construction.
+    pub sbp_mode: SbpMode,
+    /// Instance-dependent symmetry handling.
+    pub symmetry: SymmetryHandling,
+    /// Which 0-1 ILP solver to run.
+    pub solver: SolverKind,
+    /// Search budget.
+    pub budget: Budget,
+    /// Options of the Shatter flow (used only with
+    /// [`SymmetryHandling::WithInstanceDependent`]).
+    pub shatter: ShatterOptions,
+}
+
+impl SolveOptions {
+    /// Defaults: the given K, no SBPs of either kind, the PBS II analogue,
+    /// unlimited budget.
+    pub fn new(k: usize) -> Self {
+        SolveOptions {
+            k,
+            sbp_mode: SbpMode::None,
+            symmetry: SymmetryHandling::InstanceIndependentOnly,
+            solver: SolverKind::PbsII,
+            budget: Budget::unlimited(),
+            shatter: ShatterOptions::default(),
+        }
+    }
+
+    /// Sets the instance-independent SBP mode.
+    pub fn with_sbp_mode(mut self, mode: SbpMode) -> Self {
+        self.sbp_mode = mode;
+        self
+    }
+
+    /// Enables instance-dependent (Shatter) symmetry breaking.
+    pub fn with_instance_dependent_sbps(mut self) -> Self {
+        self.symmetry = SymmetryHandling::WithInstanceDependent;
+        self
+    }
+
+    /// Sets the solver.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Outcome of a coloring run.
+#[derive(Clone, Debug)]
+pub enum ColoringOutcome {
+    /// A provably minimum coloring within the K bound.
+    Optimal {
+        /// The verified coloring.
+        coloring: Coloring,
+        /// Number of colors it uses (the chromatic number when ≤ K).
+        colors: usize,
+    },
+    /// Budget ran out with a feasible (possibly suboptimal) coloring.
+    Feasible {
+        /// The best verified coloring found.
+        coloring: Coloring,
+        /// Number of colors it uses.
+        colors: usize,
+    },
+    /// Proven not K-colorable (χ > K).
+    InfeasibleAtK,
+    /// Budget ran out with no answer.
+    Unknown,
+}
+
+impl ColoringOutcome {
+    /// `true` when the run was decided (optimal or infeasible) — the
+    /// "solved" criterion of the paper's tables.
+    pub fn is_decided(&self) -> bool {
+        matches!(self, ColoringOutcome::Optimal { .. } | ColoringOutcome::InfeasibleAtK)
+    }
+
+    /// The coloring, if one was found.
+    pub fn coloring(&self) -> Option<&Coloring> {
+        match self {
+            ColoringOutcome::Optimal { coloring, .. }
+            | ColoringOutcome::Feasible { coloring, .. } => Some(coloring),
+            _ => None,
+        }
+    }
+
+    /// The number of colors, if a coloring was found.
+    pub fn colors(&self) -> Option<usize> {
+        match self {
+            ColoringOutcome::Optimal { colors, .. }
+            | ColoringOutcome::Feasible { colors, .. } => Some(*colors),
+            _ => None,
+        }
+    }
+}
+
+/// Full report of a [`solve_coloring`] run.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The outcome, with the coloring verified against the input graph.
+    pub outcome: ColoringOutcome,
+    /// Formula size before SBPs.
+    pub base_stats: FormulaStats,
+    /// Formula size actually solved (after all SBPs).
+    pub final_stats: FormulaStats,
+    /// Size of the instance-independent SBPs added.
+    pub sbp_stats: SbpSizeStats,
+    /// Report of the Shatter stage, when it ran.
+    pub shatter: Option<ShatterReport>,
+    /// Wall-clock time of the solver stage only.
+    pub solve_time: Duration,
+    /// Wall-clock time of the whole flow (encode + SBPs + detect + solve).
+    pub total_time: Duration,
+}
+
+/// A prepared (encoded + symmetry-broken) coloring instance that can be
+/// solved several times — e.g. once per solver in the experiment grid —
+/// without repeating encoding or symmetry detection.
+#[derive(Clone, Debug)]
+pub struct PreparedColoring {
+    encoding: ColoringEncoding,
+    base_stats: FormulaStats,
+    final_stats: FormulaStats,
+    sbp_stats: SbpSizeStats,
+    shatter: Option<ShatterReport>,
+    prepare_time: Duration,
+}
+
+impl PreparedColoring {
+    /// Encodes `graph` at `options.k`, adds the configured
+    /// instance-independent SBPs and (optionally) the Shatter
+    /// instance-dependent SBPs. `options.solver`/`options.budget` are not
+    /// used here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.k == 0`.
+    pub fn new(graph: &Graph, options: &SolveOptions) -> Self {
+        let start = Instant::now();
+        let mut encoding = ColoringEncoding::new(graph, options.k);
+        let base_stats = encoding.formula().stats();
+        let sbp_stats = add_instance_independent_sbps(&mut encoding, graph, options.sbp_mode);
+        let shatter_report = match options.symmetry {
+            SymmetryHandling::InstanceIndependentOnly => None,
+            SymmetryHandling::WithInstanceDependent => {
+                Some(shatter(encoding.formula_mut(), &options.shatter))
+            }
+        };
+        let final_stats = encoding.formula().stats();
+        PreparedColoring {
+            encoding,
+            base_stats,
+            final_stats,
+            sbp_stats,
+            shatter: shatter_report,
+            prepare_time: start.elapsed(),
+        }
+    }
+
+    /// The prepared formula (with all SBPs appended).
+    pub fn formula(&self) -> &sbgc_formula::PbFormula {
+        self.encoding.formula()
+    }
+
+    /// Report of the Shatter stage, when it ran.
+    pub fn shatter_report(&self) -> Option<&ShatterReport> {
+        self.shatter.as_ref()
+    }
+
+    /// Time spent encoding + adding SBPs (+ symmetry detection).
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+
+    /// Solves the prepared instance with `solver` under `budget`, decoding
+    /// and independently verifying the result against `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is not the graph this instance was prepared from
+    /// (detected via vertex count).
+    pub fn solve(&self, graph: &Graph, solver: SolverKind, budget: &Budget) -> SolveReport {
+        assert_eq!(
+            graph.num_vertices(),
+            self.encoding.num_vertices(),
+            "graph does not match the prepared encoding"
+        );
+        let start = Instant::now();
+        let result = optimize(self.encoding.formula(), solver, budget);
+        let solve_time = start.elapsed();
+
+        let decode_verified = |value: u64, model: &sbgc_formula::Assignment| {
+            let coloring = self.encoding.decode(model)?;
+            if !coloring.is_proper(graph) {
+                return None;
+            }
+            if coloring.num_colors() as u64 != value {
+                return None;
+            }
+            Some(coloring)
+        };
+
+        let outcome = match result {
+            OptOutcome::Optimal { value, model } => match decode_verified(value, &model) {
+                Some(coloring) => ColoringOutcome::Optimal { coloring, colors: value as usize },
+                None => ColoringOutcome::Unknown,
+            },
+            OptOutcome::Feasible { value, model } => match decode_verified(value, &model) {
+                Some(coloring) => ColoringOutcome::Feasible { coloring, colors: value as usize },
+                None => ColoringOutcome::Unknown,
+            },
+            OptOutcome::Infeasible => ColoringOutcome::InfeasibleAtK,
+            OptOutcome::Unknown => ColoringOutcome::Unknown,
+        };
+
+        SolveReport {
+            outcome,
+            base_stats: self.base_stats,
+            final_stats: self.final_stats,
+            sbp_stats: self.sbp_stats,
+            shatter: self.shatter.clone(),
+            solve_time,
+            total_time: self.prepare_time + solve_time,
+        }
+    }
+}
+
+/// Encodes, optionally breaks symmetries, solves, decodes and verifies.
+///
+/// The returned coloring is always re-verified against `graph`
+/// independently of the solver ([`Coloring::is_proper`]); a solver model
+/// that fails verification is reported as [`ColoringOutcome::Unknown`]
+/// (this "trust but verify" step has never fired in our test suite — it
+/// exists to keep the experiment harness honest).
+///
+/// To solve one instance with several solvers, prepare once with
+/// [`PreparedColoring::new`] and call [`PreparedColoring::solve`] per
+/// solver.
+///
+/// # Panics
+///
+/// Panics if `options.k == 0`.
+pub fn solve_coloring(graph: &Graph, options: &SolveOptions) -> SolveReport {
+    PreparedColoring::new(graph, options).solve(graph, options.solver, &options.budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_graph::gen::{mycielski, queens};
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = Graph::complete(3);
+        let report = solve_coloring(&g, &SolveOptions::new(4));
+        match report.outcome {
+            ColoringOutcome::Optimal { ref coloring, colors } => {
+                assert_eq!(colors, 3);
+                assert!(coloring.is_proper(&g));
+            }
+            ref other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_when_k_too_small() {
+        let g = Graph::complete(4);
+        let report = solve_coloring(&g, &SolveOptions::new(3));
+        assert!(matches!(report.outcome, ColoringOutcome::InfeasibleAtK));
+    }
+
+    #[test]
+    fn every_sbp_mode_preserves_the_optimum() {
+        let g = mycielski(3); // χ = 4, plenty of symmetry
+        for mode in SbpMode::EXTENDED {
+            let report = solve_coloring(&g, &SolveOptions::new(6).with_sbp_mode(mode));
+            match report.outcome {
+                ColoringOutcome::Optimal { ref coloring, colors } => {
+                    assert_eq!(colors, 4, "{mode}");
+                    assert!(coloring.is_proper(&g), "{mode}");
+                }
+                ref other => panic!("{mode}: expected optimal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn instance_dependent_sbps_preserve_the_optimum() {
+        let g = queens(5, 5);
+        for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Sc] {
+            let opts = SolveOptions::new(6)
+                .with_sbp_mode(mode)
+                .with_instance_dependent_sbps();
+            let report = solve_coloring(&g, &opts);
+            assert_eq!(report.outcome.colors(), Some(5), "{mode}");
+            assert!(report.shatter.is_some());
+        }
+    }
+
+    #[test]
+    fn all_solvers_agree_on_small_instance() {
+        let g = mycielski(3);
+        for solver in SolverKind::MAIN {
+            let report = solve_coloring(&g, &SolveOptions::new(5).with_solver(solver));
+            assert_eq!(report.outcome.colors(), Some(4), "{solver}");
+            assert!(report.outcome.is_decided(), "{solver}");
+        }
+    }
+
+    #[test]
+    fn report_tracks_formula_growth() {
+        let g = Graph::complete(3);
+        let report = solve_coloring(&g, &SolveOptions::new(4).with_sbp_mode(SbpMode::Li));
+        assert!(report.final_stats.vars > report.base_stats.vars);
+        assert!(report.final_stats.clauses > report.base_stats.clauses);
+        assert_eq!(report.sbp_stats.aux_vars, 3 * 4);
+    }
+
+    #[test]
+    fn zero_budget_gives_unknown() {
+        let g = queens(5, 5);
+        let opts = SolveOptions::new(6)
+            .with_budget(Budget::unlimited().with_max_conflicts(0));
+        let report = solve_coloring(&g, &opts);
+        assert!(matches!(
+            report.outcome,
+            ColoringOutcome::Unknown | ColoringOutcome::Feasible { .. }
+        ));
+    }
+}

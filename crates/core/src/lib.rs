@@ -1,0 +1,64 @@
+//! Exact graph coloring by reduction to 0-1 ILP, with instance-independent
+//! and instance-dependent symmetry breaking.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Ramani, Aloul, Markov & Sakallah, *Breaking Instance-Independent
+//! Symmetries in Exact Graph Coloring*, DATE 2004 / JAIR 2006). It ties
+//! together the substrates of the `sbgc` workspace:
+//!
+//! * [`encode`] — the reduction of K-coloring to a mixed CNF/PB formula
+//!   with per-vertex indicator variables, per-vertex exactly-one
+//!   constraints, per-edge conflict clauses, color-usage indicators, and
+//!   the `MIN Σ yᵢ` objective (paper Section 2.5);
+//! * [`sbp`] — the four instance-independent SBP constructions of Section
+//!   3: null-color elimination (NU), cardinality-based color ordering
+//!   (CA), lowest-index color ordering (LI) and selective coloring (SC),
+//!   plus the NU+SC combination;
+//! * [`flow`] — end-to-end solving: encode, optionally add
+//!   instance-independent SBPs, optionally detect-and-break
+//!   instance-dependent symmetries with the Shatter flow, hand the result
+//!   to one of the 0-1 ILP solvers of `sbgc-pb`, decode, and
+//!   independently verify the coloring;
+//! * [`chromatic`] — exact chromatic numbers via the paper's K-selection
+//!   procedure (DSATUR upper bound, clique lower bound, then exact
+//!   optimization).
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_core::{solve_coloring, ColoringOutcome, SolveOptions};
+//! use sbgc_graph::gen::queens;
+//!
+//! let graph = queens(5, 5);
+//! let report = solve_coloring(&graph, &SolveOptions::new(6));
+//! match report.outcome {
+//!     ColoringOutcome::Optimal { ref coloring, colors } => {
+//!         assert_eq!(colors, 5); // queen5_5 needs exactly 5 colors
+//!         assert!(coloring.is_proper(&graph));
+//!     }
+//!     ref other => panic!("expected optimal, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod applications;
+pub mod chromatic;
+pub mod encode;
+pub mod flow;
+pub mod sbp;
+
+pub use chromatic::{
+    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
+    ChromaticBounds, ChromaticResult, SearchStrategy,
+};
+pub use encode::ColoringEncoding;
+pub use flow::{
+    solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions, SolveReport,
+    SymmetryHandling,
+};
+pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
+
+pub use sbgc_graph::{Coloring, Graph};
+pub use sbgc_pb::{Budget, SolverKind};

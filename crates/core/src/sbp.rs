@@ -1,0 +1,443 @@
+//! Instance-independent symmetry-breaking predicates (paper Section 3).
+//!
+//! All constructions address the same instance-independent symmetry: the K
+//! colors of the encoding can be permuted arbitrarily. They differ in
+//! strength and size:
+//!
+//! | mode | breaks | added size |
+//! |------|--------|------------|
+//! | [`SbpMode::Nu`] | permutations involving unused colors | K−1 binary clauses |
+//! | [`SbpMode::Ca`] | permutations violating class-size order | K−1 PB constraints |
+//! | [`SbpMode::Li`] | *all* color permutations | nK aux vars, ≈4nK clauses |
+//! | [`SbpMode::Sc`] | a heuristic slice (two pinned vertices) | ≤2 unit clauses |
+//! | [`SbpMode::NuSc`] | NU + SC combined | both of the above |
+
+use crate::encode::ColoringEncoding;
+use sbgc_formula::{Lit, PbConstraint, Var};
+use sbgc_graph::Graph;
+use std::fmt;
+
+/// The instance-independent SBP constructions evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SbpMode {
+    /// No instance-independent SBPs (the baseline rows of Tables 2–5).
+    #[default]
+    None,
+    /// Null-color elimination: `y[k+1] ⇒ y[k]` — unused colors may appear
+    /// only after all used colors (Section 3.1).
+    Nu,
+    /// Cardinality-based color ordering: `Σᵢ x[i][k] ≥ Σᵢ x[i][k+1]` —
+    /// color classes ordered by size; subsumes NU (Section 3.2).
+    Ca,
+    /// Lowest-index color ordering: colors ordered by the smallest vertex
+    /// index using them; breaks *all* instance-independent symmetries
+    /// (Section 3.3).
+    Li,
+    /// Selective coloring: pin the max-degree vertex to color 1 and its
+    /// max-degree neighbor to color 2 (Section 3.4).
+    Sc,
+    /// NU and SC combined (the paper's best instance-independent recipe).
+    NuSc,
+    /// Extension of SC suggested in Section 3.4: pin an entire greedy
+    /// clique to colors 1..q instead of just two vertices ("an even
+    /// stronger construction would be to find a triangular clique and fix
+    /// colors for all three vertices in it"). Not part of the paper's
+    /// evaluated grid; used by the ablation benches.
+    ScClique,
+    /// Extension: the same lowest-index ordering as [`SbpMode::Li`], but
+    /// in a modern tight prefix-variable encoding
+    /// (`P[i][k] ⇔ x[i][k] ∨ P[i-1][k]`, strict ordering
+    /// `P[i][k+1] ⇒ P[i-1][k]`) that propagates strongly and breaks the
+    /// instance-independent symmetries *completely*. Not part of the
+    /// paper's grid — notably, it *reverses* the paper's LI conclusion
+    /// (see EXPERIMENTS.md).
+    LiPrefix,
+}
+
+impl SbpMode {
+    /// All modes, in the row order of Tables 2–4.
+    pub const ALL: [SbpMode; 6] =
+        [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::Sc, SbpMode::NuSc];
+
+    /// The paper's grid plus the extensions.
+    pub const EXTENDED: [SbpMode; 8] = [
+        SbpMode::None,
+        SbpMode::Nu,
+        SbpMode::Ca,
+        SbpMode::Li,
+        SbpMode::Sc,
+        SbpMode::NuSc,
+        SbpMode::ScClique,
+        SbpMode::LiPrefix,
+    ];
+
+    /// Display name used in the experiment tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SbpMode::None => "no SBPs",
+            SbpMode::Nu => "NU",
+            SbpMode::Ca => "CA",
+            SbpMode::Li => "LI",
+            SbpMode::Sc => "SC",
+            SbpMode::NuSc => "NU+SC",
+            SbpMode::ScClique => "SC-clq",
+            SbpMode::LiPrefix => "LI-pfx",
+        }
+    }
+}
+
+impl fmt::Display for SbpMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Size of the constraints added by a construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SbpSizeStats {
+    /// Auxiliary variables introduced (only LI introduces any).
+    pub aux_vars: usize,
+    /// CNF clauses appended.
+    pub clauses: usize,
+    /// PB constraints appended.
+    pub pb_constraints: usize,
+}
+
+/// Appends the chosen instance-independent SBPs to the encoding's formula.
+///
+/// `graph` is needed only by the SC construction (degree information); the
+/// other constructions are pure functions of the encoding.
+///
+/// # Panics
+///
+/// Panics if `graph` does not match the encoding's vertex count.
+pub fn add_instance_independent_sbps(
+    encoding: &mut ColoringEncoding,
+    graph: &Graph,
+    mode: SbpMode,
+) -> SbpSizeStats {
+    assert_eq!(graph.num_vertices(), encoding.num_vertices(), "graph/encoding mismatch");
+    let before = encoding.formula().stats();
+    let before_vars = encoding.formula().num_vars();
+    match mode {
+        SbpMode::None => {}
+        SbpMode::Nu => add_nu(encoding),
+        SbpMode::Ca => add_ca(encoding),
+        SbpMode::Li => add_li(encoding),
+        SbpMode::Sc => add_sc(encoding, graph),
+        SbpMode::NuSc => {
+            add_nu(encoding);
+            add_sc(encoding, graph);
+        }
+        SbpMode::ScClique => add_sc_clique(encoding, graph),
+        SbpMode::LiPrefix => add_li_prefix(encoding),
+    }
+    let after = encoding.formula().stats();
+    SbpSizeStats {
+        aux_vars: encoding.formula().num_vars() - before_vars,
+        clauses: after.clauses - before.clauses,
+        pb_constraints: after.pb_constraints() - before.pb_constraints(),
+    }
+}
+
+/// NU — null-color elimination: `y[k+1] ⇒ y[k]` for `1 ≤ k < K`.
+fn add_nu(encoding: &mut ColoringEncoding) {
+    let k = encoding.num_colors();
+    for j in 0..k.saturating_sub(1) {
+        let a = encoding.y(j + 1).positive();
+        let b = encoding.y(j).positive();
+        encoding.formula_mut().add_implication(a, b);
+    }
+}
+
+/// CA — cardinality-based color ordering:
+/// `Σᵢ x[i][k] − Σᵢ x[i][k+1] ≥ 0` for `1 ≤ k < K`.
+fn add_ca(encoding: &mut ColoringEncoding) {
+    let (n, k) = (encoding.num_vertices(), encoding.num_colors());
+    for j in 0..k.saturating_sub(1) {
+        let mut terms: Vec<(i64, Lit)> = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            terms.push((1, encoding.x(i, j).positive()));
+            terms.push((-1, encoding.x(i, j + 1).positive()));
+        }
+        let constraint = PbConstraint::at_least(terms, 0);
+        encoding.formula_mut().add_pb(constraint);
+    }
+}
+
+/// LI — lowest-index color ordering, in the paper's own construction
+/// (Section 3.3): `nK` flag variables `V[i][k]` ("vertex i anchors color
+/// k"), with
+///
+/// * `V[i][k] ⇒ x[i][k]` — the anchor really has the color (`nK` binary
+///   clauses);
+/// * `y[k] ⇒ ⋁ᵢ V[i][k]` — every used color is anchored (`K` long
+///   clauses);
+/// * `V[i][k] ⇒ ⋁_{j>i} V[j][k−1]` for `k ≥ 2` — the anchor of the
+///   previous color has a *higher* index (`nK` long clauses, the ordering
+///   direction as printed in the paper).
+///
+/// Totals `nK` auxiliary variables and `≈2nK` clauses, matching the
+/// paper's stated size. The ordering forces used colors into a prefix
+/// (subsuming NU) and orders them by anchor index; as in the paper it is
+/// the largest construction and the long, weakly-propagating clauses make
+/// it the *slowest* for the solvers despite being the most complete at the
+/// symmetry level. See [`SbpMode::LiPrefix`] for a tight modern encoding
+/// of the same idea.
+fn add_li(encoding: &mut ColoringEncoding) {
+    let (n, k) = (encoding.num_vertices(), encoding.num_colors());
+    if n == 0 {
+        return;
+    }
+    // Allocate V[i][k] anchor variables.
+    let mut v = vec![vec![Var::from_index(0); k]; n];
+    for row in v.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = encoding.formula_mut().new_var();
+        }
+    }
+    // V[i][k] => x[i][k].
+    for i in 0..n {
+        for j in 0..k {
+            let x = encoding.x(i, j).positive();
+            encoding.formula_mut().add_clause([v[i][j].negative(), x]);
+        }
+    }
+    // y[k] => some anchor.
+    for j in 0..k {
+        let y = encoding.y(j).positive();
+        let mut clause: Vec<Lit> = vec![!y];
+        clause.extend((0..n).map(|i| v[i][j].positive()));
+        encoding.formula_mut().add_clause(clause);
+    }
+    // Anchor ordering: V[i][k] => exists anchor of color k-1 with index > i.
+    for j in 1..k {
+        for i in 0..n {
+            let mut clause: Vec<Lit> = vec![v[i][j].negative()];
+            clause.extend((i + 1..n).map(|l| v[l][j - 1].positive()));
+            encoding.formula_mut().add_clause(clause);
+        }
+    }
+}
+
+/// LI-prefix — the extension encoding: prefix variables
+/// `P[i][k] ⇔ x[i][k] ∨ P[i-1][k]` ("some vertex ≤ i uses color k") and
+/// the strict ordering `P[i][k+1] ⇒ P[i-1][k]` (with `P[-1][k] = false`),
+/// which forces the lowest-index vertex of color k+1 to come after that of
+/// color k. Complete — no instance-independent symmetry survives — and,
+/// unlike the paper's LI, built from short strongly-propagating clauses.
+fn add_li_prefix(encoding: &mut ColoringEncoding) {
+    let (n, k) = (encoding.num_vertices(), encoding.num_colors());
+    if n == 0 {
+        return;
+    }
+    // Allocate P[i][k] prefix variables.
+    let mut p = vec![vec![Var::from_index(0); k]; n];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = encoding.formula_mut().new_var();
+        }
+    }
+    for j in 0..k {
+        for i in 0..n {
+            let x = encoding.x(i, j).positive();
+            let pij = p[i][j].positive();
+            if i == 0 {
+                // P[0][j] ⇔ x[0][j].
+                encoding.formula_mut().add_implication(x, pij);
+                encoding.formula_mut().add_implication(pij, x);
+            } else {
+                let prev = p[i - 1][j].positive();
+                encoding.formula_mut().add_clause([!x, pij]);
+                encoding.formula_mut().add_clause([!prev, pij]);
+                encoding.formula_mut().add_clause([!pij, x, prev]);
+            }
+        }
+    }
+    // Strict lowest-index ordering between consecutive colors.
+    for j in 0..k.saturating_sub(1) {
+        // Vertex 0 can only start color 1 (index 0): P[0][j+1] must be false.
+        encoding.formula_mut().add_unit(p[0][j + 1].negative());
+        for i in 1..n {
+            encoding
+                .formula_mut()
+                .add_clause([p[i][j + 1].negative(), p[i - 1][j].positive()]);
+        }
+    }
+}
+
+/// SC — selective coloring: pin the max-degree vertex to color 1 and its
+/// max-degree neighbor (if any) to color 2.
+fn add_sc(encoding: &mut ColoringEncoding, graph: &Graph) {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let vl = (0..n).max_by_key(|&v| (graph.degree(v), std::cmp::Reverse(v))).expect("non-empty");
+    let pin1 = encoding.x(vl, 0).positive();
+    encoding.formula_mut().add_unit(pin1);
+    if encoding.num_colors() < 2 {
+        return;
+    }
+    let neighbor = graph
+        .neighbors(vl)
+        .iter()
+        .map(|&w| w as usize)
+        .max_by_key(|&w| (graph.degree(w), std::cmp::Reverse(w)));
+    if let Some(vl2) = neighbor {
+        let pin2 = encoding.x(vl2, 1).positive();
+        encoding.formula_mut().add_unit(pin2);
+    }
+}
+
+/// SC-clique — the Section 3.4 extension: pin every vertex of a greedy
+/// clique `v₁ < v₂ < …` to colors `1, 2, …` (capped at K). Any proper
+/// coloring assigns the clique pairwise-distinct colors, so some color
+/// permutation realizes the pinning: satisfiability and the optimum are
+/// preserved while up to `q` colors are fixed outright.
+fn add_sc_clique(encoding: &mut ColoringEncoding, graph: &Graph) {
+    let clique = sbgc_graph::algo::greedy_clique(graph);
+    for (color, &v) in clique.iter().take(encoding.num_colors()).enumerate() {
+        let pin = encoding.x(v, color).positive();
+        encoding.formula_mut().add_unit(pin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_graph::Coloring;
+
+    /// The Figure 1 example graph: V1,V2,V3 form a triangle; V4 is
+    /// adjacent to V3 only, so V4 can share a color with V1 or V2 — the
+    /// two 3-color partitions the paper discusses.
+    pub(crate) fn figure1_graph() -> Graph {
+        Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+    }
+
+    fn admits(encoding: &ColoringEncoding, coloring: &Coloring) -> bool {
+        // Check only the zero-aux constructions via direct assignment.
+        let asg = encoding.assignment_for(coloring);
+        encoding.formula().is_satisfied_by(&asg)
+    }
+
+    #[test]
+    fn nu_rejects_gaps_in_color_usage() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Nu);
+        assert_eq!(stats.clauses, 3);
+        assert_eq!(stats.aux_vars, 0);
+        // Colors {0, 2, 3} used (gap at 1): rejected. (Figure 1c, left.)
+        assert!(!admits(&enc, &Coloring::new(vec![0, 2, 3, 0])));
+        // Colors {0, 1, 2}: accepted. (Figure 1c, right.)
+        assert!(admits(&enc, &Coloring::new(vec![0, 1, 2, 0])));
+    }
+
+    #[test]
+    fn ca_orders_class_sizes() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Ca);
+        assert_eq!(stats.pb_constraints, 3);
+        // Class sizes (1,1,2) ascending: rejected (largest class must get
+        // color 1 — Figure 1d, left is invalid).
+        assert!(!admits(&enc, &Coloring::new(vec![1, 2, 0, 1]))); // sizes (1,2,1)
+        // Sizes (2,1,1): accepted (Figure 1d, right).
+        assert!(admits(&enc, &Coloring::new(vec![0, 1, 2, 0])));
+    }
+
+    #[test]
+    fn ca_subsumes_nu() {
+        // Any assignment with a null color before a used color violates CA
+        // too (class of size 0 ordered before a non-empty class).
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let _ = add_instance_independent_sbps(&mut enc, &g, SbpMode::Ca);
+        assert!(!admits(&enc, &Coloring::new(vec![1, 2, 3, 1]))); // color 0 unused
+    }
+
+    #[test]
+    fn sc_pins_two_vertices() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Sc);
+        assert_eq!(stats.clauses, 2);
+        // The unique max-degree vertex is index 2 (degree 3), pinned to
+        // color 0; its max-degree neighbor (tie between 0 and 1, broken to
+        // the smaller index 0) is pinned to color 1.
+        assert!(admits(&enc, &Coloring::new(vec![1, 2, 0, 1])));
+        assert!(!admits(&enc, &Coloring::new(vec![0, 1, 2, 0])), "pin violated");
+        // The pinned literals are unit clauses; check them directly.
+        let unit_count = enc
+            .formula()
+            .clauses()
+            .iter()
+            .filter(|c| c.len() == 1)
+            .count();
+        assert_eq!(unit_count, 2);
+    }
+
+    #[test]
+    fn nusc_combines_both() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::NuSc);
+        assert_eq!(stats.clauses, 3 + 2);
+        assert_eq!(stats.pb_constraints, 0);
+    }
+
+    #[test]
+    fn li_adds_paper_sized_predicates() {
+        let g = figure1_graph();
+        let (n, k) = (4, 4);
+        let mut enc = ColoringEncoding::new(&g, k);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Li);
+        assert_eq!(stats.aux_vars, n * k, "nK anchor variables");
+        // nK (V=>x) + K (y=>anchors) + n(K-1) ordering ≈ 2nK.
+        assert_eq!(stats.clauses, n * k + k + n * (k - 1));
+    }
+
+    #[test]
+    fn li_prefix_adds_linear_aux_vars() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::LiPrefix);
+        assert_eq!(stats.aux_vars, 4 * 4);
+        assert!(stats.clauses >= 3 * 4 * 4 - 4, "≈4nK clauses, got {}", stats.clauses);
+    }
+
+    #[test]
+    fn none_adds_nothing() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::None);
+        assert_eq!(stats, SbpSizeStats::default());
+    }
+
+    #[test]
+    fn mode_display_names_match_paper() {
+        let names: Vec<&str> = SbpMode::ALL.iter().map(|m| m.display_name()).collect();
+        assert_eq!(names, vec!["no SBPs", "NU", "CA", "LI", "SC", "NU+SC"]);
+        assert_eq!(SbpMode::EXTENDED.len(), 8);
+    }
+
+    #[test]
+    fn sc_clique_pins_a_whole_clique() {
+        let g = figure1_graph();
+        let mut enc = ColoringEncoding::new(&g, 4);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::ScClique);
+        // figure1 graph has a triangle: three unit clauses.
+        assert_eq!(stats.clauses, 3);
+        let units = enc.formula().clauses().iter().filter(|c| c.len() == 1).count();
+        assert_eq!(units, 3);
+    }
+
+    #[test]
+    fn sc_clique_caps_at_k() {
+        let g = Graph::complete(5);
+        let mut enc = ColoringEncoding::new(&g, 3);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::ScClique);
+        assert_eq!(stats.clauses, 3, "pinning capped at K colors");
+    }
+}

@@ -1,0 +1,194 @@
+//! Partial and total truth assignments.
+
+use crate::{Lit, Var};
+use std::fmt;
+
+/// Three-valued truth: the value of a variable or literal under a partial
+/// assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TruthValue {
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+    /// Not yet assigned.
+    Unknown,
+}
+
+impl TruthValue {
+    /// Converts a concrete `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            TruthValue::True
+        } else {
+            TruthValue::False
+        }
+    }
+
+    /// Returns the `bool` value, or `None` if unknown.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            TruthValue::True => Some(true),
+            TruthValue::False => Some(false),
+            TruthValue::Unknown => None,
+        }
+    }
+
+    /// Logical negation; `Unknown` stays `Unknown`.
+    pub fn negate(self) -> Self {
+        match self {
+            TruthValue::True => TruthValue::False,
+            TruthValue::False => TruthValue::True,
+            TruthValue::Unknown => TruthValue::Unknown,
+        }
+    }
+}
+
+/// A (partial) assignment of truth values to a fixed block of variables.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::{Assignment, TruthValue, Var};
+/// let mut a = Assignment::new(2);
+/// let v = Var::from_index(0);
+/// assert_eq!(a.value(v), TruthValue::Unknown);
+/// a.assign(v, true);
+/// assert_eq!(a.lit_value(v.negative()), TruthValue::False);
+/// assert!(!a.is_total());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<TruthValue>,
+}
+
+impl Assignment {
+    /// Creates an all-unknown assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Assignment { values: vec![TruthValue::Unknown; num_vars] }
+    }
+
+    /// Creates a total assignment from a vector of `bool`s.
+    pub fn from_bools(values: impl IntoIterator<Item = bool>) -> Self {
+        Assignment {
+            values: values.into_iter().map(TruthValue::from_bool).collect(),
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the assignment covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: Var) -> TruthValue {
+        self.values[var.index()]
+    }
+
+    /// The value of a literal (variable value adjusted for sign).
+    pub fn lit_value(&self, lit: Lit) -> TruthValue {
+        let v = self.value(lit.var());
+        if lit.is_negated() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    /// Returns `true` if the literal is assigned and satisfied.
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == TruthValue::True
+    }
+
+    /// Assigns `value` to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        self.values[var.index()] = TruthValue::from_bool(value);
+    }
+
+    /// Clears the value of `var` back to unknown.
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.index()] = TruthValue::Unknown;
+    }
+
+    /// Returns `true` when every variable has a concrete value.
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(|v| *v != TruthValue::Unknown)
+    }
+
+    /// Number of assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| **v != TruthValue::Unknown).count()
+    }
+
+    /// Iterates over `(Var, bool)` pairs of assigned variables.
+    pub fn iter_assigned(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| {
+            v.to_bool().map(|b| (Var::from_index(i), b))
+        })
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment[")?;
+        for v in &self.values {
+            let c = match v {
+                TruthValue::True => '1',
+                TruthValue::False => '0',
+                TruthValue::Unknown => '?',
+            };
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_lifecycle() {
+        let mut a = Assignment::new(3);
+        let v = Var::from_index(1);
+        assert_eq!(a.value(v), TruthValue::Unknown);
+        a.assign(v, false);
+        assert_eq!(a.value(v), TruthValue::False);
+        assert_eq!(a.lit_value(v.negative()), TruthValue::True);
+        assert_eq!(a.num_assigned(), 1);
+        a.unassign(v);
+        assert_eq!(a.value(v), TruthValue::Unknown);
+        assert_eq!(a.num_assigned(), 0);
+    }
+
+    #[test]
+    fn total_from_bools() {
+        let a = Assignment::from_bools([true, false]);
+        assert!(a.is_total());
+        assert!(a.satisfies(Var::from_index(0).positive()));
+        assert!(a.satisfies(Var::from_index(1).negative()));
+        let pairs: Vec<_> = a.iter_assigned().collect();
+        assert_eq!(pairs, vec![(Var::from_index(0), true), (Var::from_index(1), false)]);
+    }
+
+    #[test]
+    fn truth_value_negation() {
+        assert_eq!(TruthValue::True.negate(), TruthValue::False);
+        assert_eq!(TruthValue::Unknown.negate(), TruthValue::Unknown);
+        assert_eq!(TruthValue::from_bool(true).to_bool(), Some(true));
+        assert_eq!(TruthValue::Unknown.to_bool(), None);
+    }
+}

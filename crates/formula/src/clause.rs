@@ -1,0 +1,232 @@
+//! CNF clauses.
+
+use crate::{Assignment, Lit, TruthValue};
+use std::fmt;
+
+/// A CNF clause: a disjunction of literals.
+///
+/// Clauses preserve the literal order they were built with (the encoders in
+/// `sbgc-core` rely on deterministic output); use [`Clause::normalize`] to
+/// obtain a sorted, duplicate-free copy for comparison.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::{Clause, Var};
+/// let a = Var::from_index(0).positive();
+/// let b = Var::from_index(1).negative();
+/// let c = Clause::from_iter([a, b]);
+/// assert_eq!(c.len(), 2);
+/// assert!(c.contains(b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates an empty (unsatisfiable) clause.
+    pub fn new() -> Self {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Creates a unit clause.
+    pub fn unit(lit: Lit) -> Self {
+        Clause { lits: vec![lit] }
+    }
+
+    /// Creates a binary clause.
+    pub fn binary(a: Lit, b: Lit) -> Self {
+        Clause { lits: vec![a, b] }
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` if the clause has no literals (i.e. is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns the literals as a slice.
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Adds a literal to the end of the clause.
+    pub fn push(&mut self, lit: Lit) {
+        self.lits.push(lit);
+    }
+
+    /// Returns `true` if the clause contains `lit` (exact sign match).
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns a sorted, duplicate-free copy of this clause.
+    pub fn normalize(&self) -> Clause {
+        let mut lits = self.lits.clone();
+        lits.sort_unstable();
+        lits.dedup();
+        Clause { lits }
+    }
+
+    /// Returns `true` if the clause contains both a literal and its negation
+    /// and is therefore trivially satisfied.
+    pub fn is_tautology(&self) -> bool {
+        let n = self.normalize();
+        n.lits.windows(2).any(|w| w[0].var() == w[1].var())
+    }
+
+    /// Evaluates the clause under a (possibly partial) assignment.
+    ///
+    /// Returns [`TruthValue::True`] if some literal is satisfied,
+    /// [`TruthValue::False`] if all literals are falsified, and
+    /// [`TruthValue::Unknown`] otherwise.
+    pub fn eval(&self, assignment: &Assignment) -> TruthValue {
+        let mut unknown = false;
+        for &lit in &self.lits {
+            match assignment.lit_value(lit) {
+                TruthValue::True => return TruthValue::True,
+                TruthValue::Unknown => unknown = true,
+                TruthValue::False => {}
+            }
+        }
+        if unknown {
+            TruthValue::Unknown
+        } else {
+            TruthValue::False
+        }
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause { lits: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Lit> for Clause {
+    fn extend<I: IntoIterator<Item = Lit>>(&mut self, iter: I) {
+        self.lits.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Clause[")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "(empty)");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lits() -> (Lit, Lit, Lit) {
+        (
+            Var::from_index(0).positive(),
+            Var::from_index(1).positive(),
+            Var::from_index(2).negative(),
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let (a, b, c) = lits();
+        let cl = Clause::from_iter([a, b, c]);
+        assert_eq!(cl.len(), 3);
+        assert!(cl.contains(c));
+        assert!(!cl.contains(!c));
+        assert!(!cl.is_empty());
+        assert!(Clause::new().is_empty());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let (a, b, _) = lits();
+        assert!(Clause::from_iter([a, !a]).is_tautology());
+        assert!(!Clause::from_iter([a, b]).is_tautology());
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let (a, b, _) = lits();
+        let cl = Clause::from_iter([b, a, b]);
+        let n = cl.normalize();
+        assert_eq!(n.literals(), &[a, b]);
+    }
+
+    #[test]
+    fn eval_partial_and_total() {
+        let (a, b, _) = lits();
+        let cl = Clause::binary(a, b);
+        let mut asg = Assignment::new(2);
+        assert_eq!(cl.eval(&asg), TruthValue::Unknown);
+        asg.assign(a.var(), false);
+        assert_eq!(cl.eval(&asg), TruthValue::Unknown);
+        asg.assign(b.var(), false);
+        assert_eq!(cl.eval(&asg), TruthValue::False);
+        asg.assign(b.var(), true);
+        assert_eq!(cl.eval(&asg), TruthValue::True);
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let asg = Assignment::new(0);
+        assert_eq!(Clause::new().eval(&asg), TruthValue::False);
+    }
+}

@@ -1,0 +1,240 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a dense 0-based index.
+///
+/// Variables are created by [`PbFormula::new_var`](crate::PbFormula::new_var)
+/// (or directly via [`Var::from_index`] when interfacing with external
+/// formats). The `Display` form is the 1-based DIMACS/OPB convention `x1`,
+/// `x2`, ...
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::Var;
+/// let v = Var::from_index(4);
+/// assert_eq!(v.index(), 4);
+/// assert_eq!(v.to_string(), "x5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense 0-based index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32"))
+    }
+
+    /// Returns the dense 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the literal of this variable with the given sign.
+    ///
+    /// `negated == false` yields the positive literal.
+    #[inline]
+    pub fn lit(self, negated: bool) -> Lit {
+        Lit::new(self, negated)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Internally packed as `var_index << 1 | negated`, which makes literals
+/// directly usable as dense array indices (see [`Lit::code`]).
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::{Lit, Var};
+/// let v = Var::from_index(0);
+/// let p = v.positive();
+/// assert_eq!(!p, v.negative());
+/// assert!(!p.is_negated());
+/// assert_eq!((!p).to_string(), "~x1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign (`true` = negated).
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(negated))
+    }
+
+    /// Reconstructs a literal from its packed code (see [`Lit::code`]).
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(u32::try_from(code).expect("literal code exceeds u32"))
+    }
+
+    /// Returns the packed code `var_index * 2 + negated`, a dense index
+    /// suitable for watch lists and occurrence tables.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the negation of its variable.
+    #[inline]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the value this literal takes when its variable is assigned
+    /// `value`.
+    #[inline]
+    pub fn apply(self, value: bool) -> bool {
+        value != self.is_negated()
+    }
+
+    /// Parses the 1-based signed-integer DIMACS convention: `3` is the
+    /// positive literal of the third variable, `-3` its negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literal must be non-zero");
+        let var = Var::from_index(dimacs.unsigned_abs() as usize - 1);
+        var.lit(dimacs < 0)
+    }
+
+    /// Returns the 1-based signed-integer DIMACS form of this literal.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({}{})", if self.is_negated() { "~" } else { "" }, self.var().index())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "~{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        let v = Var::from_index(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+    }
+
+    #[test]
+    fn literal_negation_is_involution() {
+        let l = Var::from_index(3).positive();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert!((!l).is_negated());
+    }
+
+    #[test]
+    fn literal_codes_are_dense() {
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert_eq!(v0.positive().code(), 0);
+        assert_eq!(v0.negative().code(), 1);
+        assert_eq!(v1.positive().code(), 2);
+        assert_eq!(v1.negative().code(), 3);
+        assert_eq!(Lit::from_code(3), v1.negative());
+    }
+
+    #[test]
+    fn apply_respects_sign() {
+        let v = Var::from_index(0);
+        assert!(v.positive().apply(true));
+        assert!(!v.positive().apply(false));
+        assert!(!v.negative().apply(true));
+        assert!(v.negative().apply(false));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(0);
+        assert_eq!(v.positive().to_string(), "x1");
+        assert_eq!(v.negative().to_string(), "~x1");
+    }
+}

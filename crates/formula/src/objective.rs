@@ -1,0 +1,137 @@
+//! Linear minimization objectives.
+
+use crate::{Assignment, Lit, TruthValue};
+use std::fmt;
+
+/// A linear minimization objective `MIN Σ cᵢ·ℓᵢ` with positive integer
+/// coefficients, as used by the paper's 0-1 ILP formulation
+/// (`MIN Σ yᵢ` over the color-usage indicators).
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::{Objective, Var, Assignment};
+/// let y0 = Var::from_index(0).positive();
+/// let y1 = Var::from_index(1).positive();
+/// let obj = Objective::minimize([(1, y0), (1, y1)]);
+/// let a = Assignment::from_bools([true, false]);
+/// assert_eq!(obj.value(&a), Some(1));
+/// assert_eq!(obj.max_value(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Objective {
+    terms: Vec<(u64, Lit)>,
+}
+
+impl Objective {
+    /// Builds a minimization objective from `(coefficient, literal)` terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is zero.
+    pub fn minimize<I>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, Lit)>,
+    {
+        let terms: Vec<(u64, Lit)> = terms.into_iter().collect();
+        assert!(terms.iter().all(|&(c, _)| c > 0), "objective coefficients must be positive");
+        Objective { terms }
+    }
+
+    /// The `(coefficient, literal)` terms.
+    pub fn terms(&self) -> &[(u64, Lit)] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the objective has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Largest possible objective value (all literals true).
+    pub fn max_value(&self) -> u64 {
+        self.terms.iter().map(|&(c, _)| c).sum()
+    }
+
+    /// Evaluates the objective; `None` if any involved variable is
+    /// unassigned.
+    pub fn value(&self, assignment: &Assignment) -> Option<u64> {
+        let mut total = 0;
+        for &(c, l) in &self.terms {
+            match assignment.lit_value(l) {
+                TruthValue::True => total += c,
+                TruthValue::False => {}
+                TruthValue::Unknown => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// Lower bound of the objective under a partial assignment (counting
+    /// only terms already forced true).
+    pub fn lower_bound(&self, assignment: &Assignment) -> u64 {
+        self.terms
+            .iter()
+            .filter(|&&(_, l)| assignment.lit_value(l) == TruthValue::True)
+            .map(|&(c, _)| c)
+            .sum()
+    }
+}
+
+impl fmt::Debug for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Objective[{self}]")
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MIN ")?;
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, l)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c == 1 {
+                write!(f, "{l}")?;
+            } else {
+                write!(f, "{c}*{l}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn value_and_bounds() {
+        let l0 = Var::from_index(0).positive();
+        let l1 = Var::from_index(1).positive();
+        let obj = Objective::minimize([(2, l0), (3, l1)]);
+        assert_eq!(obj.max_value(), 5);
+        let mut a = Assignment::new(2);
+        assert_eq!(obj.value(&a), None);
+        assert_eq!(obj.lower_bound(&a), 0);
+        a.assign(l0.var(), true);
+        assert_eq!(obj.lower_bound(&a), 2);
+        a.assign(l1.var(), false);
+        assert_eq!(obj.value(&a), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_coefficient_rejected() {
+        let _ = Objective::minimize([(0, Var::from_index(0).positive())]);
+    }
+}

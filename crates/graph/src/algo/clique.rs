@@ -1,0 +1,109 @@
+//! Greedy maximum-clique lower bound.
+
+use crate::Graph;
+
+/// Finds a large clique with a multi-start greedy heuristic and returns its
+/// vertices (sorted).
+///
+/// From each of the highest-degree seed vertices (up to 32 starts) the
+/// greedy step repeatedly adds the candidate with the most neighbors inside
+/// the remaining candidate set. The clique size is a lower bound on the
+/// chromatic number, used by the paper's K-selection procedure and by the
+/// SC construction's "stronger variant" discussion (Section 3.4).
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::{Graph, algo::greedy_clique};
+/// // Two triangles sharing vertex 2, plus an edge making {2,3,4,5}... K4 below:
+/// let g = Graph::from_edges(6, [
+///     (0, 1), (0, 2), (1, 2),             // triangle
+///     (2, 3), (2, 4), (3, 4), (3, 5), (4, 5), (2, 5), // K4 on {2,3,4,5}
+/// ]);
+/// let q = greedy_clique(&g);
+/// assert_eq!(q, vec![2, 3, 4, 5]);
+/// ```
+pub fn greedy_clique(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Seeds: vertices in decreasing degree order.
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    let starts = by_degree.len().min(32);
+
+    let mut best: Vec<usize> = Vec::new();
+    for &seed in &by_degree[..starts] {
+        let mut clique = vec![seed];
+        let mut candidates: Vec<usize> =
+            graph.neighbors(seed).iter().map(|&w| w as usize).collect();
+        while !candidates.is_empty() {
+            // Pick the candidate with most neighbors among candidates.
+            let pick = candidates
+                .iter()
+                .copied()
+                .max_by_key(|&v| {
+                    let inside =
+                        candidates.iter().filter(|&&w| w != v && graph.has_edge(v, w)).count();
+                    (inside, std::cmp::Reverse(v))
+                })
+                .expect("candidates non-empty");
+            clique.push(pick);
+            candidates.retain(|&w| w != pick && graph.has_edge(pick, w));
+        }
+        if clique.len() > best.len() {
+            best = clique;
+        }
+    }
+    best.sort_unstable();
+    debug_assert!(is_clique(graph, &best));
+    best
+}
+
+/// Returns `true` if `vertices` are pairwise adjacent in `graph`.
+pub(crate) fn is_clique(graph: &Graph, vertices: &[usize]) -> bool {
+    vertices
+        .iter()
+        .enumerate()
+        .all(|(i, &a)| vertices[i + 1..].iter().all(|&b| graph.has_edge(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_whole_complete_graph() {
+        let g = Graph::complete(6);
+        assert_eq!(greedy_clique(&g).len(), 6);
+    }
+
+    #[test]
+    fn triangle_in_cycle_with_chord() {
+        let mut edges: Vec<_> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        edges.push((0, 2));
+        let g = Graph::from_edges(5, edges);
+        let q = greedy_clique(&g);
+        assert_eq!(q.len(), 3);
+        assert!(is_clique(&g, &q));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(greedy_clique(&Graph::empty(0)).is_empty());
+        assert_eq!(greedy_clique(&Graph::empty(3)).len(), 1);
+    }
+
+    #[test]
+    fn result_is_always_a_clique() {
+        // Petersen graph (clique number 2).
+        let outer = (0..5).map(|i| (i, (i + 1) % 5));
+        let spokes = (0..5).map(|i| (i, i + 5));
+        let inner = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5));
+        let g = Graph::from_edges(10, outer.chain(spokes).chain(inner));
+        let q = greedy_clique(&g);
+        assert!(is_clique(&g, &q));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Connectivity utilities.
+
+use crate::Graph;
+
+/// Labels each vertex with its connected-component id (`0..num_components`,
+/// in order of first appearance) and returns `(labels, num_components)`.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::{Graph, algo::connected_components};
+/// let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+/// let (labels, count) = connected_components(&g);
+/// assert_eq!(count, 3);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in graph.neighbors(v) {
+                let w = w as usize;
+                if labels[w] == usize::MAX {
+                    labels[w] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count)
+}
+
+/// Returns `true` if the graph is connected (vacuously true for ≤1
+/// vertices).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.num_vertices() <= 1 || connected_components(graph).1 == 1
+}
+
+/// BFS distances from `source`; unreachable vertices get `None`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &Graph, source: usize) -> Vec<Option<usize>> {
+    let n = graph.num_vertices();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![None; n];
+    dist[source] = Some(0);
+    let mut frontier = std::collections::VecDeque::from([source]);
+    while let Some(v) = frontier.pop_front() {
+        let d = dist[v].expect("queued vertices have distances");
+        for &w in graph.neighbors(v) {
+            let w = w as usize;
+            if dist[w].is_none() {
+                dist[w] = Some(d + 1);
+                frontier.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_forest() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&Graph::cycle(5)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Degeneracy (smallest-last) ordering.
+
+use crate::Graph;
+
+/// Computes a *smallest-last* vertex ordering: repeatedly remove a vertex of
+/// minimum remaining degree; the returned order is the reverse of removal,
+/// so that greedy coloring along it uses at most `degeneracy + 1` colors.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::{Graph, algo::{degeneracy_order, greedy_coloring}};
+/// let g = Graph::cycle(5);
+/// let order = degeneracy_order(&g);
+/// let c = greedy_coloring(&g, &order);
+/// assert!(c.num_colors() <= 3); // degeneracy of a cycle is 2
+/// ```
+pub fn degeneracy_order(graph: &Graph) -> Vec<usize> {
+    degeneracy_impl(graph).0
+}
+
+/// The degeneracy of the graph: the maximum, over the smallest-last removal
+/// sequence, of the degree at removal time. `degeneracy + 1` bounds the
+/// chromatic number.
+pub fn degeneracy(graph: &Graph) -> usize {
+    degeneracy_impl(graph).1
+}
+
+fn degeneracy_impl(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut deg: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut removal = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| (deg[v], v))
+            .expect("vertices remain");
+        degeneracy = degeneracy.max(deg[v]);
+        removed[v] = true;
+        removal.push(v);
+        for &w in graph.neighbors(v) {
+            if !removed[w as usize] {
+                deg[w as usize] -= 1;
+            }
+        }
+    }
+    removal.reverse();
+    (removal, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::greedy_coloring;
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        assert_eq!(degeneracy(&Graph::complete(5)), 4);
+        assert_eq!(degeneracy(&Graph::cycle(6)), 2);
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+        // A tree has degeneracy 1.
+        let tree = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        assert_eq!(degeneracy(&tree), 1);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let g = Graph::cycle(7);
+        let mut order = degeneracy_order(&g);
+        order.sort_unstable();
+        assert_eq!(order, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn greedy_on_order_respects_bound() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let d = degeneracy(&g);
+        let c = greedy_coloring(&g, &degeneracy_order(&g));
+        assert!(c.is_proper(&g));
+        assert!(c.num_colors() <= d + 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The DSATUR heuristic (Brélaz 1979) and first-fit greedy coloring.
+
+use super::Coloring;
+use crate::Graph;
+
+/// Colors `graph` with the DSATUR heuristic: repeatedly pick an uncolored
+/// vertex of maximum *saturation degree* (number of distinct colors among
+/// its neighbors), break ties by degree then index, and give it the lowest
+/// feasible color.
+///
+/// DSATUR is optimal on bipartite graphs and is the standard upper-bound
+/// heuristic cited in the paper's background section; `sbgc-core` uses it to
+/// pick a feasible `K` before running the exact solvers.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::{Graph, algo::dsatur};
+/// let g = Graph::cycle(6); // even cycle: bipartite
+/// let c = dsatur(&g);
+/// assert!(c.is_proper(&g));
+/// assert_eq!(c.num_colors(), 2);
+/// ```
+pub fn dsatur(graph: &Graph) -> Coloring {
+    let n = graph.num_vertices();
+    let mut color: Vec<Option<usize>> = vec![None; n];
+    // neighbor_colors[v] is a bitset-less set of colors adjacent to v,
+    // tracked as a sorted Vec (degrees are modest for our instances).
+    let mut neighbor_colors: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for _ in 0..n {
+        // Pick max (saturation, degree, -index).
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if color[v].is_some() {
+                continue;
+            }
+            best = Some(match best {
+                None => v,
+                Some(u) => {
+                    let key_v = (neighbor_colors[v].len(), graph.degree(v));
+                    let key_u = (neighbor_colors[u].len(), graph.degree(u));
+                    if key_v > key_u {
+                        v
+                    } else {
+                        u
+                    }
+                }
+            });
+        }
+        let v = best.expect("uncolored vertex must exist");
+        // Lowest color not in neighbor_colors[v] (sorted).
+        let mut c = 0;
+        for &used in &neighbor_colors[v] {
+            if used == c {
+                c += 1;
+            } else if used > c {
+                break;
+            }
+        }
+        color[v] = Some(c);
+        for &w in graph.neighbors(v) {
+            let set = &mut neighbor_colors[w as usize];
+            if let Err(pos) = set.binary_search(&c) {
+                set.insert(pos, c);
+            }
+        }
+    }
+    Coloring::new(color.into_iter().map(|c| c.expect("all colored")).collect())
+}
+
+/// First-fit greedy coloring in the given vertex order: each vertex gets the
+/// lowest color unused among its already-colored neighbors.
+///
+/// Combined with [`degeneracy_order`](super::degeneracy_order) this yields
+/// the degeneracy+1 bound.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the vertex set.
+pub fn greedy_coloring(graph: &Graph, order: &[usize]) -> Coloring {
+    let n = graph.num_vertices();
+    assert_eq!(order.len(), n, "order must cover every vertex");
+    let mut color: Vec<Option<usize>> = vec![None; n];
+    let mut used: Vec<bool> = Vec::new();
+    for &v in order {
+        assert!(color[v].is_none(), "order repeats vertex {v}");
+        used.clear();
+        used.resize(graph.degree(v) + 1, false);
+        for &w in graph.neighbors(v) {
+            if let Some(c) = color[w as usize] {
+                if c < used.len() {
+                    used[c] = true;
+                }
+            }
+        }
+        let c = used.iter().position(|&u| !u).expect("a free color always exists");
+        color[v] = Some(c);
+    }
+    Coloring::new(color.into_iter().map(|c| c.expect("all colored")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsatur_triangle_uses_three() {
+        let g = Graph::complete(3);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn dsatur_odd_cycle_uses_three() {
+        let g = Graph::cycle(7);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn dsatur_is_optimal_on_bipartite() {
+        // Complete bipartite K_{3,4}: chromatic number 2.
+        let edges = (0..3).flat_map(|a| (3..7).map(move |b| (a, b)));
+        let g = Graph::from_edges(7, edges);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn dsatur_empty_graph() {
+        let g = Graph::empty(4);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 1);
+    }
+
+    #[test]
+    fn greedy_respects_order() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let c = greedy_coloring(&g, &[0, 1, 2]);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.colors(), &[0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn greedy_rejects_bad_order() {
+        let g = Graph::empty(2);
+        let _ = greedy_coloring(&g, &[0, 0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Classical graph-coloring algorithms used for bounds and verification.
+//!
+//! The paper's experimental procedure (Section 4.1) needs a feasible upper
+//! bound on the chromatic number (a heuristic coloring) and profits from a
+//! clique lower bound. This module provides:
+//!
+//! * [`dsatur`] — the Brélaz saturation-degree heuristic, the classic upper
+//!   bound quoted in the paper's background section;
+//! * [`greedy_coloring`] — first-fit coloring in a given vertex order;
+//! * [`greedy_clique`] — a multi-start greedy maximum-clique heuristic
+//!   giving a chromatic-number lower bound;
+//! * [`degeneracy_order`] — smallest-last ordering and the degeneracy bound;
+//! * [`Coloring`] — a checked assignment of colors to vertices.
+
+mod clique;
+mod coloring;
+mod connectivity;
+mod degeneracy;
+mod dsatur;
+
+pub use clique::greedy_clique;
+pub use coloring::Coloring;
+pub use connectivity::{bfs_distances, connected_components, is_connected};
+pub use degeneracy::{degeneracy, degeneracy_order};
+pub use dsatur::{dsatur, greedy_coloring};

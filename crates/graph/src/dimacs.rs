@@ -1,0 +1,177 @@
+//! DIMACS `.col` graph format reading and writing.
+//!
+//! This is the format of the DIMACS graph coloring benchmark suite the paper
+//! evaluates on: a `p edge <n> <m>` problem line followed by `e <a> <b>`
+//! edge lines with 1-based vertex numbers; `c` lines are comments.
+
+use crate::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_col`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseColError {
+    line: usize,
+    message: String,
+}
+
+impl ParseColError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseColError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending input line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseColError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS .col parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseColError {}
+
+/// Parses a DIMACS `.col` document.
+///
+/// # Errors
+///
+/// Returns [`ParseColError`] on missing/duplicate problem lines, malformed
+/// edge lines, or out-of-range vertex numbers.
+///
+/// # Example
+///
+/// ```
+/// let g = sbgc_graph::dimacs::parse_col("c tiny\np edge 3 2\ne 1 2\ne 2 3\n")?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), sbgc_graph::dimacs::ParseColError>(())
+/// ```
+pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
+    let mut num_vertices: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                if num_vertices.is_some() {
+                    return Err(ParseColError::new(lineno, "duplicate problem line"));
+                }
+                let fmt_name = tok.next().unwrap_or("");
+                if fmt_name != "edge" && fmt_name != "col" {
+                    return Err(ParseColError::new(
+                        lineno,
+                        format!("unsupported format `{fmt_name}`, expected `edge`"),
+                    ));
+                }
+                let n: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseColError::new(lineno, "bad vertex count"))?;
+                // Edge count on the p line is advisory; parse but don't trust.
+                let _m: Option<usize> = tok.next().and_then(|t| t.parse().ok());
+                num_vertices = Some(n);
+            }
+            Some("e") => {
+                let n = num_vertices
+                    .ok_or_else(|| ParseColError::new(lineno, "edge before problem line"))?;
+                let a: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
+                let b: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
+                if a == 0 || b == 0 || a > n || b > n {
+                    return Err(ParseColError::new(
+                        lineno,
+                        format!("edge ({a}, {b}) out of range 1..={n}"),
+                    ));
+                }
+                edges.push((a - 1, b - 1));
+            }
+            Some(other) => {
+                return Err(ParseColError::new(lineno, format!("unknown line type `{other}`")));
+            }
+            None => {}
+        }
+    }
+    let n = num_vertices.ok_or_else(|| ParseColError::new(0, "missing problem line"))?;
+    Ok(Graph::from_edges(n, edges))
+}
+
+/// Serializes a graph in DIMACS `.col` format, with an optional comment.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::{Graph, dimacs};
+/// let g = Graph::from_edges(2, [(0, 1)]);
+/// let text = dimacs::write_col(&g, Some("pair"));
+/// assert!(text.contains("p edge 2 1"));
+/// assert!(text.contains("e 1 2"));
+/// ```
+pub fn write_col(graph: &Graph, comment: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(c) = comment {
+        for line in c.lines() {
+            let _ = writeln!(out, "c {line}");
+        }
+    }
+    let _ = writeln!(out, "p edge {} {}", graph.num_vertices(), graph.num_edges());
+    for (a, b) in graph.edges() {
+        let _ = writeln!(out, "e {} {}", a + 1, b + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let text = write_col(&g, Some("test graph\nsecond line"));
+        let h = parse_col(&text).expect("roundtrip");
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let g = parse_col("c hello\n\np edge 2 1\nc mid\ne 1 2\n").expect("parse");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn error_on_edge_before_problem() {
+        let err = parse_col("e 1 2\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn error_on_out_of_range() {
+        let err = parse_col("p edge 2 1\ne 1 3\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn error_on_unknown_line() {
+        assert!(parse_col("p edge 1 0\nq zzz\n").is_err());
+    }
+
+    #[test]
+    fn error_on_missing_problem_line() {
+        assert!(parse_col("c only comments\n").is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Book (character-interaction) graph analogues — anna, david, huck, jean.
+
+use super::{adjust_to_edge_count, checked_graph, seeded_rng};
+use crate::Graph;
+use rand::distributions::WeightedIndex;
+use rand::prelude::Distribution;
+
+/// Builds a synthetic analogue of a DIMACS *book graph* (edges represent
+/// character co-occurrence in a novel): `n` vertices, exactly `m` edges,
+/// an embedded clique of `core` "protagonists" (which pins the clique
+/// number, the known chromatic number of these instances), and a
+/// heavy-tailed degree distribution produced by preferential attachment.
+///
+/// The real anna/david/huck/jean files cannot be redistributed; this
+/// generator matches their size and their structural signature (a small
+/// dense core of protagonists plus many low-degree minor characters).
+///
+/// # Panics
+///
+/// Panics if the parameters are infeasible (`core > n`, or `m` smaller than
+/// the core clique / larger than the complete graph).
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::book_graph;
+/// let g = book_graph(138, 493, 11, 0xA11A); // anna-like
+/// assert_eq!((g.num_vertices(), g.num_edges()), (138, 493));
+/// ```
+pub fn book_graph(n: usize, m: usize, core: usize, seed: u64) -> Graph {
+    assert!(core <= n, "core larger than the vertex count");
+    let mut rng = seeded_rng(seed);
+    // Protagonist core: a clique on vertices 0..core.
+    let mut protected = Vec::new();
+    for a in 0..core {
+        for b in a + 1..core {
+            protected.push((a, b));
+        }
+    }
+    assert!(m >= protected.len(), "m smaller than the protagonist clique");
+    let mut edges = protected.clone();
+    // Preferential attachment: every later character interacts with a few
+    // existing ones, chosen with probability proportional to degree + 1.
+    let mut degree = vec![0usize; n];
+    for &(a, b) in &protected {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    let mean_extra = (m.saturating_sub(protected.len())) as f64 / (n - core).max(1) as f64;
+    for v in core..n {
+        let attach = 1 + (mean_extra.round() as usize).min(v);
+        let weights: Vec<f64> = (0..v).map(|u| degree[u] as f64 + 1.0).collect();
+        let dist = WeightedIndex::new(&weights).expect("non-empty weights");
+        for _ in 0..attach {
+            let u = dist.sample(&mut rng);
+            edges.push((u, v));
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+    }
+    let edges = adjust_to_edge_count(n, edges, &protected, m, &mut rng);
+    checked_graph(n, edges, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::greedy_clique;
+
+    #[test]
+    fn matches_requested_sizes() {
+        for (n, m, core, seed) in
+            [(138, 493, 11, 1u64), (87, 406, 11, 2), (74, 301, 11, 3), (80, 254, 10, 4)]
+        {
+            let g = book_graph(n, m, core, seed);
+            assert_eq!((g.num_vertices(), g.num_edges()), (n, m));
+        }
+    }
+
+    #[test]
+    fn clique_core_is_preserved() {
+        let g = book_graph(74, 301, 11, 99);
+        for a in 0..11 {
+            for b in a + 1..11 {
+                assert!(g.has_edge(a, b), "core edge ({a},{b}) missing");
+            }
+        }
+        assert!(greedy_clique(&g).len() >= 11);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(book_graph(80, 254, 10, 7), book_graph(80, 254, 10, 7));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = book_graph(138, 493, 11, 11);
+        let max = g.max_degree();
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max as f64 > 2.5 * mean, "max degree {max} vs mean {mean}");
+    }
+}

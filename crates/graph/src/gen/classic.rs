@@ -1,0 +1,105 @@
+//! Classic parameterized families from the coloring literature, useful for
+//! tests and ablations beyond the DIMACS suite.
+
+use crate::Graph;
+
+/// The complete multipartite (Turán-type) graph with the given part sizes:
+/// edges between every pair of vertices in *different* parts. Its chromatic
+/// number is the number of non-empty parts.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::complete_multipartite;
+/// let g = complete_multipartite(&[2, 2, 2]); // K_{2,2,2}, the octahedron
+/// assert_eq!(g.num_vertices(), 6);
+/// assert_eq!(g.num_edges(), 12);
+/// ```
+pub fn complete_multipartite(part_sizes: &[usize]) -> Graph {
+    let n: usize = part_sizes.iter().sum();
+    let mut part_of = Vec::with_capacity(n);
+    for (p, &size) in part_sizes.iter().enumerate() {
+        part_of.extend(std::iter::repeat(p).take(size));
+    }
+    let edges = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| part_of[a] != part_of[b]);
+    Graph::from_edges(n, edges)
+}
+
+/// The crown graph `S_n^0`: the complete bipartite graph `K_{n,n}` minus a
+/// perfect matching — bipartite (χ = 2) but DSATUR-hostile, and rich in
+/// automorphisms (useful for symmetry tests).
+///
+/// Vertex `i` on one side pairs with vertex `n + i` on the other; the
+/// missing matching is `(i, n + i)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (smaller crowns are edgeless or empty).
+pub fn crown(n: usize) -> Graph {
+    assert!(n >= 2, "crown graphs need n >= 2");
+    let edges = (0..n).flat_map(|a| (0..n).filter(move |&b| b != a).map(move |b| (a, n + b)));
+    Graph::from_edges(2 * n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dsatur, greedy_clique};
+
+    #[test]
+    fn multipartite_sizes_and_clique() {
+        let g = complete_multipartite(&[3, 2, 1]);
+        assert_eq!(g.num_vertices(), 6);
+        // Edges: 3*2 + 3*1 + 2*1 = 11.
+        assert_eq!(g.num_edges(), 11);
+        // One vertex per part forms a triangle.
+        assert_eq!(greedy_clique(&g).len(), 3);
+        // Vertices within a part are non-adjacent.
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn multipartite_chromatic_number_is_part_count() {
+        let g = complete_multipartite(&[4, 3, 2, 1]);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 4);
+    }
+
+    #[test]
+    fn multipartite_empty_parts_ignored() {
+        let g = complete_multipartite(&[2, 0, 2]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn crown_structure() {
+        let g = crown(3);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6); // 3*3 - 3 matching edges
+        assert!(!g.has_edge(0, 3), "matched pair must not be adjacent");
+        assert!(g.has_edge(0, 4));
+        // Bipartite: 2-colorable.
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn crown_has_rich_automorphisms() {
+        // Swapping the two sides and permuting pairs are automorphisms;
+        // spot-check the side swap.
+        let g = crown(4);
+        let swap: Vec<usize> = (0..8).map(|v| (v + 4) % 8).collect();
+        assert!(g.is_automorphism(&swap));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn tiny_crown_rejected() {
+        let _ = crown(1);
+    }
+}

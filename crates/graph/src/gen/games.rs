@@ -1,0 +1,90 @@
+//! College-football schedule graph — analogue of `games120`.
+
+use super::{adjust_to_edge_count, checked_graph, seeded_rng};
+use crate::Graph;
+use rand::Rng;
+
+/// Builds a synthetic analogue of the DIMACS `games120` graph (teams are
+/// vertices; an edge joins teams that played each other in the 1990s
+/// college-football season): `groups` conferences of `group_size` teams
+/// each play a near-round-robin within the conference (a clique minus one
+/// unplayed pairing, so each conference pins the clique number at
+/// `group_size − 1` — games120 has χ = 9 at conference size 10), plus
+/// random inter-conference games, trimmed/padded to exactly `m` edges.
+/// The near-cliques are protected from trimming.
+///
+/// # Panics
+///
+/// Panics if `groups * group_size != n` or `m` is infeasible.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::games_graph;
+/// let g = games_graph(120, 638, 12, 10, 0x6A3E); // games120-like
+/// assert_eq!((g.num_vertices(), g.num_edges()), (120, 638));
+/// ```
+pub fn games_graph(n: usize, m: usize, groups: usize, group_size: usize, seed: u64) -> Graph {
+    assert_eq!(groups * group_size, n, "groups × group_size must equal n");
+    let mut rng = seeded_rng(seed);
+    let mut edges = Vec::new();
+    for g in 0..groups {
+        let base = g * group_size;
+        for a in 0..group_size {
+            for b in a + 1..group_size {
+                // Round robin minus the single unplayed pairing (0, 1).
+                if a == 0 && b == 1 {
+                    continue;
+                }
+                edges.push((base + a, base + b));
+            }
+        }
+    }
+    let protected = edges.clone();
+    // Cross-conference games until we overshoot a little, then adjust.
+    let conference_edges = edges.len();
+    while edges.len() < m.max(conference_edges) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && a / group_size != b / group_size {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    let edges = adjust_to_edge_count(n, edges, &protected, m, &mut rng);
+    checked_graph(n, edges, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dsatur;
+
+    #[test]
+    fn matches_requested_sizes() {
+        let g = games_graph(120, 638, 12, 10, 1);
+        assert_eq!((g.num_vertices(), g.num_edges()), (120, 638));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(games_graph(120, 638, 12, 10, 4), games_graph(120, 638, 12, 10, 4));
+    }
+
+    #[test]
+    fn chromatic_number_near_group_structure() {
+        // games120 has χ = 9; each conference is a 10-clique minus one
+        // edge (clique number 9), so χ is pinned at ≥ 9 and DSATUR should
+        // land very close.
+        let g = games_graph(120, 638, 12, 10, 0x6A3E);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert!((9..=11).contains(&c.num_colors()), "χ̂ = {}", c.num_colors());
+        assert!(crate::algo::greedy_clique(&g).len() >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal n")]
+    fn rejects_bad_partition() {
+        let _ = games_graph(120, 638, 7, 10, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic benchmark-instance generators.
+//!
+//! Two kinds of generator live here:
+//!
+//! * **Exact constructions** for families that are defined mathematically:
+//!   [`queens`] attack graphs and [`mycielski`] graphs. These reproduce the
+//!   paper's `queen*` and `myciel*` instances vertex-for-vertex.
+//! * **Calibrated synthetic analogues** for the DIMACS families that are
+//!   data files we cannot redistribute: [`book_graph`] (anna, david, huck,
+//!   jean), [`geometric_graph`] (miles250), [`games_graph`] (games120),
+//!   [`gnm`] (DSJC random graphs) and [`register_allocation_graph`]
+//!   (mulsol, zeroin). Each matches the original's vertex count, edge count
+//!   and family character; see `DESIGN.md` for the substitution rationale.
+//!
+//! All generators are deterministic: the same parameters and seed always
+//! produce the same graph.
+
+mod book;
+mod classic;
+mod games;
+mod geometric;
+mod mycielski;
+mod queens;
+mod random;
+mod register;
+
+pub use book::book_graph;
+pub use classic::{complete_multipartite, crown};
+pub use games::games_graph;
+pub use geometric::geometric_graph;
+pub use mycielski::{mycielski, mycielski_step};
+pub use queens::queens;
+pub use random::{gnm, gnp};
+pub use register::register_allocation_graph;
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Deterministically adjusts an edge set to contain exactly `target` edges,
+/// never touching `protected` edges (e.g. an embedded clique that pins the
+/// chromatic number).
+///
+/// Removal deletes uniformly random unprotected edges; padding inserts
+/// uniformly random absent edges. Used by the synthetic generators to match
+/// the published edge counts exactly.
+///
+/// # Panics
+///
+/// Panics if the target is infeasible (fewer than `protected.len()` or more
+/// than `n*(n-1)/2`).
+pub(crate) fn adjust_to_edge_count(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+    protected: &[(usize, usize)],
+    target: usize,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize)> {
+    let norm = |(a, b): (usize, usize)| if a < b { (a, b) } else { (b, a) };
+    let mut set: BTreeSet<(usize, usize)> = edges.into_iter().map(norm).collect();
+    set.retain(|&(a, b)| a != b);
+    let prot: BTreeSet<(usize, usize)> = protected.iter().copied().map(norm).collect();
+    set.extend(prot.iter().copied());
+    let max_edges = n * (n - 1) / 2;
+    assert!(
+        target >= prot.len() && target <= max_edges,
+        "edge target {target} infeasible for n={n} with {} protected edges",
+        prot.len()
+    );
+    // Trim.
+    if set.len() > target {
+        let mut removable: Vec<(usize, usize)> =
+            set.iter().copied().filter(|e| !prot.contains(e)).collect();
+        removable.shuffle(rng);
+        let surplus = set.len() - target;
+        assert!(
+            removable.len() >= surplus,
+            "cannot trim to {target}: too many protected edges"
+        );
+        for e in removable.into_iter().take(surplus) {
+            set.remove(&e);
+        }
+    }
+    // Pad.
+    while set.len() < target {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            set.insert(norm((a, b)));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Convenience: a seeded RNG shared by the generators.
+pub(crate) fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds a graph from edges and asserts the exact vertex/edge counts, a
+/// guard every calibrated generator runs before returning.
+pub(crate) fn checked_graph(n: usize, edges: Vec<(usize, usize)>, target_m: usize) -> Graph {
+    let g = Graph::from_edges(n, edges);
+    assert_eq!(g.num_vertices(), n, "generator produced wrong vertex count");
+    assert_eq!(g.num_edges(), target_m, "generator produced wrong edge count");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjust_trims_and_pads_exactly() {
+        let mut rng = seeded_rng(1);
+        let base: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 3), (3, 4)];
+        let trimmed = adjust_to_edge_count(5, base.clone(), &[(0, 1)], 2, &mut rng);
+        assert_eq!(trimmed.len(), 2);
+        assert!(trimmed.contains(&(0, 1)));
+        let padded = adjust_to_edge_count(5, base, &[], 8, &mut rng);
+        assert_eq!(padded.len(), 8);
+    }
+
+    #[test]
+    fn adjust_is_deterministic() {
+        let run = || {
+            let mut rng = seeded_rng(42);
+            adjust_to_edge_count(10, vec![(0, 1)], &[], 20, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn adjust_rejects_impossible_target() {
+        let mut rng = seeded_rng(1);
+        let _ = adjust_to_edge_count(3, vec![], &[], 10, &mut rng);
+    }
+}

@@ -1,0 +1,98 @@
+//! Mycielski graphs — exact construction of the `myciel*` instances.
+
+use crate::Graph;
+
+/// Builds the `myciel<k>` instance: the Mycielski transformation
+/// (Mycielski 1955) applied repeatedly starting from a single edge `K2`.
+///
+/// `myciel2 = C5`... more precisely, the DIMACS numbering starts from
+/// `K2` (2 vertices, χ = 2); each application of the transformation adds
+/// one to the chromatic number while keeping the graph triangle-free:
+///
+/// * `mycielski(3)` — 11 vertices, 20 edges, χ = 4 (the Grötzsch graph)
+/// * `mycielski(4)` — 23 vertices, 71 edges, χ = 5
+/// * `mycielski(5)` — 47 vertices, 236 edges, χ = 6
+///
+/// matching the paper's Table 1 exactly.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::mycielski;
+/// let g = mycielski(3);
+/// assert_eq!((g.num_vertices(), g.num_edges()), (11, 20));
+/// ```
+pub fn mycielski(k: usize) -> Graph {
+    assert!(k >= 2, "myciel index starts at 2 (a single edge)");
+    let mut g = Graph::from_edges(2, [(0, 1)]);
+    for _ in 1..k {
+        g = mycielski_step(&g);
+    }
+    g
+}
+
+/// One application of the Mycielski transformation: given `G` on vertices
+/// `0..n`, produce `M(G)` on `2n + 1` vertices — a shadow `u_i = n + i` of
+/// each vertex connected to the neighbors of `v_i`, plus an apex `w = 2n`
+/// adjacent to every shadow. `χ(M(G)) = χ(G) + 1` and `M(G)` is
+/// triangle-free whenever `G` is.
+pub fn mycielski_step(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let w = 2 * n;
+    let mut edges: Vec<(usize, usize)> = g.edges().collect();
+    for (a, b) in g.edges() {
+        edges.push((n + a, b));
+        edges.push((a, n + b));
+    }
+    for i in 0..n {
+        edges.push((n + i, w));
+    }
+    Graph::from_edges(2 * n + 1, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dsatur, greedy_clique};
+
+    #[test]
+    fn paper_instances_have_expected_sizes() {
+        for (k, v, m) in [(3, 11, 20), (4, 23, 71), (5, 47, 236)] {
+            let g = mycielski(k);
+            assert_eq!((g.num_vertices(), g.num_edges()), (v, m), "myciel{k}");
+        }
+    }
+
+    #[test]
+    fn myciel2_is_c5() {
+        let g = mycielski(2);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert!((0..5).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn triangle_free() {
+        let g = mycielski(4);
+        // Clique number of a triangle-free graph with an edge is 2.
+        assert_eq!(greedy_clique(&g).len(), 2);
+        for (a, b) in g.edges() {
+            for &c in g.neighbors(a) {
+                if c as usize != b {
+                    assert!(!g.has_edge(c as usize, b), "triangle {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chromatic_number_grows() {
+        // DSATUR happens to color Mycielski graphs optimally for small k.
+        assert_eq!(dsatur(&mycielski(3)).num_colors(), 4);
+        assert_eq!(dsatur(&mycielski(4)).num_colors(), 5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Queen attack graphs — exact construction of the `queen*` instances.
+
+use crate::Graph;
+
+/// Builds the queen graph on an `rows × cols` chessboard: one vertex per
+/// square, an edge between two squares iff a queen on one attacks the other
+/// (same row, column, or diagonal).
+///
+/// A proper `K`-coloring places `K` non-attacking "armies"; the DIMACS
+/// `queenR_C` instances (used in the paper's Appendix, Table 5) are exactly
+/// these graphs. Note the DIMACS files list every edge in both directions,
+/// so the paper's Table 1 edge counts are twice
+/// [`Graph::num_edges`] here.
+///
+/// Vertex numbering is row-major: square `(r, c)` is vertex `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::queens;
+/// let g = queens(5, 5);
+/// assert_eq!(g.num_vertices(), 25);
+/// assert_eq!(g.num_edges(), 160); // 320 directed edge lines in DIMACS
+/// ```
+pub fn queens(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "board dimensions must be positive");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = idx(r, c);
+            // Same row, later column.
+            for c2 in c + 1..cols {
+                edges.push((v, idx(r, c2)));
+            }
+            // Same column, later row.
+            for r2 in r + 1..rows {
+                edges.push((v, idx(r2, c)));
+            }
+            // Diagonals, later row.
+            for d in 1..rows - r {
+                let r2 = r + d;
+                if c + d < cols {
+                    edges.push((v, idx(r2, c + d)));
+                }
+                if c >= d {
+                    edges.push((v, idx(r2, c - d)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Edge counts for the four instances used in the paper's Appendix.
+    /// The paper's Table 1 lists the doubled DIMACS edge-line counts
+    /// (320, 580, 952, 2736).
+    #[test]
+    fn paper_instances_have_expected_sizes() {
+        for (r, c, m2) in [(5, 5, 320), (6, 6, 580), (7, 7, 952), (8, 12, 2736)] {
+            let g = queens(r, c);
+            assert_eq!(g.num_vertices(), r * c, "queen{r}_{c} vertices");
+            assert_eq!(2 * g.num_edges(), m2, "queen{r}_{c} edge lines");
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_are_cliques() {
+        let g = queens(4, 4);
+        // Row 0 is a clique.
+        for a in 0..4 {
+            for b in a + 1..4 {
+                assert!(g.has_edge(a, b));
+            }
+        }
+        // Column 0 is a clique.
+        for a in 0..4 {
+            for b in a + 1..4 {
+                assert!(g.has_edge(4 * a, 4 * b));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_attacks_present_and_knight_moves_absent() {
+        let g = queens(5, 5);
+        let idx = |r: usize, c: usize| r * 5 + c;
+        assert!(g.has_edge(idx(0, 0), idx(3, 3)));
+        assert!(g.has_edge(idx(0, 4), idx(4, 0)));
+        assert!(!g.has_edge(idx(0, 0), idx(1, 2))); // knight move
+        assert!(!g.has_edge(idx(0, 0), idx(2, 1)));
+    }
+
+    #[test]
+    fn queen_graph_is_vertex_transitive_under_board_symmetry() {
+        // The 180-degree rotation of the board is an automorphism.
+        let g = queens(5, 5);
+        let perm: Vec<usize> = (0..25).map(|v| 24 - v).collect();
+        assert!(g.is_automorphism(&perm));
+    }
+
+    #[test]
+    fn one_by_one_board() {
+        let g = queens(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

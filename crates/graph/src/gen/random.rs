@@ -1,0 +1,113 @@
+//! Erdős–Rényi random graphs — analogues of the `DSJC` instances.
+
+use super::seeded_rng;
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Builds a uniform random graph with exactly `n` vertices and `m` edges
+/// (the G(n, m) model), deterministically from `seed`.
+///
+/// The paper's `DSJC125.1` / `DSJC125.9` random benchmarks are G(n, p)
+/// graphs with p = 0.1 / 0.9; we reproduce them as G(n, m) with the
+/// published edge counts so sizes match exactly.
+///
+/// # Panics
+///
+/// Panics if `m > n*(n-1)/2`.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::gnm;
+/// let g = gnm(125, 736, 7);
+/// assert_eq!((g.num_vertices(), g.num_edges()), (125, 736));
+/// ```
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "m={m} exceeds the {max_edges} possible edges");
+    let mut rng = seeded_rng(seed);
+    // For dense targets, sample by shuffling the full edge list; for sparse
+    // targets, rejection-sample.
+    if m * 3 >= max_edges {
+        let mut all: Vec<(usize, usize)> =
+            (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+        all.shuffle(&mut rng);
+        all.truncate(m);
+        Graph::from_edges(n, all)
+    } else {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                set.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        Graph::from_edges(n, set)
+    }
+}
+
+/// Builds a G(n, p) Bernoulli random graph deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = seeded_rng(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_counts_sparse_and_dense() {
+        let sparse = gnm(50, 30, 1);
+        assert_eq!((sparse.num_vertices(), sparse.num_edges()), (50, 30));
+        let dense = gnm(20, 170, 2); // max 190
+        assert_eq!(dense.num_edges(), 170);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(30, 100, 9), gnm(30, 100, 9));
+        assert_ne!(gnm(30, 100, 9), gnm(30, 100, 10));
+    }
+
+    #[test]
+    fn gnm_complete_when_m_max() {
+        let g = gnm(6, 15, 3);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_roughly_matches_p() {
+        let g = gnp(100, 0.3, 5);
+        let d = g.density();
+        assert!((0.25..0.35).contains(&d), "density {d}");
+    }
+}

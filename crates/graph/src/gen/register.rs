@@ -1,0 +1,108 @@
+//! Register-allocation interference graphs — analogues of `mulsol`/`zeroin`.
+
+use super::{adjust_to_edge_count, checked_graph, seeded_rng};
+use crate::Graph;
+use rand::Rng;
+
+/// Builds a synthetic analogue of a DIMACS *register allocation* graph
+/// (`mulsol.i.*`, `zeroin.i.*`: interference graphs of real programs):
+/// `n` vertices, exactly `m` edges, containing
+///
+/// 1. a protected clique of size `clique` — mirroring the large simultaneous
+///    live set that gives the real instances chromatic numbers of 30–49
+///    (> 20, which is what makes them UNSAT at the paper's K = 20), and
+/// 2. an *interval graph* body: random live ranges `[start, end)` over a
+///    virtual program of `4n` points, with overlap edges — the classic
+///    structure of interference graphs of straight-line code.
+///
+/// # Panics
+///
+/// Panics if `clique > n` or `m` is infeasible for the clique size.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::gen::register_allocation_graph;
+/// let g = register_allocation_graph(188, 3885, 31, 0x3017); // mulsol.i.2-like
+/// assert_eq!((g.num_vertices(), g.num_edges()), (188, 3885));
+/// ```
+pub fn register_allocation_graph(n: usize, m: usize, clique: usize, seed: u64) -> Graph {
+    assert!(clique <= n, "clique larger than the vertex count");
+    let mut rng = seeded_rng(seed);
+    let program_len = 4 * n;
+
+    // The clique members are live across one shared program point.
+    let hot_point = program_len / 2;
+    let mut protected = Vec::new();
+    for a in 0..clique {
+        for b in a + 1..clique {
+            protected.push((a, b));
+        }
+    }
+    assert!(m >= protected.len(), "m smaller than the embedded clique");
+
+    // Live ranges: clique vertices span the hot point; the rest are short
+    // random ranges. Average range length is tuned towards the edge target.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(n);
+    for i in 0..clique {
+        let start = hot_point.saturating_sub(1 + rng.gen_range(0..program_len / 4));
+        let end = hot_point + 1 + rng.gen_range(0..program_len / 4);
+        let _ = i;
+        ranges.push((start, end.min(program_len)));
+    }
+    // Rough calibration: with L = mean range length, expected overlap edges
+    // scale like n^2 * L / program_len; solve for L against the remaining
+    // edge target.
+    let remaining = m.saturating_sub(protected.len());
+    let mean_len =
+        ((2.0 * remaining as f64 * program_len as f64) / ((n * n) as f64)).max(2.0) as usize;
+    for _ in clique..n {
+        let len = 1 + rng.gen_range(0..mean_len.max(2) * 2);
+        let start = rng.gen_range(0..program_len);
+        ranges.push((start, (start + len).min(program_len)));
+    }
+    let mut edges = protected.clone();
+    for a in 0..n {
+        for b in a + 1..n {
+            if ranges[a].0 < ranges[b].1 && ranges[b].0 < ranges[a].1 {
+                edges.push((a, b));
+            }
+        }
+    }
+    let edges = adjust_to_edge_count(n, edges, &protected, m, &mut rng);
+    checked_graph(n, edges, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::greedy_clique;
+
+    #[test]
+    fn matches_requested_sizes() {
+        for (n, m, q, seed) in [(188, 3885, 31, 1u64), (211, 4100, 49, 2), (206, 3540, 30, 3)] {
+            let g = register_allocation_graph(n, m, q, seed);
+            assert_eq!((g.num_vertices(), g.num_edges()), (n, m));
+        }
+    }
+
+    #[test]
+    fn clique_pins_chromatic_number_above_20() {
+        let g = register_allocation_graph(188, 3885, 31, 0x3017);
+        for a in 0..31 {
+            for b in a + 1..31 {
+                assert!(g.has_edge(a, b));
+            }
+        }
+        // χ ≥ ω ≥ 31 > 20: the instance is UNSAT at the paper's K = 20.
+        assert!(greedy_clique(&g).len() >= 31);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            register_allocation_graph(100, 800, 25, 9),
+            register_allocation_graph(100, 800, 25, 9)
+        );
+    }
+}

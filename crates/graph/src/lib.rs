@@ -1,0 +1,43 @@
+//! Undirected graphs, DIMACS `.col` I/O, coloring algorithms and the
+//! benchmark instance suite used by the `sbgc` reproduction.
+//!
+//! The central type is [`Graph`], a compact sorted-adjacency undirected
+//! graph. On top of it this crate provides:
+//!
+//! * [`dimacs`] — reading and writing the DIMACS `.col` graph format used by
+//!   the paper's benchmark suite;
+//! * [`algo`] — the classical coloring toolbox the paper leans on: the
+//!   DSATUR heuristic (Brélaz 1979) for upper bounds, a greedy max-clique
+//!   for lower bounds, degeneracy orderings, and coloring verification;
+//! * [`gen`] — deterministic instance generators: exact constructions for
+//!   the `queen` and `myciel` families and calibrated synthetic analogues
+//!   for the DIMACS families that are data files (books, miles, games,
+//!   DSJC, register allocation);
+//! * [`suite`] — the 20-instance benchmark suite of Table 1, reconstructed
+//!   instance by instance.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_graph::{Graph, algo};
+//!
+//! // A triangle plus a pendant vertex.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! let coloring = algo::dsatur(&g);
+//! assert!(coloring.is_proper(&g));
+//! assert_eq!(coloring.num_colors(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod dimacs;
+pub mod gen;
+mod graph;
+pub mod suite;
+
+pub use algo::Coloring;
+pub use graph::Graph;

@@ -1,0 +1,210 @@
+//! The 20-instance DIMACS benchmark suite of the paper's Table 1,
+//! reconstructed instance by instance.
+//!
+//! `queen*` and `myciel*` are exact mathematical constructions; the
+//! remaining families are calibrated synthetic analogues (see the module
+//! docs of [`crate::gen`] and `DESIGN.md`). Every instance matches the
+//! original's vertex count and simple-edge count. Note that several of the
+//! original `.col` files (and hence the paper's Table 1) list each edge in
+//! both directions; [`InstanceMeta::paper_edge_lines`] records the Table 1
+//! figure, [`InstanceMeta::edges`] the simple count our graphs have.
+
+use crate::gen;
+use crate::Graph;
+use std::fmt;
+
+/// The family an instance belongs to (Section 4.1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Random graphs (`DSJC*`).
+    Random,
+    /// Book character-interaction graphs (anna, david, huck, jean).
+    Book,
+    /// Mileage graphs (`miles*`).
+    Mileage,
+    /// College football schedule graphs (`games*`).
+    Games,
+    /// n-queens attack graphs (`queen*`).
+    Queens,
+    /// Register-allocation interference graphs (`mulsol*`, `zeroin*`).
+    RegisterAllocation,
+    /// Mycielski triangle-free graphs (`myciel*`).
+    Mycielski,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Random => "random",
+            Family::Book => "book",
+            Family::Mileage => "mileage",
+            Family::Games => "games",
+            Family::Queens => "queens",
+            Family::RegisterAllocation => "register-allocation",
+            Family::Mycielski => "mycielski",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static metadata for one Table 1 instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InstanceMeta {
+    /// Instance name as it appears in the paper (e.g. `"queen6_6"`).
+    pub name: &'static str,
+    /// Benchmark family.
+    pub family: Family,
+    /// Number of vertices (Table 1 `#V`).
+    pub vertices: usize,
+    /// Number of simple undirected edges in our reconstruction.
+    pub edges: usize,
+    /// The `#E` figure printed in Table 1 (edge *lines* in the original
+    /// file; twice [`InstanceMeta::edges`] for families whose files list
+    /// both directions).
+    pub paper_edge_lines: usize,
+    /// Chromatic number reported in Table 1; `None` for instances marked
+    /// `> 20`.
+    pub paper_chromatic: Option<usize>,
+    /// `true` when our reconstruction is the exact mathematical object
+    /// (queens, Mycielski), `false` for calibrated synthetic analogues.
+    pub exact_construction: bool,
+}
+
+/// A built suite instance: metadata plus the graph itself.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Static metadata (Table 1 row).
+    pub meta: InstanceMeta,
+    /// The reconstructed graph.
+    pub graph: Graph,
+}
+
+/// Metadata for the full 20-instance suite, in Table 1 order.
+pub const SUITE: [InstanceMeta; 20] = [
+    InstanceMeta { name: "anna", family: Family::Book, vertices: 138, edges: 493, paper_edge_lines: 986, paper_chromatic: Some(11), exact_construction: false },
+    InstanceMeta { name: "david", family: Family::Book, vertices: 87, edges: 406, paper_edge_lines: 812, paper_chromatic: Some(11), exact_construction: false },
+    InstanceMeta { name: "DSJC125.1", family: Family::Random, vertices: 125, edges: 736, paper_edge_lines: 1472, paper_chromatic: Some(5), exact_construction: false },
+    InstanceMeta { name: "DSJC125.9", family: Family::Random, vertices: 125, edges: 6961, paper_edge_lines: 13922, paper_chromatic: None, exact_construction: false },
+    InstanceMeta { name: "games120", family: Family::Games, vertices: 120, edges: 638, paper_edge_lines: 1276, paper_chromatic: Some(9), exact_construction: false },
+    InstanceMeta { name: "huck", family: Family::Book, vertices: 74, edges: 301, paper_edge_lines: 602, paper_chromatic: Some(11), exact_construction: false },
+    InstanceMeta { name: "jean", family: Family::Book, vertices: 80, edges: 254, paper_edge_lines: 508, paper_chromatic: Some(10), exact_construction: false },
+    InstanceMeta { name: "miles250", family: Family::Mileage, vertices: 128, edges: 387, paper_edge_lines: 774, paper_chromatic: Some(8), exact_construction: false },
+    InstanceMeta { name: "mulsol.i.2", family: Family::RegisterAllocation, vertices: 188, edges: 3885, paper_edge_lines: 3885, paper_chromatic: None, exact_construction: false },
+    InstanceMeta { name: "mulsol.i.4", family: Family::RegisterAllocation, vertices: 185, edges: 3946, paper_edge_lines: 3946, paper_chromatic: None, exact_construction: false },
+    InstanceMeta { name: "myciel3", family: Family::Mycielski, vertices: 11, edges: 20, paper_edge_lines: 20, paper_chromatic: Some(4), exact_construction: true },
+    InstanceMeta { name: "myciel4", family: Family::Mycielski, vertices: 23, edges: 71, paper_edge_lines: 71, paper_chromatic: Some(5), exact_construction: true },
+    InstanceMeta { name: "myciel5", family: Family::Mycielski, vertices: 47, edges: 236, paper_edge_lines: 236, paper_chromatic: Some(6), exact_construction: true },
+    InstanceMeta { name: "queen5_5", family: Family::Queens, vertices: 25, edges: 160, paper_edge_lines: 320, paper_chromatic: Some(5), exact_construction: true },
+    InstanceMeta { name: "queen6_6", family: Family::Queens, vertices: 36, edges: 290, paper_edge_lines: 580, paper_chromatic: Some(7), exact_construction: true },
+    InstanceMeta { name: "queen7_7", family: Family::Queens, vertices: 49, edges: 476, paper_edge_lines: 952, paper_chromatic: Some(7), exact_construction: true },
+    InstanceMeta { name: "queen8_12", family: Family::Queens, vertices: 96, edges: 1368, paper_edge_lines: 2736, paper_chromatic: Some(12), exact_construction: true },
+    InstanceMeta { name: "zeroin.i.1", family: Family::RegisterAllocation, vertices: 211, edges: 4100, paper_edge_lines: 4100, paper_chromatic: None, exact_construction: false },
+    InstanceMeta { name: "zeroin.i.2", family: Family::RegisterAllocation, vertices: 211, edges: 3541, paper_edge_lines: 3541, paper_chromatic: None, exact_construction: false },
+    InstanceMeta { name: "zeroin.i.3", family: Family::RegisterAllocation, vertices: 206, edges: 3540, paper_edge_lines: 3540, paper_chromatic: None, exact_construction: false },
+];
+
+/// Builds one suite instance by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the 20 suite instance names.
+///
+/// # Example
+///
+/// ```
+/// let inst = sbgc_graph::suite::build("queen5_5");
+/// assert_eq!(inst.graph.num_vertices(), 25);
+/// ```
+pub fn build(name: &str) -> Instance {
+    let meta = *SUITE
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown suite instance `{name}`"));
+    let graph = match meta.name {
+        "anna" => gen::book_graph(138, 493, 11, 0xA22A_0001),
+        "david" => gen::book_graph(87, 406, 11, 0xDA71_0002),
+        "DSJC125.1" => gen::gnm(125, 736, 0xD51C_0001),
+        "DSJC125.9" => gen::gnm(125, 6961, 0xD51C_0009),
+        "games120" => gen::games_graph(120, 638, 12, 10, 0x6A3E_0120),
+        "huck" => gen::book_graph(74, 301, 11, 0x4C6B_0003),
+        "jean" => gen::book_graph(80, 254, 10, 0x7EA8_0004),
+        "miles250" => gen::geometric_graph(128, 387, 0x317E_0250),
+        "mulsol.i.2" => gen::register_allocation_graph(188, 3885, 31, 0x3017_0002),
+        "mulsol.i.4" => gen::register_allocation_graph(185, 3946, 31, 0x3017_0004),
+        "myciel3" => gen::mycielski(3),
+        "myciel4" => gen::mycielski(4),
+        "myciel5" => gen::mycielski(5),
+        "queen5_5" => gen::queens(5, 5),
+        "queen6_6" => gen::queens(6, 6),
+        "queen7_7" => gen::queens(7, 7),
+        "queen8_12" => gen::queens(8, 12),
+        "zeroin.i.1" => gen::register_allocation_graph(211, 4100, 49, 0x2E80_0001),
+        "zeroin.i.2" => gen::register_allocation_graph(211, 3541, 30, 0x2E80_0002),
+        "zeroin.i.3" => gen::register_allocation_graph(206, 3540, 30, 0x2E80_0003),
+        other => unreachable!("unhandled suite instance `{other}`"),
+    };
+    Instance { meta, graph }
+}
+
+/// Builds the full 20-instance suite in Table 1 order.
+pub fn build_all() -> Vec<Instance> {
+    SUITE.iter().map(|m| build(m.name)).collect()
+}
+
+/// Names of the queens-family instances used in the Appendix (Table 5).
+pub const QUEENS_NAMES: [&str; 4] = ["queen5_5", "queen6_6", "queen7_7", "queen8_12"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_instance_matches_its_metadata() {
+        for inst in build_all() {
+            assert_eq!(inst.graph.num_vertices(), inst.meta.vertices, "{}", inst.meta.name);
+            assert_eq!(inst.graph.num_edges(), inst.meta.edges, "{}", inst.meta.name);
+        }
+    }
+
+    #[test]
+    fn suite_has_twenty_instances() {
+        assert_eq!(SUITE.len(), 20);
+        let mut names: Vec<&str> = SUITE.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "duplicate instance names");
+    }
+
+    #[test]
+    fn exact_instances_are_flagged() {
+        for m in SUITE.iter() {
+            let expected = matches!(m.family, Family::Queens | Family::Mycielski);
+            assert_eq!(m.exact_construction, expected, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn chromatic_gt_20_instances_embed_big_cliques() {
+        use crate::algo::greedy_clique;
+        for name in ["mulsol.i.2", "zeroin.i.1", "zeroin.i.2"] {
+            let inst = build(name);
+            assert!(
+                greedy_clique(&inst.graph).len() > 20,
+                "{name} should have clique > 20"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown suite instance")]
+    fn unknown_name_panics() {
+        let _ = build("nosuch");
+    }
+
+    #[test]
+    fn builds_are_reproducible() {
+        let a = build("anna");
+        let b = build("anna");
+        assert_eq!(a.graph, b.graph);
+    }
+}

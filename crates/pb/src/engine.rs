@@ -1,0 +1,1076 @@
+//! The CDCL engine extended with counter-based pseudo-Boolean propagation.
+
+use crate::config::{EngineConfig, RestartPolicy};
+use crate::explain::FalseTerm;
+use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
+use sbgc_sat::{Budget, Luby, SolveOutcome};
+use std::fmt;
+
+/// Search statistics of a [`PbEngine`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PbStats {
+    /// Number of decisions.
+    pub decisions: u64,
+    /// Number of conflicts.
+    pub conflicts: u64,
+    /// Number of propagated literals.
+    pub propagations: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+    /// Number of learned clauses deleted.
+    pub deleted: u64,
+    /// Number of conflicts whose analysis touched a PB constraint.
+    pub pb_conflicts: u64,
+}
+
+const NO_POS: usize = usize::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Reason {
+    Decision,
+    Clause(u32),
+    Pb(u32),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VarValue {
+    Undef,
+    True,
+    False,
+}
+
+#[derive(Clone, Debug)]
+struct StoredClause {
+    lits: Vec<Lit>,
+    learned: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+#[derive(Clone, Debug)]
+struct StoredPb {
+    terms: Vec<(u64, Lit)>,
+    rhs: u64,
+    coeff_sum: u64,
+    /// `Σ_{ℓ not false} aᵢ − rhs`; negative means violated.
+    slack: i64,
+}
+
+/// Indexed max-heap over variable activities (VSIDS order).
+#[derive(Clone, Debug, Default)]
+struct ActivityHeap {
+    heap: Vec<u32>,
+    position: Vec<usize>,
+}
+
+impl ActivityHeap {
+    fn with_capacity(n: usize) -> Self {
+        ActivityHeap { heap: Vec::with_capacity(n), position: vec![NO_POS; n] }
+    }
+
+    fn insert(&mut self, var: usize, activity: &[f64]) {
+        if self.position[var] != NO_POS {
+            return;
+        }
+        self.position[var] = self.heap.len();
+        self.heap.push(var as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top] = NO_POS;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn increased(&mut self, var: usize, activity: &[f64]) {
+        let pos = self.position[var];
+        if pos != NO_POS {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, a: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if a[self.heap[i] as usize] <= a[self.heap[p] as usize] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, a: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if l < self.heap.len() && a[self.heap[l] as usize] > a[self.heap[m] as usize] {
+                m = l;
+            }
+            if r < self.heap.len() && a[self.heap[r] as usize] > a[self.heap[m] as usize] {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.swap(i, m);
+            i = m;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a;
+        self.position[self.heap[b] as usize] = b;
+    }
+}
+
+/// A CDCL solver over mixed CNF + pseudo-Boolean formulas.
+///
+/// PB constraints are propagated with per-constraint slack counters;
+/// conflicts and propagations caused by PB constraints are explained by
+/// implied CNF clauses (the PBS scheme), with the explanation subset chosen
+/// by the configured [`crate::ExplainStrategy`]. Learned constraints are
+/// CNF clauses.
+///
+/// Use [`crate::optimize`] to minimize an objective; the engine itself
+/// solves the decision problem.
+pub struct PbEngine {
+    config: EngineConfig,
+    num_vars: usize,
+    clauses: Vec<StoredClause>,
+    watches: Vec<Vec<Watcher>>,
+    pbs: Vec<StoredPb>,
+    /// `occ[p.code()]` lists `(pb_index, coeff)` for constraints containing
+    /// the literal `!p` — i.e. the constraints whose slack drops when `p`
+    /// becomes true.
+    occ: Vec<Vec<(u32, u64)>>,
+    values: Vec<VarValue>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail_pos: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    saved_phase: Vec<bool>,
+    cla_inc: f64,
+    max_learnts: f64,
+    ok: bool,
+    stats: PbStats,
+    seen: Vec<bool>,
+    /// Assumption core of the last assumption-relative UNSAT answer.
+    final_core: Vec<Lit>,
+}
+
+impl PbEngine {
+    /// Creates an empty engine over `num_vars` variables with the given
+    /// configuration.
+    pub fn new(num_vars: usize, config: EngineConfig) -> Self {
+        PbEngine {
+            config,
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            pbs: Vec::new(),
+            occ: vec![Vec::new(); 2 * num_vars],
+            values: vec![VarValue::Undef; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![Reason::Decision; num_vars],
+            trail_pos: vec![NO_POS; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            heap: ActivityHeap::with_capacity(num_vars),
+            saved_phase: vec![false; num_vars],
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ok: true,
+            stats: PbStats::default(),
+            seen: vec![false; num_vars],
+            final_core: Vec::new(),
+        }
+    }
+
+    /// Builds an engine from a formula (objective, if any, is ignored —
+    /// use [`crate::optimize`] for optimization).
+    pub fn from_formula(formula: &PbFormula, config: EngineConfig) -> Self {
+        let mut engine = PbEngine::new(formula.num_vars(), config);
+        for clause in formula.clauses() {
+            engine.add_clause(clause.literals().iter().copied());
+        }
+        for pb in formula.pb_constraints() {
+            engine.add_pb(pb.clone());
+        }
+        engine
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PbStats {
+        self.stats
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> VarValue {
+        match (self.values[l.var().index()], l.is_negated()) {
+            (VarValue::Undef, _) => VarValue::Undef,
+            (VarValue::True, false) | (VarValue::False, true) => VarValue::True,
+            _ => VarValue::False,
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a CNF clause (backtracks to the root level first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.backtrack_to(0);
+        if !self.ok {
+            return;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars, "literal {l} out of range");
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return; // tautology
+        }
+        lits.retain(|&l| self.lit_value(l) != VarValue::False);
+        if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
+            return;
+        }
+        match lits.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(lits[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(lits, false);
+            }
+        }
+    }
+
+    /// Adds a pseudo-Boolean constraint (backtracks to the root level
+    /// first). Constraints that are really clauses are routed to the clause
+    /// store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn add_pb(&mut self, constraint: PbConstraint) {
+        self.backtrack_to(0);
+        if !self.ok {
+            return;
+        }
+        if constraint.is_trivially_true() {
+            return;
+        }
+        if constraint.is_trivially_false() {
+            self.ok = false;
+            return;
+        }
+        if constraint.is_clause() {
+            self.add_clause(constraint.terms().iter().map(|&(_, l)| l));
+            return;
+        }
+        for &(_, l) in constraint.terms() {
+            assert!(l.var().index() < self.num_vars, "literal {l} out of range");
+        }
+        let coeff_sum = constraint.coefficient_sum();
+        let idx = self.pbs.len() as u32;
+        // Slack under the current (root-level) assignment.
+        let mut slack = coeff_sum as i64 - constraint.rhs() as i64;
+        for &(a, l) in constraint.terms() {
+            self.occ[(!l).code()].push((idx, a));
+            if self.lit_value(l) == VarValue::False {
+                slack -= a as i64;
+            }
+        }
+        self.pbs.push(StoredPb {
+            terms: constraint.terms().to_vec(),
+            rhs: constraint.rhs(),
+            coeff_sum,
+            slack,
+        });
+        if slack < 0 {
+            self.ok = false;
+            return;
+        }
+        // Root-level propagations implied by the new constraint.
+        let forced: Vec<Lit> = self.pbs[idx as usize]
+            .terms
+            .iter()
+            .filter(|&&(a, l)| {
+                self.lit_value(l) == VarValue::Undef && a as i64 > self.pbs[idx as usize].slack
+            })
+            .map(|&(_, l)| l)
+            .collect();
+        for l in forced {
+            if self.lit_value(l) == VarValue::Undef {
+                self.enqueue(l, Reason::Pb(idx));
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
+        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.lit_value(l), VarValue::Undef);
+        let v = l.var().index();
+        self.values[v] = if l.is_negated() { VarValue::False } else { VarValue::True };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail_pos[v] = self.trail.len();
+        if self.config.phase_saving {
+            self.saved_phase[v] = !l.is_negated();
+        }
+        self.trail.push(l);
+        self.stats.propagations += 1;
+        // Apply PB slack updates *at assignment time* so they are exactly
+        // paired with the restores in `backtrack_to`, even when a conflict
+        // short-circuits queue processing.
+        for i in 0..self.occ[l.code()].len() {
+            let (idx, a) = self.occ[l.code()][i];
+            self.pbs[idx as usize].slack -= a as i64;
+        }
+    }
+
+    /// Propagates clauses and PB constraints to fixpoint.
+    fn propagate(&mut self) -> Option<Reason> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(confl) = self.propagate_clauses(p) {
+                return Some(confl);
+            }
+            if let Some(confl) = self.propagate_pbs(p) {
+                return Some(confl);
+            }
+        }
+        None
+    }
+
+    fn propagate_clauses(&mut self, p: Lit) -> Option<Reason> {
+        let false_lit = !p;
+        let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+        let mut i = 0;
+        let mut conflict = None;
+        while i < ws.len() {
+            let w = ws[i];
+            if self.lit_value(w.blocker) == VarValue::True {
+                i += 1;
+                continue;
+            }
+            let cref = w.clause as usize;
+            if self.clauses[cref].deleted {
+                ws.swap_remove(i);
+                continue;
+            }
+            {
+                let c = &mut self.clauses[cref];
+                if c.lits[0] == false_lit {
+                    c.lits.swap(0, 1);
+                }
+            }
+            let first = self.clauses[cref].lits[0];
+            if self.lit_value(first) == VarValue::True {
+                ws[i].blocker = first;
+                i += 1;
+                continue;
+            }
+            let len = self.clauses[cref].lits.len();
+            let mut moved = false;
+            for k in 2..len {
+                let cand = self.clauses[cref].lits[k];
+                if self.lit_value(cand) != VarValue::False {
+                    self.clauses[cref].lits.swap(1, k);
+                    self.watches[cand.code()].push(Watcher { clause: w.clause, blocker: first });
+                    ws.swap_remove(i);
+                    moved = true;
+                    break;
+                }
+            }
+            if moved {
+                continue;
+            }
+            if self.lit_value(first) == VarValue::False {
+                conflict = Some(Reason::Clause(w.clause));
+                self.qhead = self.trail.len();
+                break;
+            }
+            self.enqueue(first, Reason::Clause(w.clause));
+            i += 1;
+        }
+        self.watches[false_lit.code()] = ws;
+        conflict
+    }
+
+    fn propagate_pbs(&mut self, p: Lit) -> Option<Reason> {
+        // Slacks were already updated in `enqueue`; here we detect
+        // violations and propagate forced literals in the constraints
+        // containing !p.
+        let affected: Vec<u32> = self.occ[p.code()].iter().map(|&(idx, _)| idx).collect();
+        for idx in affected {
+            let idx_usize = idx as usize;
+            let slack = self.pbs[idx_usize].slack;
+            if slack < 0 {
+                return Some(Reason::Pb(idx));
+            }
+            // Propagate unassigned literals with coefficient > slack.
+            let mut forced: Vec<Lit> = Vec::new();
+            for &(coeff, l) in &self.pbs[idx_usize].terms {
+                if coeff as i64 > slack && self.lit_value(l) == VarValue::Undef {
+                    forced.push(l);
+                }
+            }
+            for l in forced {
+                if self.lit_value(l) == VarValue::Undef {
+                    self.enqueue(l, Reason::Pb(idx));
+                }
+            }
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var().index();
+            // Restore PB slacks.
+            for &(idx, a) in &self.occ[p.code()] {
+                self.pbs[idx as usize].slack += a as i64;
+            }
+            self.values[v] = VarValue::Undef;
+            self.reason[v] = Reason::Decision;
+            self.trail_pos[v] = NO_POS;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.increased(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        let c = &mut self.clauses[cref];
+        if !c.learned {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Materializes the literals to resolve on for a reason.
+    ///
+    /// For a PB reason, builds the explanation clause for `implied` (or the
+    /// conflict explanation when `implied` is `None`), using only literals
+    /// falsified before the implied literal.
+    fn reason_lits(&mut self, reason: Reason, implied: Option<Lit>) -> Vec<Lit> {
+        match reason {
+            Reason::Decision => panic!("decision has no reason"),
+            Reason::Clause(cref) => {
+                self.bump_clause(cref as usize);
+                self.clauses[cref as usize].lits.clone()
+            }
+            Reason::Pb(idx) => {
+                self.stats.pb_conflicts += 1;
+                let pb = &self.pbs[idx as usize];
+                let cutoff = implied
+                    .map(|l| self.trail_pos[l.var().index()])
+                    .unwrap_or(usize::MAX);
+                let mut false_terms = Vec::new();
+                let mut propagated_coeff = 0;
+                for &(a, l) in &pb.terms {
+                    if Some(l) == implied {
+                        propagated_coeff = a;
+                        continue;
+                    }
+                    if self.lit_value(l) == VarValue::False {
+                        let pos = self.trail_pos[l.var().index()];
+                        if pos < cutoff {
+                            false_terms.push(FalseTerm { lit: l, coeff: a, trail_pos: pos });
+                        }
+                    }
+                }
+                let chosen = self.config.explain.select(
+                    pb.rhs,
+                    pb.coeff_sum,
+                    &false_terms,
+                    propagated_coeff,
+                );
+                let mut lits = Vec::with_capacity(chosen.len() + 1);
+                if let Some(l) = implied {
+                    lits.push(l);
+                }
+                lits.extend(chosen);
+                lits
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: Reason) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut reason = conflict;
+
+        loop {
+            let lits = self.reason_lits(reason, p);
+            for &q in &lits {
+                if p == Some(q) {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            reason = self.reason[v];
+        }
+        learnt[0] = !p.expect("asserting literal");
+
+        // Local minimization: drop literals implied by the rest.
+        let mut minimized = Vec::with_capacity(learnt.len());
+        for (i, &q) in learnt.iter().enumerate() {
+            if i == 0 {
+                minimized.push(q);
+                continue;
+            }
+            let removable = match self.reason[q.var().index()] {
+                Reason::Decision => false,
+                Reason::Clause(cref) => self.clauses[cref as usize]
+                    .lits
+                    .iter()
+                    .all(|&x| x == !q || self.seen_or_root(x)),
+                // PB explanations are computed lazily; skip minimization.
+                Reason::Pb(_) => false,
+            };
+            if !removable {
+                minimized.push(q);
+            }
+        }
+        for &q in &learnt {
+            self.seen[q.var().index()] = false;
+        }
+
+        let mut bt = 0;
+        let mut max_i = 1;
+        for (i, &q) in minimized.iter().enumerate().skip(1) {
+            let lvl = self.level[q.var().index()];
+            if lvl > bt {
+                bt = lvl;
+                max_i = i;
+            }
+        }
+        if minimized.len() > 1 {
+            minimized.swap(1, max_i);
+        }
+        (minimized, bt)
+    }
+
+    fn seen_or_root(&self, l: Lit) -> bool {
+        let v = l.var().index();
+        self.seen[v] || self.level[v] == 0
+    }
+
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learned && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: std::collections::HashSet<u32> = self
+            .trail
+            .iter()
+            .filter_map(|l| match self.reason[l.var().index()] {
+                Reason::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        let half = candidates.len() / 2;
+        for &i in candidates.iter().take(half) {
+            if locked.contains(&(i as u32)) {
+                continue;
+            }
+            self.clauses[i].deleted = true;
+            self.stats.deleted += 1;
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.values[v] == VarValue::Undef {
+                let phase = self.saved_phase[v];
+                return Some(Var::from_index(v).lit(!phase));
+            }
+        }
+        None
+    }
+
+    fn next_restart_limit(&self, restarts: u64, luby: &mut Luby) -> u64 {
+        match self.config.restart {
+            RestartPolicy::Luby { base } => luby.next().unwrap_or(1) * base,
+            RestartPolicy::Geometric { first, factor } => {
+                (first as f64 * factor.powi(restarts as i32)) as u64
+            }
+        }
+    }
+
+    /// Runs the search under `budget` and unit *assumptions*: the
+    /// assumption literals are placed as the first decisions, and the
+    /// search reports UNSAT if they cannot all hold. Unlike a genuine
+    /// UNSAT result, an assumption-relative UNSAT leaves the engine usable
+    /// for further queries (with different assumptions) and keeps every
+    /// learned clause — the incremental-SAT interface of MiniSat-family
+    /// solvers.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> SolveOutcome {
+        self.final_core.clear();
+        self.solve_inner(assumptions, budget)
+    }
+
+    /// After an UNSAT answer from [`PbEngine::solve_with_assumptions`]:
+    /// a subset of the assumptions that is already unsatisfiable together
+    /// with the constraints (the *assumption core*, per MiniSat's
+    /// `analyze_final`). Empty when the formula is UNSAT outright.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.final_core
+    }
+
+    /// Derives the core: walks reasons backwards from the failed
+    /// assumption `p` (whose negation holds on the trail), collecting the
+    /// assumption decisions it depends on.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core; // ¬p is formula-implied; p alone is a core
+        }
+        self.seen[p.var().index()] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                // Decisions below the failure point are assumptions; they
+                // enter the core as assumed (q is on the trail as assumed).
+                Reason::Decision => core.push(q),
+                r => {
+                    let lits = self.reason_lits(r, Some(q));
+                    for &x in &lits {
+                        if x != q && self.level[x.var().index()] > 0 {
+                            self.seen[x.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        core
+    }
+
+    /// Runs the search under `budget`.
+    pub fn solve_with_budget(&mut self, budget: &Budget) -> SolveOutcome {
+        self.solve_inner(&[], budget)
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+        for v in 0..self.num_vars {
+            if self.values[v] == VarValue::Undef {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = ((self.clauses.len() + self.pbs.len()) as f64 / 3.0).max(1000.0);
+        }
+        let mut luby = Luby::new();
+        let mut conflicts_until_restart = self.next_restart_limit(0, &mut luby);
+        let mut budget_check = 0u32;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                self.stats.learned += 1;
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], Reason::Decision);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.bump_clause(cref as usize);
+                    self.enqueue(asserting, Reason::Clause(cref));
+                }
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= 0.999;
+
+                budget_check += 1;
+                if budget_check >= 64 {
+                    budget_check = 0;
+                    if budget.exhausted(self.stats.conflicts) {
+                        return SolveOutcome::Unknown;
+                    }
+                } else if budget.conflicts_exhausted(self.stats.conflicts) {
+                    return SolveOutcome::Unknown;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart =
+                        self.next_restart_limit(self.stats.restarts, &mut luby);
+                    self.backtrack_to(0);
+                }
+                let live = (self.stats.learned - self.stats.deleted) as f64;
+                if live >= self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                // Re-establish assumptions as the first decision levels.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        VarValue::True => {
+                            // Already satisfied: open a dummy level so the
+                            // level-to-assumption mapping stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        VarValue::False => {
+                            // The assumption set is unsatisfiable with the
+                            // current constraint store; this is an
+                            // assumption-relative UNSAT (engine stays ok).
+                            self.final_core = self.analyze_final(p);
+                            self.backtrack_to(0);
+                            return SolveOutcome::Unsat;
+                        }
+                        VarValue::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, Reason::Decision);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        let model = Assignment::from_bools(
+                            self.values.iter().map(|&v| v == VarValue::True),
+                        );
+                        return SolveOutcome::Sat(model);
+                    }
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, Reason::Decision);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the search with an unlimited budget.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_with_budget(&Budget::unlimited())
+    }
+
+    /// Adds the blocking clause forbidding the given total model (used by
+    /// enumeration-style callers and tests).
+    pub fn block_model(&mut self, model: &Assignment) {
+        let lits: Vec<Lit> = model.iter_assigned().map(|(v, b)| v.lit(b)).collect();
+        self.add_clause(lits);
+    }
+
+    /// Number of stored (non-deleted) clauses, for tests and diagnostics.
+    pub fn live_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Number of stored PB constraints.
+    pub fn num_pb_constraints(&self) -> usize {
+        self.pbs.len()
+    }
+}
+
+impl fmt::Debug for PbEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PbEngine(vars={}, clauses={}, pbs={}, conflicts={})",
+            self.num_vars,
+            self.clauses.len(),
+            self.pbs.len(),
+            self.stats.conflicts
+        )
+    }
+}
+
+// Re-export Clause usage for doctests.
+#[doc(hidden)]
+pub type _ClauseAlias = Clause;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use sbgc_formula::Objective;
+
+    fn default_engine(f: &PbFormula) -> PbEngine {
+        PbEngine::from_formula(f, EngineConfig::default())
+    }
+
+    #[test]
+    fn pure_cnf_still_works() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        f.add_clause([a, b]);
+        f.add_clause([!a]);
+        let mut e = default_engine(&f);
+        match e.solve() {
+            SolveOutcome::Sat(m) => assert!(m.satisfies(b)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exactly_one_propagates() {
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
+        f.add_exactly_one(&lits);
+        f.add_unit(lits[1]);
+        let mut e = default_engine(&f);
+        match e.solve() {
+            SolveOutcome::Sat(m) => {
+                assert!(m.satisfies(lits[1]));
+                assert!(m.satisfies(!lits[0]));
+                assert!(m.satisfies(!lits[2]));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cardinality_conflict_is_unsat() {
+        // x0 + x1 + x2 >= 2 with x0, x1 false is UNSAT with x2 alone.
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
+        f.add_pb(PbConstraint::cardinality(lits.clone(), 2));
+        f.add_unit(!lits[0]);
+        f.add_unit(!lits[1]);
+        let mut e = default_engine(&f);
+        assert!(e.solve().is_unsat());
+    }
+
+    #[test]
+    fn weighted_propagation() {
+        // 3*x0 + x1 + x2 >= 3: forcing x1,x2 insufficient — x0 forced.
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
+        f.add_pb(PbConstraint::at_least(
+            [(3, lits[0]), (1, lits[1]), (1, lits[2])],
+            3,
+        ));
+        f.add_unit(!lits[1]);
+        let mut e = default_engine(&f);
+        match e.solve() {
+            SolveOutcome::Sat(m) => assert!(m.satisfies(lits[0]), "x0 must be forced"),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pb_pigeonhole_unsat() {
+        // n+1 pigeons in n holes using exactly-one PB constraints per pigeon
+        // and at-most-one per hole: UNSAT, exercises PB conflict analysis.
+        let holes = 4;
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(pigeons * holes);
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            f.add_exactly_one(&row);
+        }
+        for h in 0..holes {
+            let col: Vec<Lit> = (0..pigeons).map(|p| var(p, h).positive()).collect();
+            f.add_at_most_one(&col);
+        }
+        for strategy in [
+            crate::ExplainStrategy::AllFalse,
+            crate::ExplainStrategy::GreedyCoefficient,
+            crate::ExplainStrategy::GreedyRecency,
+        ] {
+            let config = EngineConfig { explain: strategy, ..EngineConfig::default() };
+            let mut e = PbEngine::from_formula(&f, config);
+            assert!(e.solve().is_unsat(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn model_satisfies_mixed_formula() {
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(5).into_iter().map(Var::positive).collect();
+        f.add_pb(PbConstraint::at_least(
+            [(2, lits[0]), (3, lits[1]), (1, lits[2]), (2, lits[3])],
+            4,
+        ));
+        f.add_at_most_one(&[lits[0], lits[4]]);
+        f.add_clause([!lits[1], lits[4]]);
+        let mut e = default_engine(&f);
+        match e.solve() {
+            SolveOutcome::Sat(m) => assert!(f.is_satisfied_by(&m)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_is_ignored_by_engine() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        f.add_clause([a]);
+        f.set_objective(Objective::minimize([(1, a)]));
+        let mut e = default_engine(&f);
+        assert!(e.solve().is_sat());
+    }
+
+    #[test]
+    fn block_model_enumerates() {
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
+        f.add_exactly_one(&lits);
+        let mut e = default_engine(&f);
+        let mut count = 0;
+        while let SolveOutcome::Sat(m) = e.solve() {
+            assert!(f.is_satisfied_by(&m));
+            e.block_model(&m);
+            count += 1;
+            assert!(count <= 3, "too many models");
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn trivially_false_pb() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        f.add_pb(PbConstraint::at_least([(1, a)], 5));
+        let mut e = default_engine(&f);
+        assert!(e.solve().is_unsat());
+    }
+}

@@ -1,0 +1,167 @@
+//! Tests for the incremental assumptions interface of `PbEngine`.
+
+use sbgc_formula::{Lit, PbConstraint, PbFormula, Var};
+use sbgc_pb::{Budget, EngineConfig, PbEngine};
+
+fn engine(f: &PbFormula) -> PbEngine {
+    PbEngine::from_formula(f, EngineConfig::default())
+}
+
+#[test]
+fn assumptions_constrain_the_model() {
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_clause([a, b]);
+    let mut e = engine(&f);
+    let out = e.solve_with_assumptions(&[!a], &Budget::unlimited());
+    let m = out.model().expect("SAT under assumption");
+    assert!(m.satisfies(!a));
+    assert!(m.satisfies(b));
+}
+
+#[test]
+fn assumption_relative_unsat_is_not_global() {
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_clause([a, b]);
+    let mut e = engine(&f);
+    // a=false, b=false contradicts the clause — but only under assumptions.
+    assert!(e.solve_with_assumptions(&[!a, !b], &Budget::unlimited()).is_unsat());
+    // The engine is still usable and the problem still satisfiable.
+    assert!(e.solve_with_assumptions(&[!a], &Budget::unlimited()).is_sat());
+    assert!(e.solve().is_sat());
+}
+
+#[test]
+fn assumptions_over_pb_constraints() {
+    let mut f = PbFormula::new();
+    let lits: Vec<Lit> = f.new_vars(4).into_iter().map(Var::positive).collect();
+    f.add_pb(PbConstraint::cardinality(lits.clone(), 2));
+    let mut e = engine(&f);
+    // Assume three of the four false: cardinality >= 2 impossible.
+    assert!(e
+        .solve_with_assumptions(&[!lits[0], !lits[1], !lits[2]], &Budget::unlimited())
+        .is_unsat());
+    // Two false is fine (the other two get forced true).
+    let out = e.solve_with_assumptions(&[!lits[0], !lits[1]], &Budget::unlimited());
+    let m = out.model().expect("SAT");
+    assert!(m.satisfies(lits[2]) && m.satisfies(lits[3]));
+}
+
+#[test]
+fn learned_clauses_survive_between_queries() {
+    // A moderately hard UNSAT core + a relaxing literal: the second query
+    // should profit from clauses learned in the first (we can only check
+    // it still answers correctly and the stats accumulate).
+    let holes = 5;
+    let pigeons = holes + 1;
+    let mut f = PbFormula::new();
+    let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+    let _ = f.new_vars(pigeons * holes);
+    let relax = f.new_var().positive();
+    for p in 0..pigeons {
+        let mut row: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+        row.push(relax); // relax literal disables the row constraint
+        f.add_clause(row);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                f.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    let mut e = engine(&f);
+    assert!(e.solve_with_assumptions(&[!relax], &Budget::unlimited()).is_unsat());
+    let conflicts_first = e.stats().conflicts;
+    assert!(conflicts_first > 0);
+    // With the relax literal free the instance is satisfiable.
+    assert!(e.solve().is_sat());
+    // And the assumption query again: still UNSAT, typically cheaper.
+    assert!(e.solve_with_assumptions(&[!relax], &Budget::unlimited()).is_unsat());
+    let conflicts_second = e.stats().conflicts - conflicts_first;
+    assert!(
+        conflicts_second <= conflicts_first * 2,
+        "relearning exploded: {conflicts_second} vs {conflicts_first}"
+    );
+}
+
+#[test]
+fn assumption_of_fixed_literal_is_dummy_level() {
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_unit(a);
+    f.add_clause([!a, b]);
+    let mut e = engine(&f);
+    // `a` is already forced at the root; assuming it must still work.
+    let out = e.solve_with_assumptions(&[a, b], &Budget::unlimited());
+    assert!(out.is_sat());
+    // Assuming its negation is immediately assumption-UNSAT.
+    assert!(e.solve_with_assumptions(&[!a], &Budget::unlimited()).is_unsat());
+    assert!(e.solve().is_sat());
+}
+
+#[test]
+fn assumption_cores_are_small_and_sufficient() {
+    // exactly-one over 4 variables, plus 4 irrelevant assumptions.
+    let mut f = PbFormula::new();
+    let lits: Vec<Lit> = f.new_vars(4).into_iter().map(Var::positive).collect();
+    let extra: Vec<Lit> = f.new_vars(4).into_iter().map(Var::positive).collect();
+    f.add_exactly_one(&lits);
+    let mut e = engine(&f);
+    // Assume the irrelevant literals plus two conflicting ones.
+    let mut assumptions = extra.clone();
+    assumptions.push(lits[0]);
+    assumptions.push(lits[1]);
+    assert!(e.solve_with_assumptions(&assumptions, &Budget::unlimited()).is_unsat());
+    let core: Vec<Lit> = e.assumption_core().to_vec();
+    assert!(!core.is_empty());
+    // The core only mentions given assumptions...
+    for l in &core {
+        assert!(assumptions.contains(l), "{l} is not an assumption");
+    }
+    // ...omits the irrelevant ones...
+    for l in &extra {
+        assert!(!core.contains(l), "irrelevant {l} in core");
+    }
+    // ...and is itself sufficient for UNSAT.
+    assert!(e.solve_with_assumptions(&core, &Budget::unlimited()).is_unsat());
+}
+
+#[test]
+fn core_of_root_implied_literal() {
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    f.add_unit(!a);
+    let mut e = engine(&f);
+    assert!(e.solve_with_assumptions(&[a], &Budget::unlimited()).is_unsat());
+    assert_eq!(e.assumption_core(), &[a]);
+}
+
+#[test]
+fn many_sequential_queries_are_consistent() {
+    // Exactly-one over 5: assuming each literal in turn is SAT; assuming
+    // any two is UNSAT.
+    let mut f = PbFormula::new();
+    let lits: Vec<Lit> = f.new_vars(5).into_iter().map(Var::positive).collect();
+    f.add_exactly_one(&lits);
+    let mut e = engine(&f);
+    for &l in &lits {
+        let m = e
+            .solve_with_assumptions(&[l], &Budget::unlimited())
+            .model()
+            .cloned()
+            .expect("SAT");
+        assert!(m.satisfies(l));
+    }
+    for i in 0..5 {
+        for j in i + 1..5 {
+            assert!(e
+                .solve_with_assumptions(&[lits[i], lits[j]], &Budget::unlimited())
+                .is_unsat());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Edge-case and stress tests for the PB engine and the B&B baseline.
+
+use sbgc_formula::{Lit, Objective, PbConstraint, PbFormula, Var};
+use sbgc_pb::{
+    optimize, solve_decision, BnbSolver, Budget, EngineConfig, ExplainStrategy, PbEngine,
+    RestartPolicy, SolverKind,
+};
+
+#[test]
+fn empty_formula_is_sat_for_all_kinds() {
+    let f = PbFormula::with_vars(3);
+    for kind in SolverKind::APPENDIX {
+        assert!(solve_decision(&f, kind, &Budget::unlimited()).is_sat(), "{kind}");
+    }
+}
+
+#[test]
+fn zero_variable_formula() {
+    let f = PbFormula::new();
+    for kind in SolverKind::APPENDIX {
+        assert!(solve_decision(&f, kind, &Budget::unlimited()).is_sat(), "{kind}");
+    }
+}
+
+#[test]
+fn contradictory_units_for_all_kinds() {
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    f.add_unit(a);
+    f.add_unit(!a);
+    for kind in SolverKind::APPENDIX {
+        assert!(solve_decision(&f, kind, &Budget::unlimited()).is_unsat(), "{kind}");
+    }
+}
+
+#[test]
+fn big_coefficients_saturate_correctly() {
+    // 1000a + b >= 1000: a alone satisfies; b irrelevant once a true.
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_pb(PbConstraint::at_least([(1000, a), (1, b)], 1000));
+    f.add_unit(!b);
+    let out = solve_decision(&f, SolverKind::PbsII, &Budget::unlimited());
+    let m = out.model().expect("SAT");
+    assert!(m.satisfies(a));
+}
+
+#[test]
+fn chained_equalities_propagate_to_fixpoint() {
+    // exactly-one over pairs chained: (a,b), (b,c), (c,d): forcing a
+    // decides everything alternately.
+    let mut f = PbFormula::new();
+    let vars: Vec<Lit> = f.new_vars(4).into_iter().map(Var::positive).collect();
+    for w in vars.windows(2) {
+        f.add_exactly_one(&[w[0], w[1]]);
+    }
+    f.add_unit(vars[0]);
+    let out = solve_decision(&f, SolverKind::Galena, &Budget::unlimited());
+    let m = out.model().expect("SAT");
+    assert!(m.satisfies(vars[0]));
+    assert!(m.satisfies(!vars[1]));
+    assert!(m.satisfies(vars[2]));
+    assert!(m.satisfies(!vars[3]));
+}
+
+#[test]
+fn optimization_with_equal_weights_ties() {
+    // Minimize a+b subject to a+b >= 1: optimum 1, either variable.
+    let mut f = PbFormula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_clause([a, b]);
+    f.set_objective(Objective::minimize([(1, a), (1, b)]));
+    for kind in SolverKind::APPENDIX {
+        let out = optimize(&f, kind, &Budget::unlimited());
+        assert_eq!(out.value(), Some(1), "{kind}");
+    }
+}
+
+#[test]
+fn restart_policies_terminate() {
+    // A moderately hard UNSAT instance under both restart schemes.
+    let mut f = PbFormula::new();
+    let n = 6;
+    let vars: Vec<Lit> = f.new_vars(n * n).into_iter().map(Var::positive).collect();
+    // Latin-square-ish contradiction: each row and column exactly one, but
+    // forbid every cell in the last row.
+    for r in 0..n {
+        let row: Vec<Lit> = (0..n).map(|c| vars[r * n + c]).collect();
+        f.add_exactly_one(&row);
+    }
+    for c in 0..n {
+        f.add_unit(!vars[(n - 1) * n + c]);
+    }
+    for restart in
+        [RestartPolicy::Luby { base: 2 }, RestartPolicy::Geometric { first: 2, factor: 1.1 }]
+    {
+        let config = EngineConfig { restart, ..EngineConfig::default() };
+        let mut e = PbEngine::from_formula(&f, config);
+        assert!(e.solve().is_unsat(), "{restart:?}");
+    }
+}
+
+#[test]
+fn deep_propagation_chain_with_pb_reasons() {
+    // x0 forced by PB; then x0 forces x1 via clause; x1 forces x2 via PB...
+    let mut f = PbFormula::new();
+    let v: Vec<Lit> = f.new_vars(20).into_iter().map(Var::positive).collect();
+    f.add_pb(PbConstraint::at_least([(2, v[0]), (1, v[1])], 2)); // forces v0
+    for i in 0..18 {
+        if i % 2 == 0 {
+            f.add_clause([!v[i], v[i + 2]]);
+        } else {
+            f.add_pb(PbConstraint::at_least([(1, !v[i]), (2, v[i + 2])], 2));
+        }
+    }
+    let out = solve_decision(&f, SolverKind::Pueblo, &Budget::unlimited());
+    let m = out.model().expect("SAT");
+    assert!(m.satisfies(v[0]));
+    assert!(m.satisfies(v[18]));
+}
+
+#[test]
+fn engine_statistics_are_consistent() {
+    let mut f = PbFormula::new();
+    let vars: Vec<Lit> = f.new_vars(12).into_iter().map(Var::positive).collect();
+    for chunk in vars.chunks(3) {
+        f.add_exactly_one(chunk);
+        f.add_clause(chunk.to_vec());
+    }
+    // Conflicting cardinality across the chunks.
+    f.add_pb(PbConstraint::cardinality(vars.clone(), 9));
+    let mut e = PbEngine::from_formula(&f, EngineConfig::default());
+    let _ = e.solve();
+    let s = e.stats();
+    assert!(s.learned <= s.conflicts);
+    assert!(s.deleted <= s.learned);
+}
+
+#[test]
+fn bnb_finds_same_optimum_as_cdcl_on_knapsackish() {
+    // Cover constraints with weighted objective.
+    let mut f = PbFormula::new();
+    let v: Vec<Lit> = f.new_vars(8).into_iter().map(Var::positive).collect();
+    for i in 0..6 {
+        f.add_clause([v[i], v[i + 1], v[i + 2]]);
+    }
+    f.set_objective(Objective::minimize(
+        v.iter().enumerate().map(|(i, &l)| (1 + (i as u64 % 3), l)),
+    ));
+    let a = optimize(&f, SolverKind::PbsII, &Budget::unlimited());
+    let mut bnb = BnbSolver::new(&f);
+    let b = bnb.run(&Budget::unlimited());
+    assert_eq!(a.value(), b.value());
+    assert!(a.is_optimal() && b.is_optimal());
+}
+
+#[test]
+fn all_explain_strategies_learn_valid_clauses() {
+    // Solve, then re-check every model against the original formula for
+    // each strategy on a constraint-dense instance.
+    for strategy in [
+        ExplainStrategy::AllFalse,
+        ExplainStrategy::GreedyCoefficient,
+        ExplainStrategy::GreedyRecency,
+    ] {
+        let mut f = PbFormula::new();
+        let v: Vec<Lit> = f.new_vars(9).into_iter().map(Var::positive).collect();
+        for chunk in v.chunks(3) {
+            f.add_exactly_one(chunk);
+        }
+        f.add_pb(PbConstraint::at_least(
+            v.iter().map(|&l| (1, l)),
+            3,
+        ));
+        f.add_pb(PbConstraint::at_most(v.iter().map(|&l| (1, l)).collect::<Vec<_>>(), 3));
+        let config = EngineConfig { explain: strategy, ..EngineConfig::default() };
+        let mut e = PbEngine::from_formula(&f, config);
+        let mut models = 0;
+        while let sbgc_pb::SolveOutcome::Sat(m) = e.solve() {
+            assert!(f.is_satisfied_by(&m), "{strategy:?}");
+            e.block_model(&m);
+            models += 1;
+            assert!(models <= 27 * 32, "runaway enumeration: {strategy:?}");
+        }
+        // Exactly 3*3*3 = 27 combinations (one per chunk), all meeting
+        // the cardinality window.
+        assert_eq!(models, 27, "{strategy:?}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Search budgets: conflict and wall-clock limits.
+
+use std::time::{Duration, Instant};
+
+/// A resource budget for a solver run.
+///
+/// The paper runs every solver with a 1000-second timeout; our experiment
+/// harness uses much smaller wall-clock budgets so the full grid completes
+/// in-session, plus deterministic conflict budgets for reproducible tests.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_sat::Budget;
+/// use std::time::Duration;
+/// let b = Budget::unlimited()
+///     .with_max_conflicts(10_000)
+///     .with_timeout(Duration::from_secs(2));
+/// assert!(!b.conflicts_exhausted(9_999));
+/// assert!(b.conflicts_exhausted(10_000));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    max_conflicts: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Budget { max_conflicts: None, deadline: None }
+    }
+
+    /// Caps the number of conflicts.
+    pub fn with_max_conflicts(mut self, max: u64) -> Self {
+        self.max_conflicts = Some(max);
+        self
+    }
+
+    /// Caps wall-clock time, measured from the moment of this call.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Returns `true` once `conflicts` meets or exceeds the conflict cap.
+    pub fn conflicts_exhausted(&self, conflicts: u64) -> bool {
+        self.max_conflicts.is_some_and(|m| conflicts >= m)
+    }
+
+    /// Returns `true` once the wall-clock deadline has passed.
+    pub fn time_exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns `true` if either resource is exhausted.
+    pub fn exhausted(&self, conflicts: u64) -> bool {
+        self.conflicts_exhausted(conflicts) || self.time_exhausted()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn conflict_cap() {
+        let b = Budget::unlimited().with_max_conflicts(5);
+        assert!(!b.exhausted(4));
+        assert!(b.exhausted(5));
+    }
+
+    #[test]
+    fn elapsed_deadline() {
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(b.time_exhausted());
+    }
+}

@@ -1,0 +1,139 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+/// A binary max-heap of variable indices keyed by external activity scores,
+/// supporting `O(log n)` insertion, removal of the maximum, and key-increase
+/// notification — the classic MiniSat order heap.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActivityHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    pub fn with_capacity(num_vars: usize) -> Self {
+        ActivityHeap { heap: Vec::with_capacity(num_vars), position: vec![ABSENT; num_vars] }
+    }
+
+    pub fn contains(&self, var: usize) -> bool {
+        self.position[var] != ABSENT
+    }
+
+    /// Inserts `var` if absent.
+    pub fn insert(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.position[var] = self.heap.len();
+        self.heap.push(var as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub fn increased(&mut self, var: usize, activity: &[f64]) {
+        if let Some(&pos) = self.position.get(var) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[largest] as usize]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[largest] as usize]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a;
+        self.position[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 2.0, 1.0, 3.0];
+        let mut h = ActivityHeap::with_capacity(4);
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity)).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::with_capacity(2);
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.pop_max(&activity), Some(1));
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn increased_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::with_capacity(3);
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.increased(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+}

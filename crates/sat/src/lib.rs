@@ -1,0 +1,51 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate implements the Chaff-class engine (Moskewicz et al. 2001) the
+//! paper's pseudo-Boolean solvers are built on: Davis–Logemann–Loveland
+//! backtrack search extended with
+//!
+//! * two-watched-literal Boolean constraint propagation,
+//! * first-UIP conflict analysis with clause learning and non-chronological
+//!   backjumping,
+//! * VSIDS (variable state independent decaying sum) decision heuristic,
+//! * phase saving,
+//! * Luby-sequence restarts, and
+//! * activity-based learned-clause database reduction.
+//!
+//! It solves pure-CNF decision problems; the mixed CNF+PB optimization
+//! engine lives in `sbgc-pb` and shares the same architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_formula::{PbFormula, Var};
+//! use sbgc_sat::{SatSolver, SolveOutcome};
+//!
+//! let mut f = PbFormula::new();
+//! let a = f.new_var().positive();
+//! let b = f.new_var().positive();
+//! f.add_clause([a, b]);
+//! f.add_clause([!a, b]);
+//! f.add_clause([a, !b]);
+//!
+//! let mut solver = SatSolver::from_formula(&f).expect("pure CNF");
+//! match solver.solve() {
+//!     SolveOutcome::Sat(model) => {
+//!         assert!(f.is_satisfied_by(&model));
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod heap;
+mod luby;
+pub mod naive;
+mod solver;
+
+pub use budget::Budget;
+pub use luby::Luby;
+pub use solver::{SatSolver, SolveOutcome, SolverStats};

@@ -1,0 +1,77 @@
+//! The Luby restart sequence.
+
+/// An iterator over the Luby sequence `1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
+/// 2, 4, 8, ...`, the universally-optimal restart schedule used by modern
+/// CDCL solvers.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_sat::Luby;
+/// let first: Vec<u64> = Luby::new().take(7).collect();
+/// assert_eq!(first, vec![1, 1, 2, 1, 1, 2, 4]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Luby {
+    index: u64,
+}
+
+impl Luby {
+    /// Creates the sequence starting at its first term.
+    pub fn new() -> Self {
+        Luby { index: 0 }
+    }
+
+    /// The `i`-th term (0-based) of the Luby sequence.
+    pub fn term(mut i: u64) -> u64 {
+        // Knuth's formulation: find k with 2^(k-1) <= i+1 < 2^k.
+        loop {
+            let i1 = i + 1;
+            if i1 & (i1 + 1) == 0 {
+                // i+1 = 2^k - 1  =>  term is 2^(k-1)
+                return (i1 + 1) / 2;
+            }
+            // Recurse: term(i) = term(i - 2^(k-1) + 1) where 2^(k-1) <= i+1.
+            let k = 63 - i1.leading_zeros() as u64; // floor(log2(i+1))
+            i -= (1 << k) - 1;
+        }
+    }
+}
+
+impl Iterator for Luby {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let t = Luby::term(self.index);
+        self.index += 1;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms_match_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = Luby::new().take(expected.len()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn terms_are_powers_of_two() {
+        for i in 0..1000 {
+            let t = Luby::term(i);
+            assert!(t.is_power_of_two(), "term {i} = {t}");
+        }
+    }
+
+    #[test]
+    fn each_power_appears_at_the_right_spot() {
+        // term(2^k - 2) == 2^(k-1)
+        for k in 1..20u64 {
+            assert_eq!(Luby::term((1 << k) - 2), 1 << (k - 1));
+        }
+    }
+}

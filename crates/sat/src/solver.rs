@@ -1,0 +1,805 @@
+//! The CDCL search engine.
+
+use crate::budget::Budget;
+use crate::heap::ActivityHeap;
+use crate::luby::Luby;
+use sbgc_formula::{Assignment, Lit, PbFormula, Var};
+use std::fmt;
+
+/// Result of a [`SatSolver::solve`] call.
+#[derive(Clone, Debug)]
+pub enum SolveOutcome {
+    /// Satisfiable, with a total model.
+    Sat(Assignment),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The budget ran out before an answer was found.
+    Unknown,
+}
+
+impl SolveOutcome {
+    /// Returns the model if the outcome is SAT.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveOutcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the outcome is [`SolveOutcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveOutcome::Sat(_))
+    }
+
+    /// Returns `true` if the outcome is [`SolveOutcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveOutcome::Unsat)
+    }
+}
+
+/// Search statistics, for the experiment harness and for tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of clauses learned.
+    pub learned: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct StoredClause {
+    lits: Vec<Lit>,
+    learned: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Truth value stored per variable: `0` = unassigned, `1` = true, `2` =
+/// false. (Branch-friendly encoding.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VarValue {
+    Undef,
+    True,
+    False,
+}
+
+/// A CDCL SAT solver over pure-CNF formulas.
+///
+/// Construct with [`SatSolver::from_formula`] (rejects formulas with PB
+/// constraints) or build incrementally with [`SatSolver::new`] /
+/// [`SatSolver::add_clause`]. See the crate docs for an end-to-end example.
+pub struct SatSolver {
+    num_vars: usize,
+    clauses: Vec<StoredClause>,
+    watches: Vec<Vec<Watcher>>,
+    values: Vec<VarValue>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    saved_phase: Vec<bool>,
+    cla_inc: f64,
+    max_learnts: f64,
+    ok: bool,
+    stats: SolverStats,
+    // scratch for analyze
+    seen: Vec<bool>,
+}
+
+impl SatSolver {
+    /// Creates an empty solver over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        SatSolver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            values: vec![VarValue::Undef; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            heap: ActivityHeap::with_capacity(num_vars),
+            saved_phase: vec![false; num_vars],
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ok: true,
+            stats: SolverStats::default(),
+            seen: vec![false; num_vars],
+        }
+    }
+
+    /// Builds a solver from a pure-CNF [`PbFormula`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the formula contains PB constraints
+    /// (use `sbgc-pb` for those).
+    pub fn from_formula(formula: &PbFormula) -> Result<Self, String> {
+        if !formula.is_pure_cnf() {
+            return Err("formula contains PB constraints; use sbgc-pb::PbSolver".into());
+        }
+        let mut solver = SatSolver::new(formula.num_vars());
+        for clause in formula.clauses() {
+            solver.add_clause(clause.literals().iter().copied());
+        }
+        Ok(solver)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. May be called before or between `solve` calls (the
+    /// solver backtracks to the root level first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.backtrack_to(0);
+        if !self.ok {
+            return;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars, "literal {l} out of range");
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology?
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        // Remove root-level falsified literals; drop clause if satisfied.
+        lits.retain(|&l| self.lit_value(l) != VarValue::False);
+        if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
+            return;
+        }
+        match lits.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(lits[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(lits, false);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
+        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
+        cref
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> VarValue {
+        match (self.values[l.var().index()], l.is_negated()) {
+            (VarValue::Undef, _) => VarValue::Undef,
+            (VarValue::True, false) | (VarValue::False, true) => VarValue::True,
+            _ => VarValue::False,
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), VarValue::Undef);
+        let v = l.var().index();
+        self.values[v] = if l.is_negated() { VarValue::False } else { VarValue::True };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.saved_phase[v] = !l.is_negated();
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Propagates to fixpoint; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            // Clauses watching ¬p must be visited.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                // Blocker fast path.
+                if self.lit_value(w.blocker) == VarValue::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.clause as usize;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure the falsified watch is at index 1.
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref].lits[0];
+                if self.lit_value(first) == VarValue::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[cref].lits[k];
+                    if self.lit_value(cand) != VarValue::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[cand.code()]
+                            .push(Watcher { clause: w.clause, blocker: first });
+                        ws.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Unit or conflict.
+                if self.lit_value(first) == VarValue::False {
+                    // Conflict: restore remaining watchers and report.
+                    self.watches[false_lit.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.clause);
+                }
+                self.enqueue(first, w.clause);
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var().index();
+            self.values[v] = VarValue::Undef;
+            self.reason[v] = NO_REASON;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.increased(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        let c = &mut self.clauses[cref];
+        if !c.learned {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(confl as usize);
+            // Borrow the clause literals by cloning the small Vec — keeps
+            // the borrow checker happy without unsafe.
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in &lits {
+                // When resolving on a reason clause, skip its implied
+                // literal (the one we are resolving away).
+                if p == Some(q) {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[v];
+            debug_assert_ne!(confl, NO_REASON, "UIP literal must have a reason");
+        }
+        learnt[0] = !p.expect("asserting literal exists");
+
+        // Local clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                if i == 0 {
+                    return true;
+                }
+                let r = self.reason[q.var().index()];
+                if r == NO_REASON {
+                    return true;
+                }
+                !self.clauses[r as usize]
+                    .lits
+                    .iter()
+                    .all(|&x| x == !q || self.seen_or_root(x))
+            })
+            .collect();
+        // seen[] flags for learnt literals are needed by seen_or_root; set
+        // them before filtering, clear after.
+        // (We set them here; analyze loop cleared current-level flags.)
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len());
+        for (i, &q) in learnt.iter().enumerate() {
+            if keep[i] {
+                minimized.push(q);
+            }
+        }
+        // Clear remaining seen flags.
+        for &q in &learnt {
+            self.seen[q.var().index()] = false;
+        }
+
+        // Backjump level: highest level among minimized[1..].
+        let mut bt = 0;
+        let mut max_i = 1;
+        for (i, &q) in minimized.iter().enumerate().skip(1) {
+            let lvl = self.level[q.var().index()];
+            if lvl > bt {
+                bt = lvl;
+                max_i = i;
+            }
+        }
+        if minimized.len() > 1 {
+            minimized.swap(1, max_i);
+        }
+        (minimized, bt)
+    }
+
+    fn seen_or_root(&self, l: Lit) -> bool {
+        let v = l.var().index();
+        self.seen[v] || self.level[v] == 0
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learned, non-reason clauses sorted by activity.
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learned && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != NO_REASON)
+            .collect();
+        let half = candidates.len() / 2;
+        for &i in candidates.iter().take(half) {
+            if locked.contains(&(i as u32)) {
+                continue;
+            }
+            self.clauses[i].deleted = true;
+            self.stats.deleted += 1;
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.values[v] == VarValue::Undef {
+                let phase = self.saved_phase[v];
+                return Some(Var::from_index(v).lit(!phase));
+            }
+        }
+        None
+    }
+
+    /// Runs the CDCL search with an unlimited budget.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_with_budget(&Budget::unlimited())
+    }
+
+    /// Runs the CDCL search under `budget`.
+    pub fn solve_with_budget(&mut self, budget: &Budget) -> SolveOutcome {
+        self.solve_inner(&[], budget)
+    }
+
+    /// Runs the search under unit *assumptions* placed as the first
+    /// decisions. An UNSAT result is assumption-relative: the solver stays
+    /// usable (with all learned clauses) for further queries — the
+    /// incremental interface of MiniSat-family solvers.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> SolveOutcome {
+        self.solve_inner(assumptions, budget)
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+        // (Re)fill the order heap.
+        for v in 0..self.num_vars {
+            if self.values[v] == VarValue::Undef {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        }
+        let mut luby = Luby::new();
+        let restart_base: u64 = 100;
+        let mut conflicts_until_restart = luby.next().unwrap_or(1) * restart_base;
+        let mut budget_check = 0u32;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                self.stats.learned += 1;
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.bump_clause(cref as usize);
+                    self.enqueue(asserting, cref);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+
+                budget_check += 1;
+                if budget_check >= 64 {
+                    budget_check = 0;
+                    if budget.exhausted(self.stats.conflicts) {
+                        return SolveOutcome::Unknown;
+                    }
+                } else if budget.conflicts_exhausted(self.stats.conflicts) {
+                    return SolveOutcome::Unknown;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = luby.next().unwrap_or(1) * restart_base;
+                    self.backtrack_to(0);
+                }
+                let learned_live =
+                    (self.stats.learned - self.stats.deleted) as f64;
+                if learned_live >= self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                // Re-establish assumptions as the first decision levels.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        VarValue::True => {
+                            // Dummy level keeps levels aligned to the
+                            // assumption list.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        VarValue::False => {
+                            // Assumption-relative UNSAT; the solver itself
+                            // remains consistent.
+                            self.backtrack_to(0);
+                            return SolveOutcome::Unsat;
+                        }
+                        VarValue::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        // Total assignment: extract model.
+                        let model = Assignment::from_bools(
+                            self.values.iter().map(|&v| v == VarValue::True),
+                        );
+                        return SolveOutcome::Sat(model);
+                    }
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SatSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SatSolver(vars={}, clauses={}, conflicts={})",
+            self.num_vars,
+            self.clauses.len(),
+            self.stats.conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::PbFormula;
+
+    fn lit(i: usize, neg: bool) -> Lit {
+        Var::from_index(i).lit(neg)
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = SatSolver::new(1);
+        s.add_clause([lit(0, false)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = SatSolver::new(1);
+        s.add_clause([lit(0, false)]);
+        s.add_clause([lit(0, true)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new(1);
+        s.add_clause(std::iter::empty());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut s = SatSolver::new(3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // x0, x0->x1, x1->x2, ..., x8->x9
+        let mut s = SatSolver::new(10);
+        s.add_clause([lit(0, false)]);
+        for i in 0..9 {
+            s.add_clause([lit(i, true), lit(i + 1, false)]);
+        }
+        match s.solve() {
+            SolveOutcome::Sat(m) => {
+                for i in 0..10 {
+                    assert!(m.satisfies(lit(i, false)), "x{i} should be true");
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_xor_chain() {
+        // Encode x0 != x1, x1 != x2, x2 != x0 (odd cycle of XORs): UNSAT.
+        let mut s = SatSolver::new(3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            s.add_clause([lit(a, false), lit(b, false)]);
+            s.add_clause([lit(a, true), lit(b, true)]);
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    /// The pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes, UNSAT.
+    /// Classic symmetric benchmark the paper discusses (Krishnamurthy 1985).
+    fn pigeonhole(holes: usize) -> PbFormula {
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(pigeons * holes);
+        for p in 0..pigeons {
+            f.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    f.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=5 {
+            let f = pigeonhole(holes);
+            let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+            assert!(s.solve().is_unsat(), "PHP({}) must be UNSAT", holes + 1);
+        }
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // A random-ish 3-SAT instance; verify any model returned.
+        let mut f = PbFormula::new();
+        let _ = f.new_vars(8);
+        let cls: [[i64; 3]; 10] = [
+            [1, -2, 3],
+            [-1, 2, 4],
+            [2, -3, -4],
+            [5, 6, -7],
+            [-5, -6, 8],
+            [1, 7, -8],
+            [-2, -7, 8],
+            [3, -5, 7],
+            [-3, 4, -6],
+            [-1, -4, 6],
+        ];
+        for c in cls {
+            f.add_clause(c.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        match s.solve() {
+            SolveOutcome::Sat(m) => assert!(f.is_satisfied_by(&m)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        let f = pigeonhole(7); // hard enough to exceed 1 conflict
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        let b = Budget::unlimited().with_max_conflicts(1);
+        assert!(matches!(s.solve_with_budget(&b), SolveOutcome::Unknown));
+    }
+
+    #[test]
+    fn rejects_pb_formulas() {
+        let mut f = PbFormula::new();
+        let lits: Vec<Lit> = f.new_vars(2).into_iter().map(Var::positive).collect();
+        f.add_at_most_one(&lits);
+        assert!(SatSolver::from_formula(&f).is_err());
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new(2);
+        s.add_clause([lit(0, false), lit(1, false)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(0, true)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(1, true)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_work_incrementally() {
+        let mut s = SatSolver::new(3);
+        s.add_clause([lit(0, false), lit(1, false), lit(2, false)]);
+        // Assume all false: UNSAT, but only relative to the assumptions.
+        let unsat = s.solve_with_assumptions(
+            &[lit(0, true), lit(1, true), lit(2, true)],
+            &Budget::unlimited(),
+        );
+        assert!(unsat.is_unsat());
+        // Drop one assumption: SAT, with the remaining literal true.
+        let out =
+            s.solve_with_assumptions(&[lit(0, true), lit(1, true)], &Budget::unlimited());
+        let m = out.model().expect("SAT");
+        assert!(m.satisfies(lit(2, false)));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let f = pigeonhole(4);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Randomized cross-checks of the CDCL engine against the brute-force
+//! oracle, plus property-based tests on random k-SAT.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbgc_formula::{Lit, PbFormula, Var};
+use sbgc_sat::{naive, SatSolver, SolveOutcome};
+
+fn random_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> PbFormula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = PbFormula::with_vars(num_vars);
+    for _ in 0..num_clauses {
+        let mut lits = Vec::with_capacity(k);
+        for _ in 0..k {
+            let v = Var::from_index(rng.gen_range(0..num_vars));
+            lits.push(v.lit(rng.gen_bool(0.5)));
+        }
+        f.add_clause(lits);
+    }
+    f
+}
+
+#[test]
+fn cdcl_agrees_with_oracle_on_many_random_instances() {
+    for seed in 0..200u64 {
+        let f = random_ksat(8, 30, 3, seed);
+        let oracle_sat = naive::solve(&f).is_some();
+        let mut solver = SatSolver::from_formula(&f).expect("pure CNF");
+        match solver.solve() {
+            SolveOutcome::Sat(model) => {
+                assert!(oracle_sat, "seed {seed}: CDCL says SAT, oracle says UNSAT");
+                assert!(f.is_satisfied_by(&model), "seed {seed}: bogus model");
+            }
+            SolveOutcome::Unsat => {
+                assert!(!oracle_sat, "seed {seed}: CDCL says UNSAT, oracle says SAT");
+            }
+            SolveOutcome::Unknown => panic!("seed {seed}: unlimited budget returned Unknown"),
+        }
+    }
+}
+
+#[test]
+fn cdcl_agrees_on_dense_unsat_region() {
+    // Clause/variable ratio ~8: overwhelmingly UNSAT instances exercise the
+    // conflict-analysis path.
+    for seed in 1000..1060u64 {
+        let f = random_ksat(7, 56, 3, seed);
+        let oracle_sat = naive::solve(&f).is_some();
+        let mut solver = SatSolver::from_formula(&f).expect("pure CNF");
+        assert_eq!(solver.solve().is_sat(), oracle_sat, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any model the CDCL engine returns satisfies the formula, and
+    /// SAT/UNSAT agrees with exhaustive enumeration.
+    #[test]
+    fn prop_cdcl_matches_enumeration(
+        num_vars in 1usize..8,
+        num_clauses in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let f = random_ksat(num_vars, num_clauses, 3, seed);
+        let oracle = naive::solve(&f);
+        let mut solver = SatSolver::from_formula(&f).expect("pure CNF");
+        match solver.solve() {
+            SolveOutcome::Sat(m) => {
+                prop_assert!(oracle.is_some());
+                prop_assert!(f.is_satisfied_by(&m));
+            }
+            SolveOutcome::Unsat => prop_assert!(oracle.is_none()),
+            SolveOutcome::Unknown => prop_assert!(false, "unlimited budget returned Unknown"),
+        }
+    }
+
+    /// Adding a learned-style implied clause never changes satisfiability.
+    #[test]
+    fn prop_adding_model_clause_keeps_sat(
+        num_vars in 2usize..7,
+        num_clauses in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let f = random_ksat(num_vars, num_clauses, 3, seed);
+        if let Some(model) = naive::solve(&f) {
+            // The clause asserting "some literal of the model" is implied.
+            let mut g = f.clone();
+            let lits: Vec<Lit> = model
+                .iter_assigned()
+                .map(|(v, b)| v.lit(!b))
+                .collect();
+            g.add_clause(lits);
+            let mut solver = SatSolver::from_formula(&g).expect("pure CNF");
+            prop_assert!(solver.solve().is_sat());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Lex-leader symmetry-breaking predicates.
+
+use crate::litperm::LitPermutation;
+use sbgc_formula::{Lit, PbFormula};
+
+/// Which lex-leader construction to generate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SbpConstruction {
+    /// The efficient linear, tautology-free chain construction of Aloul,
+    /// Markov & Sakallah 2003: one auxiliary equality-chain variable and a
+    /// constant number of clauses per support variable.
+    #[default]
+    EfficientLinear,
+    /// The earlier quadratic-size construction (no chain variables; each
+    /// ordering constraint re-expands the equality prefix). Kept for the
+    /// `ablation_lexleader` bench.
+    NaiveQuadratic,
+}
+
+/// Statistics of an [`add_sbps`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SbpStats {
+    /// Number of permutations for which predicates were generated.
+    pub permutations: usize,
+    /// Auxiliary variables introduced.
+    pub aux_vars: usize,
+    /// Clauses appended.
+    pub clauses: usize,
+}
+
+/// Appends a lex-leader SBP to `formula` for each permutation, returning
+/// aggregate statistics.
+///
+/// Each predicate admits exactly the assignments that are
+/// lexicographically ≤ their image under the permutation (variable order =
+/// index order), so adding it never changes satisfiability or the optimal
+/// objective value — it only removes symmetric duplicates.
+pub fn add_sbps(
+    formula: &mut PbFormula,
+    perms: &[LitPermutation],
+    construction: SbpConstruction,
+) -> SbpStats {
+    let mut stats = SbpStats::default();
+    for p in perms {
+        let s = sbp_for_permutation(formula, p, construction);
+        stats.permutations += 1;
+        stats.aux_vars += s.aux_vars;
+        stats.clauses += s.clauses;
+    }
+    stats
+}
+
+/// Appends the lex-leader SBP for a single permutation.
+///
+/// With variable order `x₀ < x₁ < …`, the predicate asserts for each
+/// support variable `xⱼ` (ascending):
+///
+/// ```text
+/// (x₀ = π(x₀)) ∧ … ∧ (xⱼ₋₁ = π(xⱼ₋₁))  ⟹  xⱼ ≤ π(xⱼ)
+/// ```
+///
+/// In the [`SbpConstruction::EfficientLinear`] form the equality prefix is
+/// tracked by chain variables `eⱼ ⇔ eⱼ₋₁ ∧ (xⱼ₋₁ = π(xⱼ₋₁))`; in the
+/// [`SbpConstruction::NaiveQuadratic`] form each implication is expanded
+/// into clauses over the prefix (quadratic total size), using one
+/// difference variable per prefix position.
+pub fn sbp_for_permutation(
+    formula: &mut PbFormula,
+    perm: &LitPermutation,
+    construction: SbpConstruction,
+) -> SbpStats {
+    let support = perm.support();
+    if support.is_empty() {
+        return SbpStats { permutations: 1, ..SbpStats::default() };
+    }
+    let before_vars = formula.num_vars();
+    let before_clauses = formula.clauses().len();
+
+    match construction {
+        SbpConstruction::EfficientLinear => {
+            // e = "prefix equal so far"; starts implicitly true.
+            let mut prev_e: Option<Lit> = None;
+            for (j, &var) in support.iter().enumerate() {
+                let x = var.positive();
+                let px = perm.apply(x);
+                // Ordering constraint: prev_e → (x ≤ px), i.e. prev_e → (¬x ∨ px).
+                match prev_e {
+                    None => formula.add_clause([!x, px]),
+                    Some(e) => formula.add_clause([!e, !x, px]),
+                }
+                // Last support variable needs no further chain.
+                if j + 1 == support.len() {
+                    break;
+                }
+                // e' ⇔ prev_e ∧ (x ⇔ px).
+                let e_next = formula.new_var().positive();
+                match prev_e {
+                    None => {
+                        // e' ⇔ (x ⇔ px)
+                        formula.add_clause([!e_next, !x, px]);
+                        formula.add_clause([!e_next, x, !px]);
+                        formula.add_clause([e_next, !x, !px]);
+                        formula.add_clause([e_next, x, px]);
+                    }
+                    Some(e) => {
+                        formula.add_clause([!e_next, e]);
+                        formula.add_clause([!e_next, !x, px]);
+                        formula.add_clause([!e_next, x, !px]);
+                        formula.add_clause([e_next, !e, !x, !px]);
+                        formula.add_clause([e_next, !e, x, px]);
+                    }
+                }
+                prev_e = Some(e_next);
+            }
+        }
+        SbpConstruction::NaiveQuadratic => {
+            // d_k ⇔ (x_k ≠ π(x_k)) difference variables; ordering clause j
+            // is (d_0 ∨ d_1 ∨ … ∨ d_{j-1} ∨ ¬x_j ∨ π(x_j)).
+            let mut diffs: Vec<Lit> = Vec::new();
+            for (j, &var) in support.iter().enumerate() {
+                let x = var.positive();
+                let px = perm.apply(x);
+                let mut clause: Vec<Lit> = diffs.clone();
+                clause.push(!x);
+                clause.push(px);
+                formula.add_clause(clause);
+                if j + 1 == support.len() {
+                    break;
+                }
+                let d = formula.new_var().positive();
+                // d ⇔ (x ≠ px): d → (x≠px) and (x≠px) → d.
+                formula.add_clause([!d, x, px]);
+                formula.add_clause([!d, !x, !px]);
+                formula.add_clause([d, !x, px]);
+                formula.add_clause([d, x, !px]);
+                diffs.push(d);
+            }
+        }
+    }
+
+    SbpStats {
+        permutations: 1,
+        aux_vars: formula.num_vars() - before_vars,
+        clauses: formula.clauses().len() - before_clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::{Assignment, Var};
+
+    /// Brute-force check: an assignment satisfies the SBP (projected to
+    /// original variables, with aux vars existentially quantified) iff it
+    /// is lex ≤ its image under the permutation.
+    fn sbp_admits(
+        original_vars: usize,
+        formula: &PbFormula,
+        assignment_bits: u32,
+    ) -> bool {
+        let aux = formula.num_vars() - original_vars;
+        (0..(1u32 << aux)).any(|aux_bits| {
+            let asg = Assignment::from_bools(
+                (0..original_vars)
+                    .map(|i| assignment_bits >> i & 1 == 1)
+                    .chain((0..aux).map(|i| aux_bits >> i & 1 == 1)),
+            );
+            formula.is_satisfied_by(&asg)
+        })
+    }
+
+    fn lex_leq_image(perm: &LitPermutation, bits: u32, n: usize) -> bool {
+        let value = |l: Lit, bits: u32| {
+            let b = bits >> l.var().index() & 1 == 1;
+            b != l.is_negated()
+        };
+        // Compare (x_0, x_1, ...) with (π(x_0), π(x_1), ...): x ≤ π(x).
+        for i in 0..n {
+            let x = Var::from_index(i).positive();
+            let a = value(x, bits);
+            let b = value(perm.apply(x), bits);
+            if a != b {
+                // false < true in lex order means x must be 0 where they
+                // first differ.
+                return !a;
+            }
+        }
+        true
+    }
+
+    fn check_construction(construction: SbpConstruction) {
+        // Swap of x0, x1 plus an independent swap of x2, x3.
+        let n = 4;
+        let p1 = LitPermutation::from_var_swap(n, Var::from_index(0), Var::from_index(1));
+        for perm in [&p1] {
+            let mut f = PbFormula::with_vars(n);
+            let _ = sbp_for_permutation(&mut f, perm, construction);
+            for bits in 0..(1u32 << n) {
+                let admitted = sbp_admits(n, &f, bits);
+                let expected = lex_leq_image(perm, bits, n);
+                assert_eq!(
+                    admitted, expected,
+                    "{construction:?} bits={bits:04b}: admitted={admitted}, lex={expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficient_linear_is_exact_lex_leader() {
+        check_construction(SbpConstruction::EfficientLinear);
+    }
+
+    #[test]
+    fn naive_quadratic_is_exact_lex_leader() {
+        check_construction(SbpConstruction::NaiveQuadratic);
+    }
+
+    #[test]
+    fn three_cycle_permutation() {
+        // x0 -> x1 -> x2 -> x0.
+        let n = 3;
+        let images = vec![2, 3, 4, 5, 0, 1];
+        let perm = LitPermutation::from_images(images).expect("valid");
+        for construction in [SbpConstruction::EfficientLinear, SbpConstruction::NaiveQuadratic] {
+            let mut f = PbFormula::with_vars(n);
+            let _ = sbp_for_permutation(&mut f, &perm, construction);
+            for bits in 0..(1u32 << n) {
+                assert_eq!(
+                    sbp_admits(n, &f, bits),
+                    lex_leq_image(&perm, bits, n),
+                    "{construction:?} bits={bits:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_shift_sbp() {
+        // x0 -> ~x0: lex-leader forces x0 = 0.
+        let perm = LitPermutation::from_images(vec![1, 0]).expect("valid");
+        let mut f = PbFormula::with_vars(1);
+        let _ = sbp_for_permutation(&mut f, &perm, SbpConstruction::EfficientLinear);
+        assert!(sbp_admits(1, &f, 0));
+        assert!(!sbp_admits(1, &f, 1));
+    }
+
+    #[test]
+    fn identity_adds_nothing() {
+        let mut f = PbFormula::with_vars(3);
+        let stats = sbp_for_permutation(
+            &mut f,
+            &LitPermutation::identity(3),
+            SbpConstruction::EfficientLinear,
+        );
+        assert_eq!(stats.clauses, 0);
+        assert_eq!(f.clauses().len(), 0);
+    }
+
+    #[test]
+    fn linear_is_smaller_than_quadratic_on_big_supports() {
+        let n = 16;
+        // One big cycle over all variables.
+        let mut images: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            images.push(2 * j as u32);
+            images.push(2 * j as u32 + 1);
+        }
+        let perm = LitPermutation::from_images(images).expect("valid");
+        let mut f1 = PbFormula::with_vars(n);
+        let s1 = sbp_for_permutation(&mut f1, &perm, SbpConstruction::EfficientLinear);
+        let mut f2 = PbFormula::with_vars(n);
+        let s2 = sbp_for_permutation(&mut f2, &perm, SbpConstruction::NaiveQuadratic);
+        let lits1: usize = f1.clauses().iter().map(|c| c.len()).sum();
+        let lits2: usize = f2.clauses().iter().map(|c| c.len()).sum();
+        assert!(lits1 < lits2, "linear {lits1} vs quadratic {lits2}");
+        assert!(s1.clauses > 0 && s2.clauses > 0);
+    }
+
+    #[test]
+    fn stats_reflect_additions() {
+        let perm = LitPermutation::from_var_swap(4, Var::from_index(0), Var::from_index(3));
+        let mut f = PbFormula::with_vars(4);
+        let stats = add_sbps(&mut f, &[perm], SbpConstruction::EfficientLinear);
+        assert_eq!(stats.permutations, 1);
+        assert_eq!(stats.aux_vars, f.num_vars() - 4);
+        assert_eq!(stats.clauses, f.clauses().len());
+    }
+}

@@ -1,0 +1,81 @@
+//! The worked example of the paper's Figure 1: a 4-vertex graph where the
+//! NU, CA and LI constructions admit progressively fewer symmetric
+//! solutions.
+//!
+//! Run with: `cargo run --release --example figure1`
+
+use sbgc_core::{
+    add_instance_independent_sbps, ColoringEncoding, SbpMode,
+};
+use sbgc_graph::{Coloring, Graph};
+use sbgc_pb::{PbEngine, SolveOutcome, SolverKind};
+
+/// Figure 1(a): V1-V2-V3 a triangle, V4 adjacent to V3 only — so V4 can
+/// share a color with V1 or V2, giving the two 3-color partitions the
+/// paper discusses.
+fn figure1_graph() -> Graph {
+    Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+}
+
+/// Enumerates every proper assignment admitted by the encoding + SBPs by
+/// repeatedly solving and blocking.
+fn enumerate_colorings(graph: &Graph, k: usize, mode: SbpMode) -> Vec<Coloring> {
+    let mut encoding = ColoringEncoding::new(graph, k);
+    // Drop the objective: we enumerate *all* admitted assignments.
+    encoding.formula_mut().clear_objective();
+    let _ = add_instance_independent_sbps(&mut encoding, graph, mode);
+    let config = SolverKind::PbsII.engine_config().expect("cdcl kind");
+    let mut engine = PbEngine::from_formula(encoding.formula(), config);
+    let mut found = Vec::new();
+    while let SolveOutcome::Sat(model) = engine.solve() {
+        if let Some(c) = encoding.decode(&model) {
+            found.push(c);
+        }
+        engine.block_model(&model);
+        if found.len() > 5000 {
+            break; // safety valve
+        }
+    }
+    // Unique colorings only (different y/aux values can repeat a coloring).
+    found.sort_by(|a, b| a.colors().cmp(b.colors()));
+    found.dedup_by(|a, b| a.colors() == b.colors());
+    found
+}
+
+fn main() {
+    let graph = figure1_graph();
+    println!("Figure 1 example: triangle V1V2V3 plus V4 adjacent to V3");
+    println!("4-coloring admitted assignments per SBP construction:\n");
+    println!(
+        "{:<8} {:>12}   example cardinality vectors (n1,n2,n3,n4)",
+        "SBPs", "#assignments"
+    );
+    for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::LiPrefix] {
+        let colorings = enumerate_colorings(&graph, 4, mode);
+        let mut vectors: Vec<Vec<usize>> = colorings
+            .iter()
+            .map(|c| {
+                let mut sizes = c.class_sizes();
+                sizes.resize(4, 0);
+                sizes
+            })
+            .collect();
+        vectors.sort();
+        vectors.dedup();
+        let shown: Vec<String> = vectors.iter().take(4).map(|v| format!("{v:?}")).collect();
+        println!(
+            "{:<8} {:>12}   {}{}",
+            mode.display_name(),
+            colorings.len(),
+            shown.join(" "),
+            if vectors.len() > 4 { " ..." } else { "" }
+        );
+    }
+    println!(
+        "\nEach construction admits a subset of the previous one's
+assignments: NU pins null colors to the end, CA additionally orders color
+classes by size; the paper's LI (anchor encoding) breaks incompletely,
+while the LI-pfx extension leaves exactly one color assignment per
+partition into independent sets (full instance-independent breaking)."
+    );
+}

@@ -1,0 +1,51 @@
+//! The n-queens coloring family (paper Appendix): how do the SBP
+//! constructions compare on one instance?
+//!
+//! Run with: `cargo run --release --example queens`
+
+use sbgc_core::{solve_coloring, SbpMode, SolveOptions, SolverKind};
+use sbgc_graph::gen::queens;
+use sbgc_pb::Budget;
+use std::time::Duration;
+
+fn main() {
+    let graph = queens(6, 6);
+    println!(
+        "queen6_6: {} squares, {} attacking pairs; coloring = placing \
+         non-attacking queen armies",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let budget = || Budget::unlimited().with_timeout(Duration::from_secs(10));
+    println!(
+        "{:<8} {:>6} {:>12} {:>10}  outcome",
+        "SBPs", "i.-d.?", "time", "conflicts"
+    );
+    for mode in SbpMode::ALL {
+        for instance_dependent in [false, true] {
+            let mut options = SolveOptions::new(8)
+                .with_sbp_mode(mode)
+                .with_solver(SolverKind::PbsII)
+                .with_budget(budget());
+            if instance_dependent {
+                options = options.with_instance_dependent_sbps();
+            }
+            let report = solve_coloring(&graph, &options);
+            let outcome = match report.outcome.colors() {
+                Some(c) if report.outcome.is_decided() => format!("optimal: {c} colors"),
+                Some(c) => format!("feasible: {c} colors"),
+                None => "timeout".to_string(),
+            };
+            println!(
+                "{:<8} {:>6} {:>10.1?} {:>10}  {}",
+                mode.display_name(),
+                if instance_dependent { "yes" } else { "no" },
+                report.solve_time,
+                "-",
+                outcome
+            );
+        }
+    }
+    println!("\n(The paper's Table 5 runs this grid over four queens instances\n and five solvers — see `cargo run -p sbgc-bench --bin table5`.)");
+}

@@ -1,0 +1,167 @@
+//! The paper's qualitative claims as regression tests, on instances small
+//! enough to run in CI. Each test pins one trend from the evaluation
+//! section (see EXPERIMENTS.md for the full-scale measurements).
+
+use sbgc_core::{
+    add_instance_independent_sbps, ColoringEncoding, PreparedColoring, SbpMode, SolveOptions,
+    SolverKind,
+};
+use sbgc_graph::gen::{mycielski, queens};
+use sbgc_pb::{Budget, PbEngine};
+use sbgc_shatter::{detect_symmetries, AutomorphismOptions};
+
+/// Conflicts needed by the PBS II analogue on a prepared instance.
+fn conflicts(prepared: &PreparedColoring) -> u64 {
+    let config = SolverKind::PbsII.engine_config().expect("cdcl");
+    let mut engine = PbEngine::from_formula(prepared.formula(), config);
+    // Optimization loop by hand so we count all conflicts.
+    let mut f = prepared.formula().clone();
+    let objective = f.clear_objective().expect("coloring encodings carry objectives");
+    let mut engine_total = 0;
+    loop {
+        match engine.solve_with_budget(&Budget::unlimited()) {
+            sbgc_pb::SolveOutcome::Sat(m) => {
+                let value = objective.value(&m).expect("total model");
+                engine_total = engine.stats().conflicts;
+                if value == 0 {
+                    return engine_total;
+                }
+                let bound = sbgc_formula::PbConstraint::at_most(
+                    objective.terms().iter().map(|&(c, l)| (c as i64, l)),
+                    value as i64 - 1,
+                );
+                engine.add_pb(bound);
+            }
+            sbgc_pb::SolveOutcome::Unsat => return engine.stats().conflicts.max(engine_total),
+            sbgc_pb::SolveOutcome::Unknown => unreachable!("unlimited budget"),
+        }
+    }
+}
+
+fn prepare(graph: &sbgc_graph::Graph, k: usize, mode: SbpMode, id: bool) -> PreparedColoring {
+    let mut opts = SolveOptions::new(k).with_sbp_mode(mode);
+    if id {
+        opts = opts.with_instance_dependent_sbps();
+    }
+    PreparedColoring::new(graph, &opts)
+}
+
+/// Trend 1 (Tables 3–5): instance-dependent SBPs cut search effort
+/// drastically on symmetric instances.
+#[test]
+fn instance_dependent_sbps_cut_conflicts() {
+    let g = queens(5, 5);
+    let without = conflicts(&prepare(&g, 8, SbpMode::None, false));
+    let with = conflicts(&prepare(&g, 8, SbpMode::None, true));
+    assert!(
+        with * 3 < without,
+        "i.d. SBPs should cut conflicts at least 3x: {with} vs {without}"
+    );
+}
+
+/// Trend 2 (Table 3): NU alone already helps over no SBPs.
+#[test]
+fn nu_cuts_conflicts_over_no_sbps() {
+    let g = queens(5, 5);
+    let none = conflicts(&prepare(&g, 10, SbpMode::None, false));
+    let nu = conflicts(&prepare(&g, 10, SbpMode::Nu, false));
+    assert!(nu < none, "NU should help: {nu} vs {none}");
+}
+
+/// Trend 3 (Table 2): instance-independent SBPs shrink the symmetry group
+/// in the strict order  none > SC > NU = CA > LI (identity).
+#[test]
+fn symmetry_group_shrinks_in_paper_order() {
+    let g = mycielski(4);
+    let order_of = |mode: SbpMode| {
+        let mut enc = ColoringEncoding::new(&g, 6);
+        let _ = add_instance_independent_sbps(&mut enc, &g, mode);
+        let (_, report) = detect_symmetries(enc.formula(), &AutomorphismOptions::default());
+        report.order_log10
+    };
+    let none = order_of(SbpMode::None);
+    let sc = order_of(SbpMode::Sc);
+    let nu = order_of(SbpMode::Nu);
+    let ca = order_of(SbpMode::Ca);
+    let li = order_of(SbpMode::Li);
+    assert!(none > sc, "SC must shrink the group: {none} vs {sc}");
+    assert!(sc > nu, "NU must shrink more than SC: {sc} vs {nu}");
+    assert!((nu - ca).abs() < 1e-6, "NU and CA leave the same group: {nu} vs {ca}");
+    assert_eq!(li, 0.0, "LI must leave only the identity");
+}
+
+/// Trend 4 (Table 2): LI is the largest construction; SC the smallest.
+#[test]
+fn formula_growth_order() {
+    let g = mycielski(4);
+    let growth = |mode: SbpMode| {
+        let mut enc = ColoringEncoding::new(&g, 6);
+        let stats = add_instance_independent_sbps(&mut enc, &g, mode);
+        (stats.aux_vars, stats.clauses + stats.pb_constraints)
+    };
+    let (nu_vars, nu_size) = growth(SbpMode::Nu);
+    let (ca_vars, ca_size) = growth(SbpMode::Ca);
+    let (li_vars, li_size) = growth(SbpMode::Li);
+    let (sc_vars, sc_size) = growth(SbpMode::Sc);
+    assert_eq!(nu_vars, 0);
+    assert_eq!(ca_vars, 0);
+    assert_eq!(sc_vars, 0);
+    assert!(li_vars > 0, "LI introduces auxiliary variables");
+    assert!(sc_size <= nu_size, "SC is the lightest");
+    assert_eq!(nu_size, ca_size, "NU and CA both add K-1 constraints");
+    assert!(li_size > 10 * nu_size, "LI dwarfs the simple constructions");
+}
+
+/// Trend 5 (Table 3, LI row): after LI nothing is left for the
+/// instance-dependent flow to find.
+#[test]
+fn li_makes_instance_dependent_flow_a_noop() {
+    let g = mycielski(3);
+    let prepared = prepare(&g, 5, SbpMode::Li, true);
+    let report = prepared.shatter_report().expect("shatter ran");
+    assert_eq!(report.num_generators, 0, "no symmetries may survive LI");
+    assert_eq!(report.sbp.clauses, 0, "no SBPs to add");
+}
+
+/// Trend 6 (Table 2): symmetry detection gets *faster* after NU, because
+/// the group to discover is smaller.
+#[test]
+fn detection_effort_shrinks_with_nu() {
+    let g = queens(5, 5);
+    let gens_of = |mode: SbpMode| {
+        let mut enc = ColoringEncoding::new(&g, 8);
+        let _ = add_instance_independent_sbps(&mut enc, &g, mode);
+        let (perms, _) = detect_symmetries(enc.formula(), &AutomorphismOptions::default());
+        perms.len()
+    };
+    let none = gens_of(SbpMode::None);
+    let nu = gens_of(SbpMode::Nu);
+    assert!(nu < none, "fewer generators to find after NU: {nu} vs {none}");
+}
+
+/// Our extension finding: LI-pfx (tight encoding, same semantics) is
+/// *stronger* than the paper's LI at the enumeration level.
+#[test]
+fn li_prefix_admits_no_more_than_li() {
+    let g = sbgc_graph::Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+    let count = |mode: SbpMode| {
+        let mut enc = ColoringEncoding::new(&g, 4);
+        enc.formula_mut().clear_objective();
+        let _ = add_instance_independent_sbps(&mut enc, &g, mode);
+        let config = SolverKind::PbsII.engine_config().expect("cdcl");
+        let mut engine = PbEngine::from_formula(enc.formula(), config);
+        let mut seen = std::collections::BTreeSet::new();
+        while let sbgc_pb::SolveOutcome::Sat(m) = engine.solve() {
+            if let Some(c) = enc.decode(&m) {
+                seen.insert(c.colors().to_vec());
+            }
+            engine.block_model(&m);
+            assert!(seen.len() <= 1000, "runaway enumeration");
+        }
+        seen.len()
+    };
+    let li = count(SbpMode::Li);
+    let li_prefix = count(SbpMode::LiPrefix);
+    assert_eq!(li_prefix, 3, "LI-pfx leaves one assignment per partition");
+    assert!(li_prefix <= li, "tight encoding breaks at least as much: {li_prefix} vs {li}");
+}
