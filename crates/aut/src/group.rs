@@ -160,8 +160,8 @@ fn transversal_to(
         let via = reached[&p].clone();
         for g in gens {
             let q = g.apply(p);
-            if !reached.contains_key(&q) {
-                reached.insert(q, g.compose(&via));
+            if let std::collections::btree_map::Entry::Vacant(e) = reached.entry(q) {
+                e.insert(g.compose(&via));
                 queue.push_back(q);
             }
         }
@@ -325,11 +325,7 @@ mod tests {
         // leaf 6 on vertex 2; the three leaves sit at pairwise different
         // distances from the unique degree-3 vertex, so only the identity
         // survives.
-        let g = ColoredGraph::from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)],
-            None,
-        );
+        let g = ColoredGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)], None);
         let group = automorphisms(&g);
         assert!(group.is_trivial());
         assert_eq!(group.order_u128(), Some(1));

@@ -77,9 +77,7 @@ impl Permutation {
     /// Panics if the lengths differ.
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len(), "length mismatch");
-        Permutation {
-            images: other.images.iter().map(|&m| self.images[m as usize]).collect(),
-        }
+        Permutation { images: other.images.iter().map(|&m| self.images[m as usize]).collect() }
     }
 
     /// The inverse permutation.

@@ -122,12 +122,7 @@ pub(crate) fn first_non_singleton(cells: &Cells) -> Option<(u32, Vec<usize>)> {
         size[c as usize] += 1;
     }
     let target = size.iter().position(|&s| s > 1)? as u32;
-    let members = cells
-        .iter()
-        .enumerate()
-        .filter(|&(_, &c)| c == target)
-        .map(|(v, _)| v)
-        .collect();
+    let members = cells.iter().enumerate().filter(|&(_, &c)| c == target).map(|(v, _)| v).collect();
     Some((target, members))
 }
 

@@ -177,11 +177,7 @@ mod tests {
         // leaf 6 on vertex 2; the three leaves sit at pairwise different
         // distances from the unique degree-3 vertex, so only the identity
         // survives.
-        let g = ColoredGraph::from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)],
-            None,
-        );
+        let g = ColoredGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)], None);
         match find_automorphism(&g, &[], 100_000) {
             SearchResult::Found(p) => assert!(p.is_identity()),
             _ => panic!("identity always exists"),

@@ -39,9 +39,8 @@ fn brute_force_order(g: &ColoredGraph) -> u128 {
     permutations(n)
         .into_iter()
         .filter(|p| {
-            let perm =
-                sbgc_aut::Permutation::from_images(p.iter().map(|&v| v as u32).collect())
-                    .expect("valid");
+            let perm = sbgc_aut::Permutation::from_images(p.iter().map(|&v| v as u32).collect())
+                .expect("valid");
             g.is_automorphism(&perm)
         })
         .count() as u128
@@ -105,17 +104,14 @@ fn known_families() {
     // Hypercube Q3: |Aut| = 48.
     let q3 = ColoredGraph::from_edges(
         8,
-        (0..8usize).flat_map(|v| (0..3).map(move |b| (v, v ^ (1 << b))).filter(move |&(a, b)| a < b)),
+        (0..8usize)
+            .flat_map(|v| (0..3).map(move |b| (v, v ^ (1 << b))).filter(move |&(a, b)| a < b)),
         None,
     );
     assert_eq!(automorphisms(&q3).order_u128(), Some(48));
 
     // Complete bipartite K_{3,3}: |Aut| = 3! * 3! * 2 = 72.
-    let k33 = ColoredGraph::from_edges(
-        6,
-        (0..3).flat_map(|a| (3..6).map(move |b| (a, b))),
-        None,
-    );
+    let k33 = ColoredGraph::from_edges(6, (0..3).flat_map(|a| (3..6).map(move |b| (a, b))), None);
     assert_eq!(automorphisms(&k33).order_u128(), Some(72));
 
     // Star K_{1,5}: |Aut| = 5!.

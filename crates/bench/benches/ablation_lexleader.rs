@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sbgc_formula::{PbFormula, Var};
 use sbgc_pb::{PbEngine, SolverKind};
-use sbgc_shatter::{
-    sbp_for_permutation, shatter, LitPermutation, SbpConstruction, ShatterOptions,
-};
+use sbgc_shatter::{sbp_for_permutation, shatter, LitPermutation, SbpConstruction, ShatterOptions};
 
 /// A single big-cycle permutation over `n` variables.
 fn big_cycle(n: usize) -> LitPermutation {

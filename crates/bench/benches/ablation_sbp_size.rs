@@ -25,7 +25,8 @@ fn bench_formula_growth(c: &mut Criterion) {
         })
         .collect();
     let size_of = |m: SbpMode| sizes.iter().find(|(mm, _)| *mm == m).expect("present").1;
-    assert!(size_of(SbpMode::Nu) < size_of(SbpMode::Ca) || true); // NU clauses vs CA PBs
+    // NU-vs-CA ordering is instance-dependent (clauses vs wide PBs), so
+    // only the unconditional orderings are asserted below.
     assert!(size_of(SbpMode::Li) > size_of(SbpMode::Ca), "LI must dominate CA");
     assert!(size_of(SbpMode::Sc) <= size_of(SbpMode::Nu), "SC is the smallest");
 

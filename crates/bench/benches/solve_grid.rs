@@ -37,9 +37,8 @@ fn bench_solvers(c: &mut Criterion) {
             &solver,
             |b, &solver| {
                 b.iter(|| {
-                    let opts = SolveOptions::new(6)
-                        .with_sbp_mode(SbpMode::NuSc)
-                        .with_solver(solver);
+                    let opts =
+                        SolveOptions::new(6).with_sbp_mode(SbpMode::NuSc).with_solver(solver);
                     let report = solve_coloring(&inst.graph, &opts);
                     assert_eq!(report.outcome.colors(), Some(5));
                     report

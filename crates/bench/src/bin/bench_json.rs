@@ -1,0 +1,176 @@
+//! Machine-readable sequential-vs-portfolio benchmark.
+//!
+//! Runs every configured instance × SBP mode twice — once with the
+//! sequential PBS II optimizer, once with the parallel portfolio (worker
+//! count from `--jobs`, default 4) — and writes `BENCH_portfolio.json`
+//! with per-run wall time, conflict counts, the winning configuration and
+//! the resulting color count, so later changes can track the speedup
+//! curve over time.
+//!
+//! The default instance set is the Table 3 queens subset (`queen5_5`,
+//! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
+//!
+//! `cargo run --release -p sbgc-bench --bin bench_json -- --timeout 2 --jobs 4`
+
+use sbgc_bench::{HarnessConfig, QUICK_INSTANCES};
+use sbgc_core::{PreparedColoring, SbpMode, SolveOptions};
+use sbgc_pb::{optimize_portfolio, portfolio_configs, OptOutcome, Optimizer, SolverKind};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The queens rows of Table 3 present in the suite.
+const QUEENS_SUBSET: [&str; 4] = ["queen5_5", "queen6_6", "queen7_7", "queen8_12"];
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+struct RunRecord {
+    time: Duration,
+    conflicts: u64,
+    decided: bool,
+    colors: Option<u64>,
+    winner: Option<String>,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"time_s\": {:.6}, \"conflicts\": {}, \"decided\": {}, \"colors\": {}",
+            self.time.as_secs_f64(),
+            self.conflicts,
+            self.decided,
+            self.colors.map_or("null".to_string(), |c| c.to_string()),
+        );
+        if let Some(w) = &self.winner {
+            let _ = write!(s, ", \"winning_config\": \"{}\"", json_escape(w));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn main() {
+    let mut config = HarnessConfig::from_args(20, Duration::from_secs(2));
+    let quick: Vec<String> = QUICK_INSTANCES.iter().map(|s| s.to_string()).collect();
+    if config.instances == quick {
+        // No explicit --instances/--full: default to the queens subset.
+        config.instances = QUEENS_SUBSET.iter().map(|s| s.to_string()).collect();
+    }
+    let workers = if config.jobs > 1 { config.jobs } else { 4 };
+    let instances = config.build_instances();
+
+    println!(
+        "bench_json: {} instances × {} SBP modes, K = {}, timeout {:?}, {} portfolio workers",
+        instances.len(),
+        SbpMode::ALL.len(),
+        config.k,
+        config.timeout,
+        workers
+    );
+
+    let mut runs = Vec::new();
+    let mut seq_total = Duration::ZERO;
+    let mut par_total = Duration::ZERO;
+    let mut agree = true;
+    for inst in &instances {
+        for mode in SbpMode::ALL {
+            let options = SolveOptions::new(config.k).with_sbp_mode(mode);
+            let prepared = PreparedColoring::new(&inst.graph, &options);
+            let formula = prepared.formula();
+
+            let start = Instant::now();
+            let mut opt = Optimizer::new(formula, SolverKind::PbsII);
+            let seq_out = opt.run(&config.budget());
+            let sequential = RunRecord {
+                time: start.elapsed(),
+                conflicts: opt.stats().conflicts,
+                decided: seq_out.is_decided(),
+                colors: seq_out.value(),
+                winner: None,
+            };
+
+            let configs = portfolio_configs(workers);
+            let start = Instant::now();
+            let par_out = optimize_portfolio(formula, &configs, &config.budget());
+            let portfolio = RunRecord {
+                time: start.elapsed(),
+                conflicts: par_out.stats.conflicts,
+                decided: par_out.outcome.is_decided(),
+                colors: par_out.outcome.value(),
+                winner: par_out
+                    .winner
+                    .map(|(i, c)| format!("worker {i}: {:?} seed {}", c.explain, c.seed)),
+            };
+
+            seq_total += sequential.time;
+            par_total += portfolio.time;
+            if sequential.decided
+                && portfolio.decided
+                && matches!(
+                    (&seq_out, &par_out.outcome),
+                    (OptOutcome::Optimal { .. }, OptOutcome::Optimal { .. })
+                )
+                && sequential.colors != portfolio.colors
+            {
+                agree = false;
+                eprintln!(
+                    "DISAGREEMENT on {} / {}: sequential {:?} vs portfolio {:?}",
+                    inst.meta.name,
+                    mode.display_name(),
+                    sequential.colors,
+                    portfolio.colors
+                );
+            }
+            println!(
+                "  {:<10} {:<6} seq {:>8.3}s  portfolio {:>8.3}s",
+                inst.meta.name,
+                mode.display_name(),
+                sequential.time.as_secs_f64(),
+                portfolio.time.as_secs_f64()
+            );
+            runs.push(format!(
+                "    {{\"instance\": \"{}\", \"mode\": \"{}\", \"sequential\": {}, \"portfolio\": {}}}",
+                json_escape(inst.meta.name),
+                json_escape(mode.display_name()),
+                sequential.to_json(),
+                portfolio.to_json()
+            ));
+        }
+    }
+
+    let speedup = if par_total.as_secs_f64() > 0.0 {
+        seq_total.as_secs_f64() / par_total.as_secs_f64()
+    } else {
+        1.0
+    };
+    let json = format!(
+        "{{\n  \"k\": {},\n  \"timeout_s\": {:.3},\n  \"workers\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"summary\": {{\"sequential_total_s\": {:.6}, \"portfolio_total_s\": {:.6}, \
+         \"speedup\": {:.4}, \"optimal_color_counts_agree\": {}}}\n}}\n",
+        config.k,
+        config.timeout.as_secs_f64(),
+        workers,
+        runs.join(",\n"),
+        seq_total.as_secs_f64(),
+        par_total.as_secs_f64(),
+        speedup,
+        agree
+    );
+    std::fs::write("BENCH_portfolio.json", &json).expect("write BENCH_portfolio.json");
+    println!(
+        "\ntotals: sequential {:.3}s, portfolio {:.3}s, speedup {:.2}x — wrote BENCH_portfolio.json",
+        seq_total.as_secs_f64(),
+        par_total.as_secs_f64(),
+        speedup
+    );
+}

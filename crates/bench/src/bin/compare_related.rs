@@ -25,11 +25,36 @@ struct ReferencePoint {
 }
 
 const POINTS: [ReferencePoint; 5] = [
-    ReferencePoint { instance: "myciel3", coudert: Some(0.01), benhamou: None, paper_best: Some(0.01) },
-    ReferencePoint { instance: "myciel4", coudert: Some(0.02), benhamou: None, paper_best: Some(0.06) },
-    ReferencePoint { instance: "myciel5", coudert: Some(4.17), benhamou: None, paper_best: Some(1.80) },
-    ReferencePoint { instance: "queen5_5", coudert: Some(0.01), benhamou: None, paper_best: Some(0.01) },
-    ReferencePoint { instance: "DSJC125.1", coudert: None, benhamou: Some(0.01), paper_best: Some(1.12) },
+    ReferencePoint {
+        instance: "myciel3",
+        coudert: Some(0.01),
+        benhamou: None,
+        paper_best: Some(0.01),
+    },
+    ReferencePoint {
+        instance: "myciel4",
+        coudert: Some(0.02),
+        benhamou: None,
+        paper_best: Some(0.06),
+    },
+    ReferencePoint {
+        instance: "myciel5",
+        coudert: Some(4.17),
+        benhamou: None,
+        paper_best: Some(1.80),
+    },
+    ReferencePoint {
+        instance: "queen5_5",
+        coudert: Some(0.01),
+        benhamou: None,
+        paper_best: Some(0.01),
+    },
+    ReferencePoint {
+        instance: "DSJC125.1",
+        coudert: None,
+        benhamou: Some(0.01),
+        paper_best: Some(1.12),
+    },
 ];
 
 fn main() {

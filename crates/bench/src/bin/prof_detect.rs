@@ -15,8 +15,12 @@ fn main() {
         let (perms, report) = detect_symmetries(enc.formula(), &AutomorphismOptions::default());
         println!(
             "{name} K={k}: graph {}v/{}e, |S|=10^{:.1}, #G={}, exact={}, {:?}",
-            report.graph_vertices, report.graph_edges, report.order_log10,
-            perms.len(), report.exact, t.elapsed()
+            report.graph_vertices,
+            report.graph_edges,
+            report.order_log10,
+            perms.len(),
+            report.exact,
+            t.elapsed()
         );
     }
 }

@@ -15,8 +15,7 @@ fn main() {
     let mut config = HarnessConfig::from_args(20, Duration::from_secs(5));
     // Table 1 is cheap; default to the full suite.
     if std::env::args().len() == 1 {
-        config.instances =
-            sbgc_graph::suite::SUITE.iter().map(|m| m.name.to_string()).collect();
+        config.instances = sbgc_graph::suite::SUITE.iter().map(|m| m.name.to_string()).collect();
     }
     println!("Table 1: DIMACS graph coloring benchmarks (reconstructed suite)");
     println!(
@@ -25,11 +24,8 @@ fn main() {
     );
     for inst in config.build_instances() {
         let bounds = chromatic::bounds(&inst.graph);
-        let paper_k = inst
-            .meta
-            .paper_chromatic
-            .map(|k| k.to_string())
-            .unwrap_or_else(|| ">20".to_string());
+        let paper_k =
+            inst.meta.paper_chromatic.map(|k| k.to_string()).unwrap_or_else(|| ">20".to_string());
         // Exact chromatic number within the timeout (skipped when the
         // clique bound certifies DSATUR, which costs nothing).
         let opts = SolveOptions::new(config.k)

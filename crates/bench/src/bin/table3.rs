@@ -40,6 +40,7 @@ pub fn run_table(config: &HarnessConfig, title: &str) {
             &SolverKind::MAIN,
             || config.budget(),
             config.per_instance,
+            config.jobs,
         );
         let with_id = run_grid_row(
             &instances,
@@ -49,6 +50,7 @@ pub fn run_table(config: &HarnessConfig, title: &str) {
             &SolverKind::MAIN,
             || config.budget(),
             config.per_instance,
+            config.jobs,
         );
         let cells: Vec<String> = orig
             .iter()

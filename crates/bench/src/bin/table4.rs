@@ -35,6 +35,7 @@ fn main() {
             &SolverKind::MAIN,
             || config.budget(),
             config.per_instance,
+            config.jobs,
         );
         let with_id = run_grid_row(
             &instances,
@@ -44,6 +45,7 @@ fn main() {
             &SolverKind::MAIN,
             || config.budget(),
             config.per_instance,
+            config.jobs,
         );
         let cells: Vec<String> = orig
             .iter()

@@ -14,22 +14,17 @@ fn main() {
     // Default instance set for this table is the queens family. The
     // largest (queen8_12) is also the paper's hardest; include it only
     // with --full or an explicit --instances list.
-    if std::env::args().skip(1).all(|a| a.starts_with("--timeout") || a.starts_with("--k")
-        || a == "--per-instance")
+    if std::env::args()
+        .skip(1)
+        .all(|a| a.starts_with("--timeout") || a.starts_with("--k") || a == "--per-instance")
     {
-        config.instances = vec![
-            "queen5_5".to_string(),
-            "queen6_6".to_string(),
-            "queen7_7".to_string(),
-        ];
+        config.instances =
+            vec!["queen5_5".to_string(), "queen6_6".to_string(), "queen7_7".to_string()];
     } else if config.instances.len() == sbgc_bench::QUICK_INSTANCES.len() {
         config.instances = suite::QUEENS_NAMES.iter().map(|s| s.to_string()).collect();
     }
 
-    println!(
-        "Table 5: queens family detail, K = {}, timeout {:?}/run",
-        config.k, config.timeout
-    );
+    println!("Table 5: queens family detail, K = {}, timeout {:?}/run", config.k, config.timeout);
     println!(
         "{:<10} {:<8} | {}",
         "Instance",

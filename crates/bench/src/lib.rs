@@ -23,6 +23,8 @@
 use sbgc_core::{PreparedColoring, SbpMode, SolveOptions, SolverKind, SymmetryHandling};
 use sbgc_graph::suite::{self, Instance};
 use sbgc_pb::Budget;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Harness configuration parsed from the command line.
@@ -36,20 +38,17 @@ pub struct HarnessConfig {
     pub instances: Vec<String>,
     /// Print per-instance rows in addition to totals.
     pub per_instance: bool,
+    /// Number of grid cells run concurrently (`--jobs N`, default 1).
+    /// Per-cell times are still measured on the worker thread, so reported
+    /// solve times stay meaningful; only wall-clock completion of the
+    /// whole table shrinks.
+    pub jobs: usize,
 }
 
 /// The quick default subset: small and medium instances from five of the
 /// seven families, chosen so the full grid finishes in minutes.
-pub const QUICK_INSTANCES: [&str; 8] = [
-    "myciel3",
-    "myciel4",
-    "myciel5",
-    "queen5_5",
-    "queen6_6",
-    "huck",
-    "jean",
-    "miles250",
-];
+pub const QUICK_INSTANCES: [&str; 8] =
+    ["myciel3", "myciel4", "myciel5", "queen5_5", "queen6_6", "huck", "jean", "miles250"];
 
 impl HarnessConfig {
     /// Parses `std::env::args`-style flags. Unknown flags abort with a
@@ -60,6 +59,7 @@ impl HarnessConfig {
             k: default_k,
             instances: QUICK_INSTANCES.iter().map(|s| s.to_string()).collect(),
             per_instance: false,
+            jobs: 1,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -86,10 +86,17 @@ impl HarnessConfig {
                     config.instances = list.split(',').map(|s| s.trim().to_string()).collect();
                 }
                 "--full" => {
-                    config.instances =
-                        suite::SUITE.iter().map(|m| m.name.to_string()).collect();
+                    config.instances = suite::SUITE.iter().map(|m| m.name.to_string()).collect();
                 }
                 "--per-instance" => config.per_instance = true,
+                "--jobs" => {
+                    i += 1;
+                    let jobs: usize = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs an integer"));
+                    config.jobs = jobs.max(1);
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
             i += 1;
@@ -111,7 +118,8 @@ impl HarnessConfig {
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance]"
+        "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
+         [--jobs N]"
     );
     std::process::exit(2)
 }
@@ -134,51 +142,121 @@ impl GridCell {
     }
 }
 
+/// The per-instance work of one grid row: cells (one per solver) plus the
+/// `--per-instance` report lines, kept as strings so worker threads never
+/// interleave output.
+struct InstanceRow {
+    cells: Vec<GridCell>,
+    lines: Vec<String>,
+}
+
+fn run_instance_row(
+    inst: &Instance,
+    k: usize,
+    mode: SbpMode,
+    symmetry: SymmetryHandling,
+    solvers: &[SolverKind],
+    budget_for: &(impl Fn() -> Budget + Sync),
+    per_instance: bool,
+) -> InstanceRow {
+    let mut row =
+        InstanceRow { cells: vec![GridCell::default(); solvers.len()], lines: Vec::new() };
+    let mut options = SolveOptions::new(k).with_sbp_mode(mode);
+    options.symmetry = symmetry;
+    let prepared = PreparedColoring::new(&inst.graph, &options);
+    for (cell, &solver) in row.cells.iter_mut().zip(solvers) {
+        // Timing happens inside `solve`, on this worker thread.
+        let report = prepared.solve(&inst.graph, solver, &budget_for());
+        cell.total_time += report.solve_time;
+        if report.outcome.is_decided() {
+            cell.solved += 1;
+        }
+        if per_instance {
+            let outcome = match &report.outcome {
+                o if o.is_decided() => match o.colors() {
+                    Some(c) => format!("optimal {c}"),
+                    None => format!("UNSAT at K={k}"),
+                },
+                o => match o.colors() {
+                    Some(c) => format!("feasible {c} (timeout)"),
+                    None => "timeout".to_string(),
+                },
+            };
+            row.lines.push(format!(
+                "    {:<12} {:<7} i.d.={:<5} {:<7} {:>8.2}s  {}",
+                inst.meta.name,
+                mode.display_name(),
+                matches!(symmetry, SymmetryHandling::WithInstanceDependent),
+                solver.display_name(),
+                report.solve_time.as_secs_f64(),
+                outcome
+            ));
+        }
+    }
+    row
+}
+
 /// Runs one (SBP mode × symmetry handling) configuration over the instance
 /// set for *all* the given solvers, preparing each instance (encoding +
 /// symmetry detection) only once. Returns one `Tm.`/`#S` cell per solver,
 /// in the given order.
+///
+/// With `jobs > 1` the per-instance work is distributed over that many
+/// scoped worker threads (a shared atomic work queue — instances are
+/// claimed in order, results are merged and printed in instance order, so
+/// the output is identical to a sequential run). Each cell's solve time is
+/// still measured on the thread that ran it.
+#[allow(clippy::too_many_arguments)]
 pub fn run_grid_row(
     instances: &[Instance],
     k: usize,
     mode: SbpMode,
     symmetry: SymmetryHandling,
     solvers: &[SolverKind],
-    budget_for: impl Fn() -> Budget,
+    budget_for: impl Fn() -> Budget + Sync,
     per_instance: bool,
+    jobs: usize,
 ) -> Vec<GridCell> {
+    let rows: Vec<Mutex<Option<InstanceRow>>> =
+        instances.iter().map(|_| Mutex::new(None)).collect();
+    let jobs = jobs.max(1).min(instances.len().max(1));
+    if jobs == 1 {
+        for (inst, slot) in instances.iter().zip(&rows) {
+            *slot.lock().expect("row slot") =
+                Some(run_instance_row(inst, k, mode, symmetry, solvers, &budget_for, per_instance));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (next, rows, budget_for) = (&next, &rows, &budget_for);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(inst) = instances.get(i) else { break };
+                    let row = run_instance_row(
+                        inst,
+                        k,
+                        mode,
+                        symmetry,
+                        solvers,
+                        budget_for,
+                        per_instance,
+                    );
+                    *rows[i].lock().expect("row slot") = Some(row);
+                });
+            }
+        });
+    }
+
     let mut cells = vec![GridCell::default(); solvers.len()];
-    for inst in instances {
-        let mut options = SolveOptions::new(k).with_sbp_mode(mode);
-        options.symmetry = symmetry;
-        let prepared = PreparedColoring::new(&inst.graph, &options);
-        for (cell, &solver) in cells.iter_mut().zip(solvers) {
-            let report = prepared.solve(&inst.graph, solver, &budget_for());
-            cell.total_time += report.solve_time;
-            if report.outcome.is_decided() {
-                cell.solved += 1;
-            }
-            if per_instance {
-                let outcome = match &report.outcome {
-                    o if o.is_decided() => match o.colors() {
-                        Some(c) => format!("optimal {c}"),
-                        None => format!("UNSAT at K={k}"),
-                    },
-                    o => match o.colors() {
-                        Some(c) => format!("feasible {c} (timeout)"),
-                        None => "timeout".to_string(),
-                    },
-                };
-                println!(
-                    "    {:<12} {:<7} i.d.={:<5} {:<7} {:>8.2}s  {}",
-                    inst.meta.name,
-                    mode.display_name(),
-                    matches!(symmetry, SymmetryHandling::WithInstanceDependent),
-                    solver.display_name(),
-                    report.solve_time.as_secs_f64(),
-                    outcome
-                );
-            }
+    for slot in rows {
+        let row = slot.into_inner().expect("row slot").expect("worker filled every slot");
+        for (cell, c) in cells.iter_mut().zip(&row.cells) {
+            cell.total_time += c.total_time;
+            cell.solved += c.solved;
+        }
+        for line in row.lines {
+            println!("{line}");
         }
     }
     cells
@@ -191,10 +269,10 @@ pub fn run_grid_cell(
     mode: SbpMode,
     symmetry: SymmetryHandling,
     solver: SolverKind,
-    budget_for: impl Fn() -> Budget,
+    budget_for: impl Fn() -> Budget + Sync,
     per_instance: bool,
 ) -> GridCell {
-    run_grid_row(instances, k, mode, symmetry, &[solver], budget_for, per_instance)
+    run_grid_row(instances, k, mode, symmetry, &[solver], budget_for, per_instance, 1)
         .pop()
         .expect("one cell per solver")
 }

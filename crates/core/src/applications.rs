@@ -247,10 +247,8 @@ mod tests {
     #[test]
     fn frequency_chromatic_number_is_adjacent_demand_sum() {
         // Two adjacent regions demanding 2 and 3: need 5 frequencies.
-        let regions = vec![
-            Region { name: "x".into(), demand: 2 },
-            Region { name: "y".into(), demand: 3 },
-        ];
+        let regions =
+            vec![Region { name: "x".into(), demand: 2 }, Region { name: "y".into(), demand: 3 }];
         let inst = frequency_instance(&regions, &[(0, 1)]);
         let report =
             solve_coloring(&inst.graph, &SolveOptions::new(6).with_sbp_mode(SbpMode::NuSc));

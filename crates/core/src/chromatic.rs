@@ -93,8 +93,14 @@ pub fn chromatic_number(graph: &Graph, options: &SolveOptions) -> ChromaticResul
             ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
         }
         ColoringOutcome::InfeasibleAtK => {
-            // χ > k; DSATUR's bound stands as the upper bound.
-            ChromaticResult::Bounded { lower: k + 1, upper: b.upper, witness: b.witness }
+            // χ > k; DSATUR's bound stands as the upper bound. When the
+            // cap was below the clique bound, k + 1 would *regress* the
+            // already-known lower bound — keep the max of the two.
+            ChromaticResult::Bounded {
+                lower: (k + 1).max(b.lower),
+                upper: b.upper,
+                witness: b.witness,
+            }
         }
         ColoringOutcome::Feasible { coloring, colors } => {
             if colors <= b.lower {
@@ -157,7 +163,15 @@ pub fn chromatic_number_by_decision(
         if matches!(options.symmetry, crate::flow::SymmetryHandling::WithInstanceDependent) {
             let _ = sbgc_shatter::shatter(enc.formula_mut(), &options.shatter);
         }
-        let out = solve_decision(enc.formula(), options.solver, &options.budget);
+        // Each K-query is an independent decision problem, so parallelism
+        // applies per query: race a diversified portfolio when requested.
+        let out = match options.portfolio_workers() {
+            Some(n) => {
+                let configs = sbgc_pb::portfolio_configs(n);
+                sbgc_pb::solve_portfolio(enc.formula(), &configs, &options.budget).outcome
+            }
+            None => solve_decision(enc.formula(), options.solver, &options.budget),
+        };
         match out {
             out if out.is_unsat() => Ok(None),
             out => match out.model() {
@@ -204,7 +218,9 @@ pub fn chromatic_number_by_decision(
 /// the suffix assumptions: they only ever *prefer* low color indices) and
 /// `options.solver`'s engine configuration; the CPLEX baseline has no
 /// incremental interface, so [`sbgc_pb::SolverKind::Cplex`] falls back to
-/// [`chromatic_number`].
+/// [`chromatic_number`]; so does [`sbgc_pb::SolverKind::Portfolio`] (whose
+/// workers would each need their own incremental engine), which still
+/// races the portfolio inside the fallback's optimization run.
 ///
 /// # Panics
 ///
@@ -212,8 +228,8 @@ pub fn chromatic_number_by_decision(
 pub fn chromatic_number_incremental(graph: &Graph, options: &SolveOptions) -> ChromaticResult {
     use crate::encode::ColoringEncoding;
     use crate::sbp::add_instance_independent_sbps;
-    use sbgc_pb::{PbEngine, SolveOutcome};
     use sbgc_pb::SolverKind;
+    use sbgc_pb::{PbEngine, SolveOutcome};
 
     assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
     let Some(config) = options.solver.engine_config() else {
@@ -302,8 +318,8 @@ mod tests {
     #[test]
     fn cap_below_chi_reports_bounds() {
         let g = Graph::complete(5); // χ = 5
-        // bounds() certifies K5 without search, so use a graph where
-        // DSATUR overshoots: Mycielski-3 has clique 2 but χ = 4.
+                                    // bounds() certifies K5 without search, so use a graph where
+                                    // DSATUR overshoots: Mycielski-3 has clique 2 but χ = 4.
         let g2 = mycielski(3);
         let _ = g;
         let result = chromatic_number(&g2, &SolveOptions::new(3));
@@ -314,6 +330,23 @@ mod tests {
                 assert!(upper >= 4);
             }
             ChromaticResult::Exact { .. } => panic!("cap 3 cannot certify χ=4"),
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_keeps_clique_lower_bound() {
+        // queens(6,6): clique bound 6, DSATUR bound 9. A cap of 4 is below
+        // the clique bound; proving "not 4-colorable" must not *regress*
+        // the reported lower bound to 5.
+        let g = queens(6, 6);
+        let b = bounds(&g);
+        assert!(b.lower >= 6, "test premise: clique bound is {}", b.lower);
+        match chromatic_number(&g, &SolveOptions::new(4)) {
+            ChromaticResult::Bounded { lower, upper, .. } => {
+                assert!(lower >= b.lower, "lower bound regressed: {lower} < {}", b.lower);
+                assert!(upper >= lower);
+            }
+            ChromaticResult::Exact { .. } => panic!("cap 4 cannot certify χ of queens(6,6)"),
         }
     }
 
@@ -331,8 +364,7 @@ mod tests {
         for g in [Graph::cycle(5), mycielski(3), queens(4, 4), Graph::complete(4)] {
             let expected = chromatic_number(&g, &SolveOptions::new(20)).exact();
             for strategy in [SearchStrategy::Linear, SearchStrategy::Binary] {
-                let result =
-                    chromatic_number_by_decision(&g, &SolveOptions::new(20), strategy);
+                let result = chromatic_number_by_decision(&g, &SolveOptions::new(20), strategy);
                 assert_eq!(result.exact(), expected, "{strategy:?}");
                 assert!(result.witness().is_proper(&g));
             }
@@ -342,9 +374,8 @@ mod tests {
     #[test]
     fn decision_search_with_sbps_and_shatter() {
         let g = queens(5, 5);
-        let opts = SolveOptions::new(20)
-            .with_sbp_mode(SbpMode::NuSc)
-            .with_instance_dependent_sbps();
+        let opts =
+            SolveOptions::new(20).with_sbp_mode(SbpMode::NuSc).with_instance_dependent_sbps();
         let result = chromatic_number_by_decision(&g, &opts, SearchStrategy::Binary);
         assert_eq!(result.exact(), Some(5));
     }
@@ -353,8 +384,7 @@ mod tests {
     fn decision_search_budget_exhaustion_gives_bounds() {
         use sbgc_pb::Budget;
         let g = mycielski(4);
-        let opts = SolveOptions::new(20)
-            .with_budget(Budget::unlimited().with_max_conflicts(1));
+        let opts = SolveOptions::new(20).with_budget(Budget::unlimited().with_max_conflicts(1));
         let result = chromatic_number_by_decision(&g, &opts, SearchStrategy::Linear);
         match result {
             ChromaticResult::Bounded { lower, upper, ref witness } => {
@@ -383,10 +413,8 @@ mod tests {
     #[test]
     fn incremental_on_queens() {
         let g = queens(5, 5);
-        let result = chromatic_number_incremental(
-            &g,
-            &SolveOptions::new(20).with_sbp_mode(SbpMode::Nu),
-        );
+        let result =
+            chromatic_number_incremental(&g, &SolveOptions::new(20).with_sbp_mode(SbpMode::Nu));
         assert_eq!(result.exact(), Some(5));
     }
 

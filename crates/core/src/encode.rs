@@ -69,8 +69,7 @@ impl ColoringEncoding {
             formula.add_clause(clause);
         }
         // Objective: minimize the number of used colors.
-        formula
-            .set_objective(Objective::minimize((0..k).map(|j| (1, enc.y(j).positive()))));
+        formula.set_objective(Objective::minimize((0..k).map(|j| (1, enc.y(j).positive()))));
 
         ColoringEncoding { formula, ..enc }
     }
@@ -160,8 +159,8 @@ impl ColoringEncoding {
         }
         let used: Vec<bool> =
             (0..self.num_colors).map(|j| coloring.colors().contains(&j)).collect();
-        for j in 0..self.num_colors {
-            asg.assign(self.y(j), used[j]);
+        for (j, &u) in used.iter().enumerate() {
+            asg.assign(self.y(j), u);
         }
         // Any SBP auxiliary variables beyond the base encoding are left
         // unassigned; callers that appended SBPs should not use this

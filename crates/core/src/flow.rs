@@ -37,6 +37,12 @@ pub struct SolveOptions {
     /// Options of the Shatter flow (used only with
     /// [`SymmetryHandling::WithInstanceDependent`]).
     pub shatter: ShatterOptions,
+    /// Number of parallel solver workers. `1` (the default) runs exactly
+    /// the sequential path of the paper reproduction; larger values race a
+    /// diversified portfolio of that many CDCL workers with cooperative
+    /// cancellation (see [`sbgc_pb::solve_portfolio`]). Ignored by the
+    /// branch-and-bound [`SolverKind::Cplex`] baseline.
+    pub parallelism: usize,
 }
 
 impl SolveOptions {
@@ -50,6 +56,7 @@ impl SolveOptions {
             solver: SolverKind::PbsII,
             budget: Budget::unlimited(),
             shatter: ShatterOptions::default(),
+            parallelism: 1,
         }
     }
 
@@ -75,6 +82,30 @@ impl SolveOptions {
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Sets the number of parallel solver workers (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// The portfolio worker count implied by these options: `Some(n)` when
+    /// the solve should race a portfolio (explicit
+    /// [`SolverKind::Portfolio`], or `parallelism > 1` with a CDCL
+    /// solver), `None` for the sequential path. The CPLEX baseline never
+    /// uses the portfolio — it is the paper's non-CDCL control.
+    pub fn portfolio_workers(&self) -> Option<usize> {
+        match self.solver {
+            SolverKind::Portfolio => Some(if self.parallelism > 1 {
+                self.parallelism
+            } else {
+                SolverKind::DEFAULT_PORTFOLIO_WORKERS
+            }),
+            SolverKind::Cplex => None,
+            _ if self.parallelism > 1 => Some(self.parallelism),
+            _ => None,
+        }
     }
 }
 
@@ -120,8 +151,9 @@ impl ColoringOutcome {
     /// The number of colors, if a coloring was found.
     pub fn colors(&self) -> Option<usize> {
         match self {
-            ColoringOutcome::Optimal { colors, .. }
-            | ColoringOutcome::Feasible { colors, .. } => Some(*colors),
+            ColoringOutcome::Optimal { colors, .. } | ColoringOutcome::Feasible { colors, .. } => {
+                Some(*colors)
+            }
             _ => None,
         }
     }
@@ -213,13 +245,49 @@ impl PreparedColoring {
     /// Panics if `graph` is not the graph this instance was prepared from
     /// (detected via vertex count).
     pub fn solve(&self, graph: &Graph, solver: SolverKind, budget: &Budget) -> SolveReport {
+        self.solve_with_parallelism(graph, solver, budget, 1)
+    }
+
+    /// Like [`PreparedColoring::solve`], but racing `parallelism`
+    /// diversified portfolio workers when `parallelism > 1` (or when
+    /// `solver` is [`SolverKind::Portfolio`], which uses
+    /// [`SolverKind::DEFAULT_PORTFOLIO_WORKERS`] if `parallelism ≤ 1`).
+    /// With `parallelism = 1` and a non-portfolio solver this is exactly
+    /// the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is not the graph this instance was prepared from
+    /// (detected via vertex count).
+    pub fn solve_with_parallelism(
+        &self,
+        graph: &Graph,
+        solver: SolverKind,
+        budget: &Budget,
+        parallelism: usize,
+    ) -> SolveReport {
         assert_eq!(
             graph.num_vertices(),
             self.encoding.num_vertices(),
             "graph does not match the prepared encoding"
         );
+        let workers = match solver {
+            SolverKind::Portfolio if parallelism <= 1 => {
+                Some(SolverKind::DEFAULT_PORTFOLIO_WORKERS)
+            }
+            SolverKind::Portfolio => Some(parallelism),
+            SolverKind::Cplex => None,
+            _ if parallelism > 1 => Some(parallelism),
+            _ => None,
+        };
         let start = Instant::now();
-        let result = optimize(self.encoding.formula(), solver, budget);
+        let result = match workers {
+            Some(n) => {
+                let configs = sbgc_pb::portfolio_configs(n);
+                sbgc_pb::optimize_portfolio(self.encoding.formula(), &configs, budget).outcome
+            }
+            None => optimize(self.encoding.formula(), solver, budget),
+        };
         let solve_time = start.elapsed();
 
         let decode_verified = |value: u64, model: &sbgc_formula::Assignment| {
@@ -274,7 +342,12 @@ impl PreparedColoring {
 ///
 /// Panics if `options.k == 0`.
 pub fn solve_coloring(graph: &Graph, options: &SolveOptions) -> SolveReport {
-    PreparedColoring::new(graph, options).solve(graph, options.solver, &options.budget)
+    PreparedColoring::new(graph, options).solve_with_parallelism(
+        graph,
+        options.solver,
+        &options.budget,
+        options.parallelism,
+    )
 }
 
 #[cfg(test)]
@@ -321,9 +394,7 @@ mod tests {
     fn instance_dependent_sbps_preserve_the_optimum() {
         let g = queens(5, 5);
         for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Sc] {
-            let opts = SolveOptions::new(6)
-                .with_sbp_mode(mode)
-                .with_instance_dependent_sbps();
+            let opts = SolveOptions::new(6).with_sbp_mode(mode).with_instance_dependent_sbps();
             let report = solve_coloring(&g, &opts);
             assert_eq!(report.outcome.colors(), Some(5), "{mode}");
             assert!(report.shatter.is_some());
@@ -341,6 +412,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_solve_agrees_with_sequential() {
+        let g = mycielski(3);
+        for n in [2, 4] {
+            let report = solve_coloring(&g, &SolveOptions::new(5).with_parallelism(n));
+            assert_eq!(report.outcome.colors(), Some(4), "n={n}");
+            assert!(report.outcome.is_decided(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn portfolio_solver_kind_solves() {
+        let g = queens(5, 5);
+        let report = solve_coloring(&g, &SolveOptions::new(6).with_solver(SolverKind::Portfolio));
+        assert_eq!(report.outcome.colors(), Some(5));
+        assert!(report.outcome.is_decided());
+    }
+
+    #[test]
+    fn parallelism_is_ignored_by_cplex() {
+        // The non-CDCL control stays sequential whatever the parallelism.
+        let g = mycielski(3);
+        let opts = SolveOptions::new(5).with_solver(SolverKind::Cplex).with_parallelism(4);
+        assert_eq!(opts.portfolio_workers(), None);
+        let report = solve_coloring(&g, &opts);
+        assert_eq!(report.outcome.colors(), Some(4));
+    }
+
+    #[test]
     fn report_tracks_formula_growth() {
         let g = Graph::complete(3);
         let report = solve_coloring(&g, &SolveOptions::new(4).with_sbp_mode(SbpMode::Li));
@@ -352,8 +451,7 @@ mod tests {
     #[test]
     fn zero_budget_gives_unknown() {
         let g = queens(5, 5);
-        let opts = SolveOptions::new(6)
-            .with_budget(Budget::unlimited().with_max_conflicts(0));
+        let opts = SolveOptions::new(6).with_budget(Budget::unlimited().with_max_conflicts(0));
         let report = solve_coloring(&g, &opts);
         assert!(matches!(
             report.outcome,

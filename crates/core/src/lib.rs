@@ -50,13 +50,12 @@ pub mod flow;
 pub mod sbp;
 
 pub use chromatic::{
-    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
-    ChromaticBounds, ChromaticResult, SearchStrategy,
+    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental, ChromaticBounds,
+    ChromaticResult, SearchStrategy,
 };
 pub use encode::ColoringEncoding;
 pub use flow::{
-    solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions, SolveReport,
-    SymmetryHandling,
+    solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions, SolveReport, SymmetryHandling,
 };
 pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 

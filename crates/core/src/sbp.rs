@@ -197,13 +197,14 @@ fn add_li(encoding: &mut ColoringEncoding) {
         }
     }
     // V[i][k] => x[i][k].
-    for i in 0..n {
-        for j in 0..k {
+    for (i, row) in v.iter().enumerate() {
+        for (j, vij) in row.iter().enumerate() {
             let x = encoding.x(i, j).positive();
-            encoding.formula_mut().add_clause([v[i][j].negative(), x]);
+            encoding.formula_mut().add_clause([vij.negative(), x]);
         }
     }
     // y[k] => some anchor.
+    #[allow(clippy::needless_range_loop)] // column-major access of `v`
     for j in 0..k {
         let y = encoding.y(j).positive();
         let mut clause: Vec<Lit> = vec![!y];
@@ -238,6 +239,7 @@ fn add_li_prefix(encoding: &mut ColoringEncoding) {
             *slot = encoding.formula_mut().new_var();
         }
     }
+    #[allow(clippy::needless_range_loop)] // column-major access of `p`
     for j in 0..k {
         for i in 0..n {
             let x = encoding.x(i, j).positive();
@@ -259,9 +261,7 @@ fn add_li_prefix(encoding: &mut ColoringEncoding) {
         // Vertex 0 can only start color 1 (index 0): P[0][j+1] must be false.
         encoding.formula_mut().add_unit(p[0][j + 1].negative());
         for i in 1..n {
-            encoding
-                .formula_mut()
-                .add_clause([p[i][j + 1].negative(), p[i - 1][j].positive()]);
+            encoding.formula_mut().add_clause([p[i][j + 1].negative(), p[i - 1][j].positive()]);
         }
     }
 }
@@ -343,7 +343,7 @@ mod tests {
         // Class sizes (1,1,2) ascending: rejected (largest class must get
         // color 1 — Figure 1d, left is invalid).
         assert!(!admits(&enc, &Coloring::new(vec![1, 2, 0, 1]))); // sizes (1,2,1)
-        // Sizes (2,1,1): accepted (Figure 1d, right).
+                                                                  // Sizes (2,1,1): accepted (Figure 1d, right).
         assert!(admits(&enc, &Coloring::new(vec![0, 1, 2, 0])));
     }
 
@@ -369,12 +369,7 @@ mod tests {
         assert!(admits(&enc, &Coloring::new(vec![1, 2, 0, 1])));
         assert!(!admits(&enc, &Coloring::new(vec![0, 1, 2, 0])), "pin violated");
         // The pinned literals are unit clauses; check them directly.
-        let unit_count = enc
-            .formula()
-            .clauses()
-            .iter()
-            .filter(|c| c.len() == 1)
-            .count();
+        let unit_count = enc.formula().clauses().iter().filter(|c| c.len() == 1).count();
         assert_eq!(unit_count, 2);
     }
 

@@ -70,9 +70,7 @@ impl Assignment {
 
     /// Creates a total assignment from a vector of `bool`s.
     pub fn from_bools(values: impl IntoIterator<Item = bool>) -> Self {
-        Assignment {
-            values: values.into_iter().map(TruthValue::from_bool).collect(),
-        }
+        Assignment { values: values.into_iter().map(TruthValue::from_bool).collect() }
     }
 
     /// Number of variables covered.
@@ -135,9 +133,10 @@ impl Assignment {
 
     /// Iterates over `(Var, bool)` pairs of assigned variables.
     pub fn iter_assigned(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
-        self.values.iter().enumerate().filter_map(|(i, v)| {
-            v.to_bool().map(|b| (Var::from_index(i), b))
-        })
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.to_bool().map(|b| (Var::from_index(i), b)))
     }
 }
 

@@ -252,7 +252,7 @@ pub fn parse_opb(text: &str) -> Result<PbFormula, ParseOpbError> {
 
 fn parse_terms(text: &str, lineno: usize) -> Result<Vec<(i64, Lit)>, ParseOpbError> {
     let tokens: Vec<&str> = text.split_whitespace().collect();
-    if tokens.len() % 2 != 0 {
+    if !tokens.len().is_multiple_of(2) {
         return Err(ParseOpbError::new(lineno, "odd number of tokens in linear term list"));
     }
     let mut terms = Vec::with_capacity(tokens.len() / 2);

@@ -102,8 +102,8 @@ impl Coloring {
         use std::fmt::Write as _;
         assert_eq!(self.colors.len(), graph.num_vertices(), "coloring/graph size mismatch");
         const PALETTE: [&str; 12] = [
-            "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6",
-            "#bcf60c", "#fabebe", "#008080", "#e6beff", "#9a6324",
+            "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6", "#bcf60c",
+            "#fabebe", "#008080", "#e6beff", "#9a6324",
         ];
         let mut out = String::from("graph coloring {\n  node [style=filled];\n");
         for (v, &c) in self.colors.iter().enumerate() {

@@ -33,10 +33,8 @@ fn degeneracy_impl(graph: &Graph) -> (Vec<usize>, usize) {
     let mut removal = Vec::with_capacity(n);
     let mut degeneracy = 0;
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| !removed[v])
-            .min_by_key(|&v| (deg[v], v))
-            .expect("vertices remain");
+        let v =
+            (0..n).filter(|&v| !removed[v]).min_by_key(|&v| (deg[v], v)).expect("vertices remain");
         degeneracy = degeneracy.max(deg[v]);
         removed[v] = true;
         removal.push(v);

@@ -19,7 +19,7 @@ pub fn complete_multipartite(part_sizes: &[usize]) -> Graph {
     let n: usize = part_sizes.iter().sum();
     let mut part_of = Vec::with_capacity(n);
     for (p, &size) in part_sizes.iter().enumerate() {
-        part_of.extend(std::iter::repeat(p).take(size));
+        part_of.extend(std::iter::repeat_n(p, size));
     }
     let edges = (0..n)
         .flat_map(|a| (a + 1..n).map(move |b| (a, b)))

@@ -75,10 +75,7 @@ pub(crate) fn adjust_to_edge_count(
             set.iter().copied().filter(|e| !prot.contains(e)).collect();
         removable.shuffle(rng);
         let surplus = set.len() - target;
-        assert!(
-            removable.len() >= surplus,
-            "cannot trim to {target}: too many protected edges"
-        );
+        assert!(removable.len() >= surplus, "cannot trim to {target}: too many protected edges");
         for e in removable.into_iter().take(surplus) {
             set.remove(&e);
         }

@@ -81,26 +81,186 @@ pub struct Instance {
 
 /// Metadata for the full 20-instance suite, in Table 1 order.
 pub const SUITE: [InstanceMeta; 20] = [
-    InstanceMeta { name: "anna", family: Family::Book, vertices: 138, edges: 493, paper_edge_lines: 986, paper_chromatic: Some(11), exact_construction: false },
-    InstanceMeta { name: "david", family: Family::Book, vertices: 87, edges: 406, paper_edge_lines: 812, paper_chromatic: Some(11), exact_construction: false },
-    InstanceMeta { name: "DSJC125.1", family: Family::Random, vertices: 125, edges: 736, paper_edge_lines: 1472, paper_chromatic: Some(5), exact_construction: false },
-    InstanceMeta { name: "DSJC125.9", family: Family::Random, vertices: 125, edges: 6961, paper_edge_lines: 13922, paper_chromatic: None, exact_construction: false },
-    InstanceMeta { name: "games120", family: Family::Games, vertices: 120, edges: 638, paper_edge_lines: 1276, paper_chromatic: Some(9), exact_construction: false },
-    InstanceMeta { name: "huck", family: Family::Book, vertices: 74, edges: 301, paper_edge_lines: 602, paper_chromatic: Some(11), exact_construction: false },
-    InstanceMeta { name: "jean", family: Family::Book, vertices: 80, edges: 254, paper_edge_lines: 508, paper_chromatic: Some(10), exact_construction: false },
-    InstanceMeta { name: "miles250", family: Family::Mileage, vertices: 128, edges: 387, paper_edge_lines: 774, paper_chromatic: Some(8), exact_construction: false },
-    InstanceMeta { name: "mulsol.i.2", family: Family::RegisterAllocation, vertices: 188, edges: 3885, paper_edge_lines: 3885, paper_chromatic: None, exact_construction: false },
-    InstanceMeta { name: "mulsol.i.4", family: Family::RegisterAllocation, vertices: 185, edges: 3946, paper_edge_lines: 3946, paper_chromatic: None, exact_construction: false },
-    InstanceMeta { name: "myciel3", family: Family::Mycielski, vertices: 11, edges: 20, paper_edge_lines: 20, paper_chromatic: Some(4), exact_construction: true },
-    InstanceMeta { name: "myciel4", family: Family::Mycielski, vertices: 23, edges: 71, paper_edge_lines: 71, paper_chromatic: Some(5), exact_construction: true },
-    InstanceMeta { name: "myciel5", family: Family::Mycielski, vertices: 47, edges: 236, paper_edge_lines: 236, paper_chromatic: Some(6), exact_construction: true },
-    InstanceMeta { name: "queen5_5", family: Family::Queens, vertices: 25, edges: 160, paper_edge_lines: 320, paper_chromatic: Some(5), exact_construction: true },
-    InstanceMeta { name: "queen6_6", family: Family::Queens, vertices: 36, edges: 290, paper_edge_lines: 580, paper_chromatic: Some(7), exact_construction: true },
-    InstanceMeta { name: "queen7_7", family: Family::Queens, vertices: 49, edges: 476, paper_edge_lines: 952, paper_chromatic: Some(7), exact_construction: true },
-    InstanceMeta { name: "queen8_12", family: Family::Queens, vertices: 96, edges: 1368, paper_edge_lines: 2736, paper_chromatic: Some(12), exact_construction: true },
-    InstanceMeta { name: "zeroin.i.1", family: Family::RegisterAllocation, vertices: 211, edges: 4100, paper_edge_lines: 4100, paper_chromatic: None, exact_construction: false },
-    InstanceMeta { name: "zeroin.i.2", family: Family::RegisterAllocation, vertices: 211, edges: 3541, paper_edge_lines: 3541, paper_chromatic: None, exact_construction: false },
-    InstanceMeta { name: "zeroin.i.3", family: Family::RegisterAllocation, vertices: 206, edges: 3540, paper_edge_lines: 3540, paper_chromatic: None, exact_construction: false },
+    InstanceMeta {
+        name: "anna",
+        family: Family::Book,
+        vertices: 138,
+        edges: 493,
+        paper_edge_lines: 986,
+        paper_chromatic: Some(11),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "david",
+        family: Family::Book,
+        vertices: 87,
+        edges: 406,
+        paper_edge_lines: 812,
+        paper_chromatic: Some(11),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "DSJC125.1",
+        family: Family::Random,
+        vertices: 125,
+        edges: 736,
+        paper_edge_lines: 1472,
+        paper_chromatic: Some(5),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "DSJC125.9",
+        family: Family::Random,
+        vertices: 125,
+        edges: 6961,
+        paper_edge_lines: 13922,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "games120",
+        family: Family::Games,
+        vertices: 120,
+        edges: 638,
+        paper_edge_lines: 1276,
+        paper_chromatic: Some(9),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "huck",
+        family: Family::Book,
+        vertices: 74,
+        edges: 301,
+        paper_edge_lines: 602,
+        paper_chromatic: Some(11),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "jean",
+        family: Family::Book,
+        vertices: 80,
+        edges: 254,
+        paper_edge_lines: 508,
+        paper_chromatic: Some(10),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "miles250",
+        family: Family::Mileage,
+        vertices: 128,
+        edges: 387,
+        paper_edge_lines: 774,
+        paper_chromatic: Some(8),
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "mulsol.i.2",
+        family: Family::RegisterAllocation,
+        vertices: 188,
+        edges: 3885,
+        paper_edge_lines: 3885,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "mulsol.i.4",
+        family: Family::RegisterAllocation,
+        vertices: 185,
+        edges: 3946,
+        paper_edge_lines: 3946,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "myciel3",
+        family: Family::Mycielski,
+        vertices: 11,
+        edges: 20,
+        paper_edge_lines: 20,
+        paper_chromatic: Some(4),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "myciel4",
+        family: Family::Mycielski,
+        vertices: 23,
+        edges: 71,
+        paper_edge_lines: 71,
+        paper_chromatic: Some(5),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "myciel5",
+        family: Family::Mycielski,
+        vertices: 47,
+        edges: 236,
+        paper_edge_lines: 236,
+        paper_chromatic: Some(6),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "queen5_5",
+        family: Family::Queens,
+        vertices: 25,
+        edges: 160,
+        paper_edge_lines: 320,
+        paper_chromatic: Some(5),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "queen6_6",
+        family: Family::Queens,
+        vertices: 36,
+        edges: 290,
+        paper_edge_lines: 580,
+        paper_chromatic: Some(7),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "queen7_7",
+        family: Family::Queens,
+        vertices: 49,
+        edges: 476,
+        paper_edge_lines: 952,
+        paper_chromatic: Some(7),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "queen8_12",
+        family: Family::Queens,
+        vertices: 96,
+        edges: 1368,
+        paper_edge_lines: 2736,
+        paper_chromatic: Some(12),
+        exact_construction: true,
+    },
+    InstanceMeta {
+        name: "zeroin.i.1",
+        family: Family::RegisterAllocation,
+        vertices: 211,
+        edges: 4100,
+        paper_edge_lines: 4100,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "zeroin.i.2",
+        family: Family::RegisterAllocation,
+        vertices: 211,
+        edges: 3541,
+        paper_edge_lines: 3541,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
+    InstanceMeta {
+        name: "zeroin.i.3",
+        family: Family::RegisterAllocation,
+        vertices: 206,
+        edges: 3540,
+        paper_edge_lines: 3540,
+        paper_chromatic: None,
+        exact_construction: false,
+    },
 ];
 
 /// Builds one suite instance by name.
@@ -188,10 +348,7 @@ mod tests {
         use crate::algo::greedy_clique;
         for name in ["mulsol.i.2", "zeroin.i.1", "zeroin.i.2"] {
             let inst = build(name);
-            assert!(
-                greedy_clique(&inst.graph).len() > 20,
-                "{name} should have clique > 20"
-            );
+            assert!(greedy_clique(&inst.graph).len() > 20, "{name} should have clique > 20");
         }
     }
 

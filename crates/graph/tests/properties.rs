@@ -130,9 +130,8 @@ fn suite_instances_are_connected_enough() {
     // sparse random ones (isolated vertices would make coloring trivial in
     // a way the originals are not).
     for inst in sbgc_graph::suite::build_all() {
-        let isolated = (0..inst.graph.num_vertices())
-            .filter(|&v| inst.graph.degree(v) == 0)
-            .count();
+        let isolated =
+            (0..inst.graph.num_vertices()).filter(|&v| inst.graph.degree(v) == 0).count();
         assert!(
             isolated * 10 <= inst.graph.num_vertices(),
             "{}: {} isolated vertices",

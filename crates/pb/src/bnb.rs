@@ -229,6 +229,9 @@ impl BnbSolver {
     fn search(&mut self, budget: &Budget, best: &mut Option<(u64, Assignment)>) -> bool {
         // Returns true if the tree was exhausted (search complete), false on
         // budget exhaustion.
+        if budget.cancelled() {
+            return false;
+        }
         let mut counter = 0u32;
         loop {
             counter += 1;
@@ -288,6 +291,7 @@ impl BnbSolver {
     /// [`BnbSolver::run_decision`]).
     pub fn run(&mut self, budget: &Budget) -> OptOutcome {
         assert!(self.objective.is_some(), "run() requires an objective");
+        let budget = budget.started();
         if !self.ok {
             return OptOutcome::Infeasible;
         }
@@ -297,7 +301,7 @@ impl BnbSolver {
             return OptOutcome::Infeasible;
         }
         let mut best: Option<(u64, Assignment)> = None;
-        let complete = self.search(budget, &mut best);
+        let complete = self.search(&budget, &mut best);
         match (complete, best) {
             (true, Some((value, model))) => OptOutcome::Optimal { value, model },
             (true, None) => OptOutcome::Infeasible,
@@ -308,6 +312,7 @@ impl BnbSolver {
 
     /// Solves the pure decision problem under `budget`.
     pub fn run_decision(&mut self, budget: &Budget) -> SolveOutcome {
+        let budget = budget.started();
         if !self.ok {
             return SolveOutcome::Unsat;
         }
@@ -318,7 +323,7 @@ impl BnbSolver {
             return SolveOutcome::Unsat;
         }
         let mut best: Option<(u64, Assignment)> = None;
-        let complete = self.search(budget, &mut best);
+        let complete = self.search(&budget, &mut best);
         match (complete, best) {
             (_, Some((_, model))) => SolveOutcome::Sat(model),
             (true, None) => SolveOutcome::Unsat,

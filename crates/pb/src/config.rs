@@ -34,6 +34,12 @@ pub struct EngineConfig {
     pub restart: RestartPolicy,
     /// VSIDS activity decay (0 < decay < 1; higher = slower forgetting).
     pub var_decay: f64,
+    /// Diversification seed. `0` (the default) leaves initial phases and
+    /// activities untouched — the exact behavior of the sequential presets.
+    /// A nonzero seed deterministically perturbs the initial phases and
+    /// breaks VSIDS ties differently, so portfolio workers running the same
+    /// preset explore different parts of the search tree.
+    pub seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -43,7 +49,16 @@ impl Default for EngineConfig {
             phase_saving: true,
             restart: RestartPolicy::Luby { base: 100 },
             var_decay: 0.95,
+            seed: 0,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Returns the same configuration with the given diversification seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -72,9 +87,20 @@ pub enum SolverKind {
     /// Generic branch-and-bound 0-1 ILP without conflict learning
     /// (CPLEX stand-in).
     Cplex,
+    /// Parallel portfolio racing diversified CDCL configurations (see
+    /// [`crate::solve_portfolio`]); not part of the paper's line-up. When
+    /// reached through the sequential [`crate::optimize`] /
+    /// [`crate::solve_decision`] interface (which carries no worker count)
+    /// it runs [`SolverKind::DEFAULT_PORTFOLIO_WORKERS`] workers; the
+    /// end-to-end flow passes its `parallelism` option explicitly.
+    Portfolio,
 }
 
 impl SolverKind {
+    /// Worker count used when [`SolverKind::Portfolio`] is run through an
+    /// interface that does not carry an explicit parallelism setting.
+    pub const DEFAULT_PORTFOLIO_WORKERS: usize = 4;
+
     /// All kinds used in the main tables (Tables 3–4).
     pub const MAIN: [SolverKind; 4] =
         [SolverKind::PbsII, SolverKind::Cplex, SolverKind::Galena, SolverKind::Pueblo];
@@ -89,7 +115,9 @@ impl SolverKind {
     ];
 
     /// The engine configuration for CDCL-based kinds; `None` for
-    /// [`SolverKind::Cplex`] (which uses [`crate::BnbSolver`] instead).
+    /// [`SolverKind::Cplex`] (which uses [`crate::BnbSolver`] instead) and
+    /// [`SolverKind::Portfolio`] (which runs several configurations at
+    /// once — see [`crate::portfolio_configs`]).
     pub fn engine_config(self) -> Option<EngineConfig> {
         match self {
             SolverKind::PbsII => Some(EngineConfig::default()),
@@ -108,8 +136,9 @@ impl SolverKind {
                 phase_saving: false,
                 restart: RestartPolicy::Geometric { first: 100, factor: 1.5 },
                 var_decay: 0.95,
+                seed: 0,
             }),
-            SolverKind::Cplex => None,
+            SolverKind::Cplex | SolverKind::Portfolio => None,
         }
     }
 
@@ -121,6 +150,7 @@ impl SolverKind {
             SolverKind::Pueblo => "Pueblo",
             SolverKind::PbsLegacy => "PBS",
             SolverKind::Cplex => "CPLEX*",
+            SolverKind::Portfolio => "Portfolio",
         }
     }
 }

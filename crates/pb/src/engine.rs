@@ -187,7 +187,7 @@ impl PbEngine {
     /// Creates an empty engine over `num_vars` variables with the given
     /// configuration.
     pub fn new(num_vars: usize, config: EngineConfig) -> Self {
-        PbEngine {
+        let mut engine = PbEngine {
             config,
             num_vars,
             clauses: Vec::new(),
@@ -211,6 +211,34 @@ impl PbEngine {
             stats: PbStats::default(),
             seen: vec![false; num_vars],
             final_core: Vec::new(),
+        };
+        engine.diversify();
+        engine
+    }
+
+    /// Deterministically perturbs the initial phases and activities from
+    /// `config.seed`. Seed 0 is the identity — sequential presets are
+    /// untouched. Nonzero seeds randomize initial phases and add a tiny
+    /// activity jitter (far below one VSIDS bump) that only reorders
+    /// zero-activity ties, sending portfolio workers down different
+    /// branches of the same search tree.
+    fn diversify(&mut self) {
+        if self.config.seed == 0 {
+            return;
+        }
+        let mut state = self.config.seed;
+        let mut next = move || {
+            // SplitMix64: cheap, well-mixed, dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for v in 0..self.num_vars {
+            let bits = next();
+            self.saved_phase[v] = bits & 1 == 1;
+            self.activity[v] = (bits >> 11) as f64 * (1e-6 / (1u64 << 53) as f64);
         }
     }
 
@@ -542,9 +570,7 @@ impl PbEngine {
             Reason::Pb(idx) => {
                 self.stats.pb_conflicts += 1;
                 let pb = &self.pbs[idx as usize];
-                let cutoff = implied
-                    .map(|l| self.trail_pos[l.var().index()])
-                    .unwrap_or(usize::MAX);
+                let cutoff = implied.map(|l| self.trail_pos[l.var().index()]).unwrap_or(usize::MAX);
                 let mut false_terms = Vec::new();
                 let mut propagated_coeff = 0;
                 for &(a, l) in &pb.terms {
@@ -721,11 +747,7 @@ impl PbEngine {
     /// for further queries (with different assumptions) and keeps every
     /// learned clause — the incremental-SAT interface of MiniSat-family
     /// solvers.
-    pub fn solve_with_assumptions(
-        &mut self,
-        assumptions: &[Lit],
-        budget: &Budget,
-    ) -> SolveOutcome {
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         self.final_core.clear();
         self.solve_inner(assumptions, budget)
     }
@@ -779,6 +801,14 @@ impl PbEngine {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        // Arm the wall-clock countdown (no-op if an outer entry point, e.g.
+        // the optimization loop, already armed it).
+        let budget = budget.started();
+        if budget.cancelled() {
+            // A lost portfolio race; easy solves must not sneak past the
+            // stride-64 check below.
+            return SolveOutcome::Unknown;
+        }
         if !self.ok {
             return SolveOutcome::Unsat;
         }
@@ -982,10 +1012,7 @@ mod tests {
         // 3*x0 + x1 + x2 >= 3: forcing x1,x2 insufficient — x0 forced.
         let mut f = PbFormula::new();
         let lits: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
-        f.add_pb(PbConstraint::at_least(
-            [(3, lits[0]), (1, lits[1]), (1, lits[2])],
-            3,
-        ));
+        f.add_pb(PbConstraint::at_least([(3, lits[0]), (1, lits[1]), (1, lits[2])], 3));
         f.add_unit(!lits[1]);
         let mut e = default_engine(&f);
         match e.solve() {

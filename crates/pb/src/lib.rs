@@ -44,11 +44,15 @@ mod config;
 mod engine;
 mod explain;
 mod optimize;
+mod portfolio;
 
 pub use bnb::BnbSolver;
 pub use config::{EngineConfig, RestartPolicy, SolverKind};
 pub use engine::{PbEngine, PbStats};
 pub use explain::ExplainStrategy;
 pub use optimize::{optimize, solve_decision, OptOutcome, Optimizer};
+pub use portfolio::{
+    optimize_portfolio, portfolio_configs, solve_portfolio, PortfolioOptOutcome, PortfolioOutcome,
+};
 
-pub use sbgc_sat::{Budget, SolveOutcome};
+pub use sbgc_sat::{Budget, CancelToken, SolveOutcome};

@@ -96,10 +96,13 @@ impl Optimizer {
 
     /// Runs linear-search minimization under `budget`.
     pub fn run(&mut self, budget: &Budget) -> OptOutcome {
+        // Arm once here so every decision query of the strengthening loop
+        // shares the same wall-clock deadline.
+        let budget = budget.started();
         let objective = self.formula.objective().expect("checked in new").clone();
         let mut best: Option<(u64, Assignment)> = None;
         loop {
-            match self.engine.solve_with_budget(budget) {
+            match self.engine.solve_with_budget(&budget) {
                 SolveOutcome::Sat(model) => {
                     let value = objective.value(&model).expect("total model");
                     if let Some((b, bm)) = &best {
@@ -154,6 +157,10 @@ impl Optimizer {
 pub fn optimize(formula: &PbFormula, kind: SolverKind, budget: &Budget) -> OptOutcome {
     match kind {
         SolverKind::Cplex => BnbSolver::new(formula).run(budget),
+        SolverKind::Portfolio => {
+            let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
+            crate::optimize_portfolio(formula, &configs, budget).outcome
+        }
         _ => Optimizer::new(formula, kind).run(budget),
     }
 }
@@ -166,6 +173,10 @@ pub fn solve_decision(formula: &PbFormula, kind: SolverKind, budget: &Budget) ->
             let mut f = formula.clone();
             f.clear_objective();
             BnbSolver::new(&f).run_decision(budget)
+        }
+        SolverKind::Portfolio => {
+            let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
+            crate::solve_portfolio(formula, &configs, budget).outcome
         }
         _ => {
             let config = kind.engine_config().expect("CDCL kind");
@@ -194,7 +205,8 @@ mod tests {
     #[test]
     fn finds_optimum_with_every_cdcl_kind() {
         let f = setup();
-        for kind in [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy]
+        for kind in
+            [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy]
         {
             match optimize(&f, kind, &Budget::unlimited()) {
                 OptOutcome::Optimal { value, model } => {

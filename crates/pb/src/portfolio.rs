@@ -1,0 +1,382 @@
+//! Parallel portfolio solving with cooperative cancellation.
+//!
+//! The paper observes that PBS II, Galena and Pueblo — three configurations
+//! of the same CDCL-PB framework — "exhibit the same performance trends"
+//! but differ in *which* instances each wins. A portfolio exploits exactly
+//! that diversity: race one worker per [`EngineConfig`] on the same
+//! formula, take the first definitive answer, and cancel the rest through
+//! the shared [`CancelToken`] carried by every worker's [`Budget`] (a
+//! losing worker stops at its next stride-64 budget check, i.e. within
+//! ~64 conflicts).
+//!
+//! Two entry points mirror the sequential API:
+//!
+//! * [`solve_portfolio`] races decision solves ([`PbEngine`] workers);
+//! * [`optimize_portfolio`] races iterated-strengthening optimization
+//!   loops that share their incumbent bound through an `AtomicU64`, so any
+//!   worker's improvement immediately tightens every other worker's
+//!   objective cut.
+//!
+//! Everything is built on `std::thread::scope` — no dependencies beyond
+//! `std`.
+
+use crate::config::{EngineConfig, SolverKind};
+use crate::engine::{PbEngine, PbStats};
+use crate::optimize::OptOutcome;
+use sbgc_formula::{Assignment, PbConstraint, PbFormula};
+use sbgc_sat::{Budget, CancelToken, SolveOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Result of a [`solve_portfolio`] race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The decision answer (first definitive one, else `Unknown`).
+    pub outcome: SolveOutcome,
+    /// Index (into the `configs` slice) and configuration of the worker
+    /// that produced the definitive answer, when there was one.
+    pub winner: Option<(usize, EngineConfig)>,
+    /// Engine statistics summed over *all* workers — the total work spent,
+    /// not just the winner's share.
+    pub stats: PbStats,
+}
+
+/// Result of an [`optimize_portfolio`] race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOptOutcome {
+    /// The optimization answer (first worker to prove optimality or
+    /// infeasibility wins; otherwise the best shared incumbent).
+    pub outcome: OptOutcome,
+    /// Index and configuration of the winning worker, when one proved the
+    /// answer.
+    pub winner: Option<(usize, EngineConfig)>,
+    /// Engine statistics summed over all workers.
+    pub stats: PbStats,
+}
+
+fn add_stats(total: &mut PbStats, s: PbStats) {
+    total.decisions += s.decisions;
+    total.conflicts += s.conflicts;
+    total.propagations += s.propagations;
+    total.restarts += s.restarts;
+    total.learned += s.learned;
+    total.deleted += s.deleted;
+    total.pb_conflicts += s.pb_conflicts;
+}
+
+/// A diversified portfolio of `n` engine configurations.
+///
+/// Worker 0 is the plain PBS II preset with seed 0 — *identical* to the
+/// sequential default — so a 1-worker portfolio explores exactly the
+/// sequential search tree. Further workers cycle through the Galena,
+/// Pueblo and legacy-PBS presets (three explanation strategies × two
+/// restart/phase policies) and carry their worker index as the
+/// diversification seed, which deterministically perturbs initial phases
+/// and VSIDS tie-breaking. No wall-clock randomness anywhere: the same
+/// `n` always yields the same portfolio.
+pub fn portfolio_configs(n: usize) -> Vec<EngineConfig> {
+    const CYCLE: [SolverKind; 4] =
+        [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy];
+    (0..n.max(1))
+        .map(|i| {
+            let kind = CYCLE[i % CYCLE.len()];
+            kind.engine_config().expect("CDCL kind").with_seed(i as u64)
+        })
+        .collect()
+}
+
+/// Races one [`PbEngine`] per config on the decision problem; the first
+/// worker to answer Sat or Unsat cancels the rest.
+///
+/// With a single config this degenerates to the sequential solve (plus one
+/// scoped thread). All workers share the caller's `budget` — its deadline
+/// is armed once, here, so setup and losing workers don't extend it.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn solve_portfolio(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+) -> PortfolioOutcome {
+    assert!(!configs.is_empty(), "portfolio needs at least one config");
+    let budget = budget.started();
+    let race = CancelToken::new();
+    let winner: Mutex<Option<(usize, SolveOutcome)>> = Mutex::new(None);
+    let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
+
+    std::thread::scope(|s| {
+        for (index, &config) in configs.iter().enumerate() {
+            let worker_budget = budget.clone().with_cancel_token(race.clone());
+            let (race, winner, stats) = (&race, &winner, &stats);
+            s.spawn(move || {
+                let mut engine = PbEngine::from_formula(formula, config);
+                let out = engine.solve_with_budget(&worker_budget);
+                add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
+                if matches!(out, SolveOutcome::Sat(_) | SolveOutcome::Unsat) {
+                    let mut w = winner.lock().expect("winner lock");
+                    if w.is_none() {
+                        *w = Some((index, out));
+                        race.cancel();
+                    }
+                }
+            });
+        }
+    });
+
+    let (winner, outcome) = match winner.into_inner().expect("winner lock") {
+        Some((index, out)) => (Some((index, configs[index])), out),
+        None => (None, SolveOutcome::Unknown),
+    };
+    PortfolioOutcome { outcome, winner, stats: stats.into_inner().expect("stats lock") }
+}
+
+/// The shared incumbent of an optimization race: the best objective value
+/// (an `AtomicU64`, `u64::MAX` = none yet) plus a model attaining it.
+///
+/// Update protocol: the model goes into the mutex *before* the value is
+/// published with `fetch_min`, so any worker that observes value `v` in
+/// the atomic will find a model of value ≤ `v` behind the lock.
+struct Incumbent {
+    bound: AtomicU64,
+    model: Mutex<Option<(u64, Assignment)>>,
+}
+
+impl Incumbent {
+    fn new() -> Self {
+        Incumbent { bound: AtomicU64::new(u64::MAX), model: Mutex::new(None) }
+    }
+
+    /// Records `value`/`model` if it improves the incumbent. Returns the
+    /// best bound after the update.
+    fn offer(&self, value: u64, model: &Assignment) -> u64 {
+        {
+            let mut m = self.model.lock().expect("incumbent lock");
+            if m.as_ref().is_none_or(|(b, _)| value < *b) {
+                *m = Some((value, model.clone()));
+            }
+        }
+        self.bound.fetch_min(value, Ordering::Release).min(value)
+    }
+
+    fn bound(&self) -> u64 {
+        self.bound.load(Ordering::Acquire)
+    }
+
+    /// Clones the current best (value, model) pair.
+    fn snapshot(&self) -> Option<(u64, Assignment)> {
+        self.model.lock().expect("incumbent lock").clone()
+    }
+
+    fn take(self) -> Option<(u64, Assignment)> {
+        self.model.into_inner().expect("incumbent lock")
+    }
+}
+
+/// Adds `obj ≤ cut` to `engine` unless an equal or tighter cut is already
+/// present, tracking the tightest cut in `local_cut`.
+fn strengthen(
+    engine: &mut PbEngine,
+    objective: &sbgc_formula::Objective,
+    local_cut: &mut Option<u64>,
+    cut: u64,
+) {
+    if local_cut.is_none_or(|c| cut < c) {
+        engine.add_pb(PbConstraint::at_most(
+            objective.terms().iter().map(|&(c, l)| (c as i64, l)),
+            cut as i64,
+        ));
+        *local_cut = Some(cut);
+    }
+}
+
+/// Races one iterated-strengthening minimization loop per config.
+///
+/// Workers share their incumbent through an [`AtomicU64`] best bound: at
+/// each iteration a worker adopts the tightest known bound as an objective
+/// cut (`obj ≤ best − 1`), whether it was found locally or by a peer. The
+/// first worker to *prove* optimality (UNSAT under a cut) or infeasibility
+/// (UNSAT with no cut) cancels the rest. If the budget runs out first, the
+/// best shared incumbent is returned as `Feasible`.
+///
+/// Soundness of the UNSAT-under-cut case: every cut `obj ≤ c` is derived
+/// from a genuine model of value `c + 1` (local or shared), so the shared
+/// bound is ≤ `c + 1` when the cut exists; UNSAT proves no model of value
+/// ≤ `c` exists, so the shared bound is exactly `c + 1` and optimal.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the formula has no objective.
+pub fn optimize_portfolio(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+) -> PortfolioOptOutcome {
+    assert!(!configs.is_empty(), "portfolio needs at least one config");
+    let objective = formula.objective().expect("formula must carry an objective").clone();
+    let budget = budget.started();
+    let race = CancelToken::new();
+    let incumbent = Incumbent::new();
+    let winner: Mutex<Option<(usize, OptOutcome)>> = Mutex::new(None);
+    let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
+
+    std::thread::scope(|s| {
+        for (index, &config) in configs.iter().enumerate() {
+            let worker_budget = budget.clone().with_cancel_token(race.clone());
+            let (race, winner, stats, incumbent, objective) =
+                (&race, &winner, &stats, &incumbent, &objective);
+            s.spawn(move || {
+                let mut engine = PbEngine::from_formula(formula, config);
+                // Tightest objective cut this worker's engine carries.
+                let mut local_cut: Option<u64> = None;
+                let decided = loop {
+                    // Adopt the shared incumbent before (re)solving.
+                    let shared = incumbent.bound();
+                    if shared == 0 {
+                        // A peer holds a zero-cost model: globally optimal,
+                        // that peer records the win.
+                        break None;
+                    }
+                    if shared != u64::MAX {
+                        strengthen(&mut engine, objective, &mut local_cut, shared - 1);
+                    }
+                    if worker_budget.exhausted(engine.stats().conflicts) {
+                        break None;
+                    }
+                    match engine.solve_with_budget(&worker_budget) {
+                        SolveOutcome::Sat(model) => {
+                            let value = objective.value(&model).expect("total model");
+                            incumbent.offer(value, &model);
+                            if value == 0 {
+                                break Some(OptOutcome::Optimal { value: 0, model });
+                            }
+                            strengthen(&mut engine, objective, &mut local_cut, value - 1);
+                        }
+                        SolveOutcome::Unsat => {
+                            break Some(match local_cut {
+                                None => OptOutcome::Infeasible,
+                                Some(cut) => {
+                                    // No model of value ≤ cut exists, and a
+                                    // model of value cut + 1 is in the
+                                    // incumbent (see the update protocol).
+                                    let (value, model) =
+                                        incumbent.snapshot().expect("cut implies an incumbent");
+                                    debug_assert_eq!(value, cut + 1);
+                                    OptOutcome::Optimal { value, model }
+                                }
+                            });
+                        }
+                        SolveOutcome::Unknown => break None,
+                    }
+                };
+                add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
+                if let Some(outcome) = decided {
+                    let mut w = winner.lock().expect("winner lock");
+                    if w.is_none() {
+                        *w = Some((index, outcome));
+                        race.cancel();
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = stats.into_inner().expect("stats lock");
+    if let Some((index, outcome)) = winner.into_inner().expect("winner lock") {
+        return PortfolioOptOutcome { outcome, winner: Some((index, configs[index])), stats };
+    }
+    let outcome = match incumbent.take() {
+        Some((value, model)) => OptOutcome::Feasible { value, model },
+        None => OptOutcome::Unknown,
+    };
+    PortfolioOptOutcome { outcome, winner: None, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::{Lit, Objective, Var};
+
+    fn covering() -> PbFormula {
+        // minimize y0 + y1 + y2 s.t. pairwise covers; optimum 2.
+        let mut f = PbFormula::new();
+        let y: Vec<Lit> = f.new_vars(3).into_iter().map(Var::positive).collect();
+        f.add_clause([y[0], y[1]]);
+        f.add_clause([y[1], y[2]]);
+        f.add_clause([y[0], y[2]]);
+        f.set_objective(Objective::minimize(y.iter().map(|&l| (1, l))));
+        f
+    }
+
+    #[test]
+    fn configs_are_deterministic_and_start_sequential() {
+        let a = portfolio_configs(4);
+        let b = portfolio_configs(4);
+        assert_eq!(a, b);
+        assert_eq!(a[0], SolverKind::PbsII.engine_config().expect("cdcl"));
+        // All workers distinct (kind or seed differs).
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn decision_race_agrees_with_sequential() {
+        let f = covering();
+        for n in 1..=4 {
+            let out = solve_portfolio(&f, &portfolio_configs(n), &Budget::unlimited());
+            assert!(matches!(out.outcome, SolveOutcome::Sat(_)), "n={n}");
+            assert!(out.winner.is_some());
+            assert!(out.stats.decisions > 0);
+        }
+    }
+
+    #[test]
+    fn optimization_race_finds_the_optimum() {
+        let f = covering();
+        for n in 1..=4 {
+            let out = optimize_portfolio(&f, &portfolio_configs(n), &Budget::unlimited());
+            match out.outcome {
+                OptOutcome::Optimal { value, ref model } => {
+                    assert_eq!(value, 2, "n={n}");
+                    assert!(f.is_satisfied_by(model), "n={n}");
+                }
+                ref other => panic!("n={n}: expected optimal, got {other:?}"),
+            }
+            assert!(out.winner.is_some());
+        }
+    }
+
+    #[test]
+    fn infeasibility_is_detected() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        f.add_unit(a);
+        f.add_unit(!a);
+        f.set_objective(Objective::minimize([(1, a)]));
+        let out = optimize_portfolio(&f, &portfolio_configs(3), &Budget::unlimited());
+        assert!(out.outcome.is_infeasible());
+    }
+
+    #[test]
+    fn zero_budget_cancels_cleanly() {
+        let f = covering();
+        let b = Budget::unlimited().with_max_conflicts(0);
+        let out = optimize_portfolio(&f, &portfolio_configs(4), &b);
+        assert!(!out.outcome.is_infeasible());
+    }
+
+    #[test]
+    fn pre_cancelled_budget_returns_unknown() {
+        let f = covering();
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited().with_cancel_token(token);
+        let out = solve_portfolio(&f, &portfolio_configs(4), &b);
+        assert!(matches!(out.outcome, SolveOutcome::Unknown));
+        assert!(out.winner.is_none());
+    }
+}

@@ -150,18 +150,12 @@ fn many_sequential_queries_are_consistent() {
     f.add_exactly_one(&lits);
     let mut e = engine(&f);
     for &l in &lits {
-        let m = e
-            .solve_with_assumptions(&[l], &Budget::unlimited())
-            .model()
-            .cloned()
-            .expect("SAT");
+        let m = e.solve_with_assumptions(&[l], &Budget::unlimited()).model().cloned().expect("SAT");
         assert!(m.satisfies(l));
     }
     for i in 0..5 {
         for j in i + 1..5 {
-            assert!(e
-                .solve_with_assumptions(&[lits[i], lits[j]], &Budget::unlimited())
-                .is_unsat());
+            assert!(e.solve_with_assumptions(&[lits[i], lits[j]], &Budget::unlimited()).is_unsat());
         }
     }
 }

@@ -170,10 +170,7 @@ fn all_explain_strategies_learn_valid_clauses() {
         for chunk in v.chunks(3) {
             f.add_exactly_one(chunk);
         }
-        f.add_pb(PbConstraint::at_least(
-            v.iter().map(|&l| (1, l)),
-            3,
-        ));
+        f.add_pb(PbConstraint::at_least(v.iter().map(|&l| (1, l)), 3));
         f.add_pb(PbConstraint::at_most(v.iter().map(|&l| (1, l)).collect::<Vec<_>>(), 3));
         let config = EngineConfig { explain: strategy, ..EngineConfig::default() };
         let mut e = PbEngine::from_formula(&f, config);

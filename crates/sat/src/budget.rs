@@ -1,12 +1,51 @@
-//! Search budgets: conflict and wall-clock limits.
+//! Search budgets: conflict limits, wall-clock limits, and cooperative
+//! cancellation.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared flag that tells a running solver to stop at the next budget
+/// check.
+///
+/// Cloning a token yields a handle to the *same* flag, so one clone can be
+/// handed to a solver (inside a [`Budget`]) while another is kept to
+/// [`cancel`](CancelToken::cancel) it from a different thread. This is how
+/// the parallel portfolio stops losing workers once one worker finds a
+/// definitive answer: every worker's budget carries a clone of the race
+/// token, and the winner sets it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Trips the flag. All budgets carrying a clone of this token report
+    /// exhaustion from now on.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// A resource budget for a solver run.
 ///
 /// The paper runs every solver with a 1000-second timeout; our experiment
 /// harness uses much smaller wall-clock budgets so the full grid completes
 /// in-session, plus deterministic conflict budgets for reproducible tests.
+///
+/// Wall-clock budgets are *deferred*: [`with_timeout`](Budget::with_timeout)
+/// records the duration, and the countdown starts when a solver entry point
+/// calls [`started`](Budget::started). This lets a budget be built once
+/// (e.g. in a CLI config) and reused across solves without the setup time
+/// between construction and the first solve counting against the limit.
 ///
 /// # Example
 ///
@@ -19,16 +58,18 @@ use std::time::{Duration, Instant};
 /// assert!(!b.conflicts_exhausted(9_999));
 /// assert!(b.conflicts_exhausted(10_000));
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     max_conflicts: Option<u64>,
+    timeout: Option<Duration>,
     deadline: Option<Instant>,
+    cancel: Vec<CancelToken>,
 }
 
 impl Budget {
     /// A budget with no limits.
     pub fn unlimited() -> Self {
-        Budget { max_conflicts: None, deadline: None }
+        Budget::default()
     }
 
     /// Caps the number of conflicts.
@@ -37,10 +78,38 @@ impl Budget {
         self
     }
 
-    /// Caps wall-clock time, measured from the moment of this call.
+    /// Caps wall-clock time. The countdown is armed by
+    /// [`started`](Budget::started), which every solver entry point calls,
+    /// so the limit is measured from the start of the solve rather than
+    /// from this call.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+        self.timeout = Some(timeout);
+        self.deadline = None;
         self
+    }
+
+    /// Attaches a cancellation token. May be called more than once; the
+    /// budget is exhausted as soon as *any* attached token is cancelled,
+    /// so a caller-supplied token composes with e.g. a portfolio race
+    /// token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel.push(token);
+        self
+    }
+
+    /// Arms the wall-clock countdown, returning a budget whose deadline is
+    /// `now + timeout`. Idempotent: if the deadline is already armed (an
+    /// outer entry point started the clock), it is left untouched, so
+    /// nested solve calls — e.g. the decision queries inside an
+    /// optimization loop — share one deadline instead of each restarting
+    /// it.
+    #[must_use]
+    pub fn started(&self) -> Self {
+        let mut armed = self.clone();
+        if armed.deadline.is_none() {
+            armed.deadline = armed.timeout.map(|t| Instant::now() + t);
+        }
+        armed
     }
 
     /// Returns `true` once `conflicts` meets or exceeds the conflict cap.
@@ -48,20 +117,20 @@ impl Budget {
         self.max_conflicts.is_some_and(|m| conflicts >= m)
     }
 
-    /// Returns `true` once the wall-clock deadline has passed.
+    /// Returns `true` once the (armed) wall-clock deadline has passed.
     pub fn time_exhausted(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Returns `true` if either resource is exhausted.
-    pub fn exhausted(&self, conflicts: u64) -> bool {
-        self.conflicts_exhausted(conflicts) || self.time_exhausted()
+    /// Returns `true` once any attached cancellation token is tripped.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.iter().any(CancelToken::is_cancelled)
     }
-}
 
-impl Default for Budget {
-    fn default() -> Self {
-        Budget::unlimited()
+    /// Returns `true` if any resource is exhausted or the budget was
+    /// cancelled.
+    pub fn exhausted(&self, conflicts: u64) -> bool {
+        self.conflicts_exhausted(conflicts) || self.time_exhausted() || self.cancelled()
     }
 }
 
@@ -83,9 +152,42 @@ mod tests {
     }
 
     #[test]
-    fn elapsed_deadline() {
+    fn deadline_armed_at_start_not_construction() {
         let b = Budget::unlimited().with_timeout(Duration::from_secs(0));
         std::thread::sleep(Duration::from_millis(1));
+        // Not armed yet: construction time does not count.
+        assert!(!b.time_exhausted());
+        let b = b.started();
+        std::thread::sleep(Duration::from_millis(1));
         assert!(b.time_exhausted());
+    }
+
+    #[test]
+    fn started_is_idempotent() {
+        let b = Budget::unlimited().with_timeout(Duration::from_millis(200)).started();
+        let inner = b.started();
+        // The inner call must not push the deadline further out.
+        assert_eq!(b.deadline, inner.deadline);
+    }
+
+    #[test]
+    fn cancellation_exhausts() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel_token(token.clone());
+        assert!(!b.exhausted(0));
+        token.cancel();
+        assert!(b.exhausted(0));
+        assert!(b.cancelled());
+    }
+
+    #[test]
+    fn any_of_several_tokens_cancels() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel_token(a.clone()).with_cancel_token(b.clone());
+        assert!(!budget.exhausted(0));
+        b.cancel();
+        assert!(budget.exhausted(0));
+        assert!(!a.is_cancelled());
     }
 }

@@ -46,6 +46,6 @@ mod luby;
 pub mod naive;
 mod solver;
 
-pub use budget::Budget;
+pub use budget::{Budget, CancelToken};
 pub use luby::Luby;
 pub use solver::{SatSolver, SolveOutcome, SolverStats};

@@ -29,7 +29,7 @@ impl Luby {
             let i1 = i + 1;
             if i1 & (i1 + 1) == 0 {
                 // i+1 = 2^k - 1  =>  term is 2^(k-1)
-                return (i1 + 1) / 2;
+                return i1.div_ceil(2);
             }
             // Recurse: term(i) = term(i - 2^(k-1) + 1) where 2^(k-1) <= i+1.
             let k = 63 - i1.leading_zeros() as u64; // floor(log2(i+1))

@@ -403,10 +403,7 @@ impl SatSolver {
                 if r == NO_REASON {
                     return true;
                 }
-                !self.clauses[r as usize]
-                    .lits
-                    .iter()
-                    .all(|&x| x == !q || self.seen_or_root(x))
+                !self.clauses[r as usize].lits.iter().all(|&x| x == !q || self.seen_or_root(x))
             })
             .collect();
         // seen[] flags for learnt literals are needed by seen_or_root; set
@@ -498,15 +495,16 @@ impl SatSolver {
     /// decisions. An UNSAT result is assumption-relative: the solver stays
     /// usable (with all learned clauses) for further queries — the
     /// incremental interface of MiniSat-family solvers.
-    pub fn solve_with_assumptions(
-        &mut self,
-        assumptions: &[Lit],
-        budget: &Budget,
-    ) -> SolveOutcome {
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         self.solve_inner(assumptions, budget)
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        // Arm the wall-clock countdown (no-op if the caller already did).
+        let budget = budget.started();
+        if budget.cancelled() {
+            return SolveOutcome::Unknown;
+        }
         if !self.ok {
             return SolveOutcome::Unsat;
         }
@@ -566,8 +564,7 @@ impl SatSolver {
                     conflicts_until_restart = luby.next().unwrap_or(1) * restart_base;
                     self.backtrack_to(0);
                 }
-                let learned_live =
-                    (self.stats.learned - self.stats.deleted) as f64;
+                let learned_live = (self.stats.learned - self.stats.deleted) as f64;
                 if learned_live >= self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
@@ -786,8 +783,7 @@ mod tests {
         );
         assert!(unsat.is_unsat());
         // Drop one assumption: SAT, with the remaining literal true.
-        let out =
-            s.solve_with_assumptions(&[lit(0, true), lit(1, true)], &Budget::unlimited());
+        let out = s.solve_with_assumptions(&[lit(0, true), lit(1, true)], &Budget::unlimited());
         let m = out.model().expect("SAT");
         assert!(m.satisfies(lit(2, false)));
         assert!(s.solve().is_sat());

@@ -137,9 +137,7 @@ mod tests {
         f.add_pb(PbConstraint::at_least([(2, lits[0]), (1, lits[1]), (1, lits[2])], 2));
         let (perms, _) = detect(&f);
         assert!(perms.iter().all(|p| p.preserves(&f)));
-        assert!(perms
-            .iter()
-            .all(|p| p.apply(lits[0]).var() == lits[0].var()));
+        assert!(perms.iter().all(|p| p.apply(lits[0]).var() == lits[0].var()));
     }
 
     #[test]

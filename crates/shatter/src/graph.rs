@@ -197,10 +197,7 @@ mod tests {
         // Variables cannot swap (a is pinned by the unit marker), but each
         // variable's phase shift is still an automorphism of the graph
         // *structure* for the untouched variable b.
-        assert!(group
-            .generators()
-            .iter()
-            .all(|g| g.apply(a.code()) == a.code()));
+        assert!(group.generators().iter().all(|g| g.apply(a.code()) == a.code()));
     }
 
     #[test]
@@ -247,9 +244,6 @@ mod tests {
         // Swapping the two variables is a symmetry; so are the simultaneous
         // phase shifts allowed by the clause structure.
         assert!(group.order_u128().expect("small") >= 2);
-        assert!(group
-            .generators()
-            .iter()
-            .any(|g| g.apply(a.code()) == b.code()));
+        assert!(group.generators().iter().any(|g| g.apply(a.code()) == b.code()));
     }
 }

@@ -40,7 +40,7 @@ impl LitPermutation {
     /// with negation.
     pub fn from_images(images: Vec<u32>) -> Option<Self> {
         let n2 = images.len();
-        if n2 % 2 != 0 {
+        if !n2.is_multiple_of(2) {
             return None;
         }
         let mut seen = vec![false; n2];
@@ -117,9 +117,7 @@ impl LitPermutation {
     /// Panics if sizes differ.
     pub fn compose(&self, other: &LitPermutation) -> LitPermutation {
         assert_eq!(self.images.len(), other.images.len(), "size mismatch");
-        LitPermutation {
-            images: other.images.iter().map(|&m| self.images[m as usize]).collect(),
-        }
+        LitPermutation { images: other.images.iter().map(|&m| self.images[m as usize]).collect() }
     }
 
     /// Checks that applying this permutation to every constraint of
@@ -154,8 +152,7 @@ impl LitPermutation {
         // PB constraints as (sorted (coeff, lit-code) terms, rhs).
         let mut pb: BTreeMap<(Vec<(u64, u32)>, u64), isize> = BTreeMap::new();
         let canon_pb = |terms: &[(u64, Lit)], rhs: u64| {
-            let mut v: Vec<(u64, u32)> =
-                terms.iter().map(|&(a, l)| (a, l.code() as u32)).collect();
+            let mut v: Vec<(u64, u32)> = terms.iter().map(|&(a, l)| (a, l.code() as u32)).collect();
             v.sort_unstable();
             (v, rhs)
         };
@@ -174,11 +171,8 @@ impl LitPermutation {
         if let Some(obj) = formula.objective() {
             let mut canon: Vec<(u64, u32)> =
                 obj.terms().iter().map(|&(c, l)| (c, l.code() as u32)).collect();
-            let mut mapped: Vec<(u64, u32)> = obj
-                .terms()
-                .iter()
-                .map(|&(c, l)| (c, self.apply(l).code() as u32))
-                .collect();
+            let mut mapped: Vec<(u64, u32)> =
+                obj.terms().iter().map(|&(c, l)| (c, self.apply(l).code() as u32)).collect();
             canon.sort_unstable();
             mapped.sort_unstable();
             if canon != mapped {

@@ -153,11 +153,7 @@ mod tests {
     /// Brute-force check: an assignment satisfies the SBP (projected to
     /// original variables, with aux vars existentially quantified) iff it
     /// is lex ≤ its image under the permutation.
-    fn sbp_admits(
-        original_vars: usize,
-        formula: &PbFormula,
-        assignment_bits: u32,
-    ) -> bool {
+    fn sbp_admits(original_vars: usize, formula: &PbFormula, assignment_bits: u32) -> bool {
         let aux = formula.num_vars() - original_vars;
         (0..(1u32 << aux)).any(|aux_bits| {
             let asg = Assignment::from_bools(

@@ -29,9 +29,7 @@ fn random_formula(n: usize, seed: u64, with_objective: bool) -> PbFormula {
         f.add_pb(PbConstraint::at_least(lits.into_iter().map(|l| (1, l)), bound));
     }
     if with_objective {
-        f.set_objective(Objective::minimize(
-            (0..n).map(|i| (1, Var::from_index(i).positive())),
-        ));
+        f.set_objective(Objective::minimize((0..n).map(|i| (1, Var::from_index(i).positive()))));
     }
     f
 }
@@ -111,10 +109,7 @@ fn pigeonhole_speedup_in_conflicts() {
     let report = shatter(&mut g, &ShatterOptions::default());
     assert!(report.num_generators > 0, "PHP is full of symmetries");
     let broken = conflicts(&g);
-    assert!(
-        broken * 2 < plain,
-        "SBPs should at least halve conflicts: {broken} vs {plain}"
-    );
+    assert!(broken * 2 < plain, "SBPs should at least halve conflicts: {broken} vs {plain}");
 }
 
 #[test]

@@ -32,18 +32,14 @@ fn main() {
         println!("{name:<28} chi = {chi:?}   in {:?}", start.elapsed());
     };
 
-    timed("optimization (paper flow)", &|| {
-        chromatic_number(&graph, &options).exact()
-    });
+    timed("optimization (paper flow)", &|| chromatic_number(&graph, &options).exact());
     timed("decision, linear search", &|| {
         chromatic_number_by_decision(&graph, &options, SearchStrategy::Linear).exact()
     });
     timed("decision, binary search", &|| {
         chromatic_number_by_decision(&graph, &options, SearchStrategy::Binary).exact()
     });
-    timed("incremental (assumptions)", &|| {
-        chromatic_number_incremental(&graph, &options).exact()
-    });
+    timed("incremental (assumptions)", &|| chromatic_number_incremental(&graph, &options).exact());
 
     println!(
         "\nAll four must agree; the incremental variant reuses one solver\n\

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example figure1`
 
-use sbgc_core::{
-    add_instance_independent_sbps, ColoringEncoding, SbpMode,
-};
+use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
 use sbgc_graph::{Coloring, Graph};
 use sbgc_pb::{PbEngine, SolveOutcome, SolverKind};
 
@@ -46,10 +44,7 @@ fn main() {
     let graph = figure1_graph();
     println!("Figure 1 example: triangle V1V2V3 plus V4 adjacent to V3");
     println!("4-coloring admitted assignments per SBP construction:\n");
-    println!(
-        "{:<8} {:>12}   example cardinality vectors (n1,n2,n3,n4)",
-        "SBPs", "#assignments"
-    );
+    println!("{:<8} {:>12}   example cardinality vectors (n1,n2,n3,n4)", "SBPs", "#assignments");
     for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::LiPrefix] {
         let colorings = enumerate_colorings(&graph, 4, mode);
         let mut vectors: Vec<Vec<usize>> = colorings

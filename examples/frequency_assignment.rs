@@ -13,24 +13,19 @@ use sbgc_core::applications::{frequency_instance, Region};
 use sbgc_core::{solve_coloring, SbpMode, SolveOptions};
 
 fn main() {
-    let regions: Vec<Region> = [("north", 3), ("east", 2), ("south", 3), ("west", 2), ("center", 4)]
-        .into_iter()
-        .map(|(name, demand)| Region { name: name.into(), demand })
-        .collect();
+    let regions: Vec<Region> =
+        [("north", 3), ("east", 2), ("south", 3), ("west", 2), ("center", 4)]
+            .into_iter()
+            .map(|(name, demand)| Region { name: name.into(), demand })
+            .collect();
     // Adjacency between regions (center touches everything; ring otherwise).
     let adjacent = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4), (2, 4), (3, 4)];
     let instance = frequency_instance(&regions, &adjacent);
     let graph = &instance.graph;
-    println!(
-        "frequency graph: {} slots, {} conflicts",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("frequency graph: {} slots, {} conflicts", graph.num_vertices(), graph.num_edges());
 
     // How many frequencies does the whole map need?
-    let options = SolveOptions::new(16)
-        .with_sbp_mode(SbpMode::Nu)
-        .with_instance_dependent_sbps();
+    let options = SolveOptions::new(16).with_sbp_mode(SbpMode::Nu).with_instance_dependent_sbps();
     let report = solve_coloring(graph, &options);
     if let Some(shatter) = &report.shatter {
         println!(

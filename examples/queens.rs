@@ -18,10 +18,7 @@ fn main() {
     );
 
     let budget = || Budget::unlimited().with_timeout(Duration::from_secs(10));
-    println!(
-        "{:<8} {:>6} {:>12} {:>10}  outcome",
-        "SBPs", "i.-d.?", "time", "conflicts"
-    );
+    println!("{:<8} {:>6} {:>12} {:>10}  outcome", "SBPs", "i.-d.?", "time", "conflicts");
     for mode in SbpMode::ALL {
         for instance_dependent in [false, true] {
             let mut options = SolveOptions::new(8)

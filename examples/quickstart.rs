@@ -3,20 +3,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sbgc_core::{
-    chromatic_number, solve_coloring, ColoringOutcome, SbpMode, SolveOptions,
-};
+use sbgc_core::{chromatic_number, solve_coloring, ColoringOutcome, SbpMode, SolveOptions};
 use sbgc_graph::gen::mycielski;
 
 fn main() {
     // The Grötzsch graph: triangle-free but 4-chromatic — a classic
     // adversary for greedy colorers.
     let graph = mycielski(3);
-    println!(
-        "graph: myciel3 ({} vertices, {} edges)",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("graph: myciel3 ({} vertices, {} edges)", graph.num_vertices(), graph.num_edges());
 
     // One-call exact chromatic number (DSATUR bound + exact optimization).
     let result = chromatic_number(&graph, &SolveOptions::new(20));
@@ -42,16 +36,12 @@ fn main() {
     }
 
     // And once more with instance-dependent (Shatter) SBPs on top.
-    let options = SolveOptions::new(6)
-        .with_sbp_mode(SbpMode::Sc)
-        .with_instance_dependent_sbps();
+    let options = SolveOptions::new(6).with_sbp_mode(SbpMode::Sc).with_instance_dependent_sbps();
     let report = solve_coloring(&graph, &options);
     if let Some(shatter) = &report.shatter {
         println!(
             "shatter: |Aut| = 10^{:.1}, {} generators, detection {:?}",
-            shatter.symmetry.order_log10,
-            shatter.num_generators,
-            shatter.symmetry.detection_time
+            shatter.symmetry.order_log10, shatter.num_generators, shatter.symmetry.detection_time
         );
     }
     println!("with SC + instance-dependent SBPs: {:?}", report.outcome.colors());

@@ -10,13 +10,8 @@ use sbgc_pb::Budget;
 use std::time::Duration;
 
 /// Exact chromatic numbers of the exactly-reconstructed suite instances.
-const KNOWN_CHI: [(&str, usize); 5] = [
-    ("myciel3", 4),
-    ("myciel4", 5),
-    ("queen5_5", 5),
-    ("queen6_6", 7),
-    ("queen7_7", 7),
-];
+const KNOWN_CHI: [(&str, usize); 5] =
+    [("myciel3", 4), ("myciel4", 5), ("queen5_5", 5), ("queen6_6", 7), ("queen7_7", 7)];
 
 #[test]
 fn exact_instances_have_paper_chromatic_numbers() {

@@ -53,10 +53,7 @@ fn instance_dependent_sbps_cut_conflicts() {
     let g = queens(5, 5);
     let without = conflicts(&prepare(&g, 8, SbpMode::None, false));
     let with = conflicts(&prepare(&g, 8, SbpMode::None, true));
-    assert!(
-        with * 3 < without,
-        "i.d. SBPs should cut conflicts at least 3x: {with} vs {without}"
-    );
+    assert!(with * 3 < without, "i.d. SBPs should cut conflicts at least 3x: {with} vs {without}");
 }
 
 /// Trend 2 (Table 3): NU alone already helps over no SBPs.

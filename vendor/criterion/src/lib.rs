@@ -1,0 +1,235 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of statistical
+//! sampling it runs each routine `sample_size` times and prints the mean
+//! and min wall-clock time — enough to eyeball regressions offline.
+
+// API-compat shim, not product code: mirror upstream signatures verbatim.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] sizes its batches (ignored here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Runs a closure repeatedly and records timings.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed());
+            drop(black_box(out));
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.times.push(start.elapsed());
+            drop(black_box(out));
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many samples each benchmark in this group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.label, &b.times);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        self.report(&id.label, &b.times);
+        self
+    }
+
+    fn report(&self, label: &str, times: &[Duration]) {
+        if times.is_empty() {
+            println!("{}/{label}: no samples", self.name);
+            return;
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().expect("non-empty");
+        println!(
+            "{}/{label}: mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            self.name,
+            mean,
+            min,
+            times.len()
+        );
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for groups created afterwards.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.default_sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: self.default_sample_size, times: Vec::new() };
+        f(&mut b);
+        let group = BenchmarkGroup { name: String::new(), sample_size: self.default_sample_size };
+        group.report(name, &b.times);
+        self
+    }
+}
+
+/// Declares a benchmark group the way upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(4);
+        let mut setups = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}
