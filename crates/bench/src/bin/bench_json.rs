@@ -173,4 +173,6 @@ fn main() {
         par_total.as_secs_f64(),
         speedup
     );
+
+    sbgc_bench::write_report(&config, "bench_json");
 }

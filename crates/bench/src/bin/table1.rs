@@ -59,4 +59,6 @@ fn main() {
          are exact reconstructions; other families are calibrated synthetic\n\
          analogues (see DESIGN.md). chi is computed within --timeout (default 5s)."
     );
+
+    sbgc_bench::write_report(&config, "table1");
 }

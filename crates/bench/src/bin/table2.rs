@@ -78,4 +78,6 @@ fn main() {
          identity; SC should barely change #S. Run with --full --k 20 for\n\
          the paper's exact parameters (slow)."
     );
+
+    sbgc_bench::write_report(&config, "table2");
 }

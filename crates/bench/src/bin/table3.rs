@@ -66,4 +66,6 @@ pub fn run_table(config: &HarnessConfig, title: &str) {
          modes the simple ones (NU, SC, NU+SC) beat CA and LI; (3) SC + w/id is\n\
          the best overall; (4) the CPLEX* baseline does not benefit from SBPs."
     );
+
+    sbgc_bench::write_report(config, "table3");
 }

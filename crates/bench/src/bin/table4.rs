@@ -58,4 +58,6 @@ fn main() {
         "\nExpect the same trends as Table 3 but fewer instances decided: the\n\
          K = 30 encodings are half again as large."
     );
+
+    sbgc_bench::write_report(&config, "table4");
 }

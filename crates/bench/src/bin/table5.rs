@@ -70,4 +70,6 @@ fn main() {
          results with NU+SC; best with-i.d. results with SC; PBS (legacy)\n\
          follows the same trends as PBS II/Galena/Pueblo."
     );
+
+    sbgc_bench::write_report(&config, "table5");
 }

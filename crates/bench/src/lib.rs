@@ -16,12 +16,23 @@
 //! a quick subset so a complete run finishes in minutes — absolute times
 //! differ from the paper's 2002-era Sun Blade 1000s anyway, it is the
 //! relative ordering that reproduces).
+//!
+//! The table binaries and `bench_json` also accept `--report PATH`, which
+//! re-runs each configured instance once with a live [`Recorder`] attached
+//! and writes a structured JSON [`ReportFile`] — per-phase timings, search
+//! counters, encoding sizes, detection statistics, and (with `--jobs N`,
+//! N > 1) per-worker portfolio telemetry. The schema is documented
+//! field-by-field in `docs/OBSERVABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sbgc_core::{PreparedColoring, SbpMode, SolveOptions, SolverKind, SymmetryHandling};
+use sbgc_core::{
+    solve_coloring, ColoringOutcome, PreparedColoring, Recorder, SbpMode, SolveOptions, SolverKind,
+    SymmetryHandling,
+};
 use sbgc_graph::suite::{self, Instance};
+use sbgc_obs::{DetectionStats, EncodingSize, InstanceInfo, ReportFile, RunOutcome, RunReport};
 use sbgc_pb::Budget;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -43,6 +54,10 @@ pub struct HarnessConfig {
     /// solve times stay meaningful; only wall-clock completion of the
     /// whole table shrinks.
     pub jobs: usize,
+    /// When set (`--report PATH`), the binary writes a structured JSON
+    /// [`ReportFile`] of instrumented per-instance runs to this path after
+    /// the table prints. Schema documented in `docs/OBSERVABILITY.md`.
+    pub report: Option<String>,
 }
 
 /// The quick default subset: small and medium instances from five of the
@@ -60,6 +75,7 @@ impl HarnessConfig {
             instances: QUICK_INSTANCES.iter().map(|s| s.to_string()).collect(),
             per_instance: false,
             jobs: 1,
+            report: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -97,6 +113,11 @@ impl HarnessConfig {
                         .unwrap_or_else(|| usage("--jobs needs an integer"));
                     config.jobs = jobs.max(1);
                 }
+                "--report" => {
+                    i += 1;
+                    let path = args.get(i).unwrap_or_else(|| usage("--report needs a path"));
+                    config.report = Some(path.clone());
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
             i += 1;
@@ -119,7 +140,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
-         [--jobs N]"
+         [--jobs N] [--report PATH]"
     );
     std::process::exit(2)
 }
@@ -282,6 +303,107 @@ pub fn render_row(cells: &[String]) -> String {
     cells.join(" | ")
 }
 
+/// Runs one fully instrumented end-to-end solve of `inst` and assembles
+/// the [`RunReport`] for it.
+///
+/// The instrumented run uses the paper's strongest configuration — NU+SC
+/// instance-independent SBPs plus Shatter instance-dependent SBPs, solved
+/// by PBS II — under the harness budget. With `config.jobs > 1` the solve
+/// races that many portfolio workers, so the report carries one
+/// [`sbgc_obs::WorkerTelemetry`] record per worker; with `jobs == 1` the
+/// solve is sequential and `workers` is empty.
+pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport {
+    let recorder = Recorder::new();
+    let options = SolveOptions::new(config.k)
+        .with_sbp_mode(SbpMode::NuSc)
+        .with_instance_dependent_sbps()
+        .with_solver(SolverKind::PbsII)
+        .with_budget(config.budget())
+        .with_parallelism(config.jobs)
+        .with_recorder(recorder.clone());
+    let solved = solve_coloring(&inst.graph, &options);
+
+    let mut report = RunReport {
+        instance: InstanceInfo {
+            name: inst.meta.name.to_string(),
+            vertices: inst.graph.num_vertices(),
+            edges: inst.graph.num_edges(),
+        },
+        k: config.k,
+        sbp_mode: options.sbp_mode.display_name().to_string(),
+        solver: options.solver.display_name().to_string(),
+        jobs: config.jobs,
+        encoding: EncodingSize {
+            base_vars: solved.base_stats.vars,
+            base_clauses: solved.base_stats.clauses,
+            base_pb: solved.base_stats.pb_constraints(),
+            sbp_aux_vars: solved.sbp_stats.aux_vars,
+            sbp_clauses: solved.sbp_stats.clauses,
+            sbp_pb: solved.sbp_stats.pb_constraints,
+            final_vars: solved.final_stats.vars,
+            final_clauses: solved.final_stats.clauses,
+            final_pb: solved.final_stats.pb_constraints(),
+        },
+        detection: solved.shatter.as_ref().map(|s| DetectionStats {
+            seconds: s.symmetry.detection_time.as_secs_f64(),
+            generators: s.num_generators,
+            order_log10: s.symmetry.order_log10,
+            spurious_dropped: s.symmetry.spurious_dropped,
+            exact: s.symmetry.exact,
+            sbp_clauses: s.sbp.clauses,
+            sbp_aux_vars: s.sbp.aux_vars,
+        }),
+        total_seconds: solved.total_time.as_secs_f64(),
+        outcome: match &solved.outcome {
+            ColoringOutcome::Optimal { colors, .. } => {
+                RunOutcome { kind: "optimal".to_string(), colors: Some(*colors), decided: true }
+            }
+            ColoringOutcome::Feasible { colors, .. } => {
+                RunOutcome { kind: "feasible".to_string(), colors: Some(*colors), decided: false }
+            }
+            ColoringOutcome::InfeasibleAtK => {
+                RunOutcome { kind: "infeasible_at_k".to_string(), colors: None, decided: true }
+            }
+            ColoringOutcome::Unknown => {
+                RunOutcome { kind: "timeout".to_string(), colors: None, decided: false }
+            }
+        },
+        ..RunReport::default()
+    };
+    report.from_recorder(&recorder);
+    report
+}
+
+/// Writes the `--report PATH` file if the flag was given, re-running every
+/// configured instance once with a live [`Recorder`] attached.
+///
+/// The instrumented runs are separate from the table runs the binary just
+/// printed — the table grid varies SBP mode and solver per cell, while the
+/// report wants one canonical, fully-traced run per instance (see
+/// [`collect_run_report`]). Call this at the end of `main`. Exits with an
+/// error if the file cannot be written.
+pub fn write_report(config: &HarnessConfig, generator: &str) {
+    let Some(path) = &config.report else { return };
+    eprintln!("\ncollecting instrumented runs for --report {path}");
+    let instances = config.build_instances();
+    let runs: Vec<RunReport> =
+        instances.iter().map(|inst| collect_run_report(inst, config)).collect();
+    let file = ReportFile {
+        generator: generator.to_string(),
+        k: config.k,
+        timeout_s: config.timeout.as_secs_f64(),
+        jobs: config.jobs,
+        runs,
+    };
+    match std::fs::write(path, file.to_json()) {
+        Ok(()) => eprintln!("report written: {path}"),
+        Err(err) => {
+            eprintln!("error: could not write report to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +434,48 @@ mod tests {
     fn render_is_stable() {
         let c = GridCell { total_time: Duration::from_millis(1500), solved: 3 };
         assert_eq!(c.render(), "     1.5s   3");
+    }
+
+    #[test]
+    fn collected_report_carries_phases_counters_and_outcome() {
+        let config = HarnessConfig {
+            timeout: Duration::from_secs(30),
+            k: 5,
+            instances: vec!["myciel3".to_string()],
+            per_instance: false,
+            jobs: 1,
+            report: None,
+        };
+        let inst = suite::build("myciel3");
+        let report = collect_run_report(&inst, &config);
+        assert_eq!(report.instance.name, "myciel3");
+        assert_eq!(report.outcome.kind, "optimal");
+        assert_eq!(report.outcome.colors, Some(4)); // χ(myciel3) = 4
+        assert!(report.outcome.decided);
+        assert!(report.encoding.final_vars > report.encoding.base_vars);
+        assert!(report.detection.is_some(), "instance-dependent SBPs ran");
+        for (phase, timing) in &report.phases {
+            assert!(timing.count > 0, "phase {phase} never entered");
+        }
+        assert!(report.search.decisions > 0);
+        assert!(report.workers.is_empty(), "sequential run has no workers");
+        let json = report.to_json(0);
+        assert!(json.contains("\"kind\": \"optimal\""));
+    }
+
+    #[test]
+    fn collected_report_with_jobs_carries_worker_telemetry() {
+        let config = HarnessConfig {
+            timeout: Duration::from_secs(30),
+            k: 5,
+            instances: vec!["myciel3".to_string()],
+            per_instance: false,
+            jobs: 2,
+            report: None,
+        };
+        let inst = suite::build("myciel3");
+        let report = collect_run_report(&inst, &config);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.workers.iter().filter(|w| w.won).count(), 1);
     }
 }

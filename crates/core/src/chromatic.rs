@@ -147,9 +147,11 @@ pub fn chromatic_number_by_decision(
 ) -> ChromaticResult {
     use crate::encode::ColoringEncoding;
     use crate::sbp::add_instance_independent_sbps;
-    use sbgc_pb::solve_decision;
+    use sbgc_obs::Phase;
+    use sbgc_pb::solve_decision_recorded;
 
     assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
+    let recorder = &options.recorder;
     let b = bounds(graph);
     if b.lower >= b.upper {
         return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
@@ -157,21 +159,43 @@ pub fn chromatic_number_by_decision(
     // Query: is the graph k-colorable? Some(witness) / None, or Err on
     // budget exhaustion.
     let query = |k: usize| -> Result<Option<Coloring>, ()> {
-        let mut enc = ColoringEncoding::new(graph, k);
+        let mut enc = {
+            let _span = recorder.span(Phase::Encode);
+            ColoringEncoding::new(graph, k)
+        };
         enc.formula_mut().clear_objective();
-        let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+        {
+            let _span = recorder.span(Phase::Sbp);
+            let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+        }
         if matches!(options.symmetry, crate::flow::SymmetryHandling::WithInstanceDependent) {
+            let _span = recorder.span(Phase::Detect);
             let _ = sbgc_shatter::shatter(enc.formula_mut(), &options.shatter);
         }
         // Each K-query is an independent decision problem, so parallelism
         // applies per query: race a diversified portfolio when requested.
-        let out = match options.portfolio_workers() {
-            Some(n) => {
-                let configs = sbgc_pb::portfolio_configs(n);
-                sbgc_pb::solve_portfolio(enc.formula(), &configs, &options.budget).outcome
+        let out = {
+            let _span = recorder.span(Phase::Solve);
+            match options.portfolio_workers() {
+                Some(n) => {
+                    let configs = sbgc_pb::portfolio_configs(n);
+                    sbgc_pb::solve_portfolio_recorded(
+                        enc.formula(),
+                        &configs,
+                        &options.budget,
+                        recorder,
+                    )
+                    .outcome
+                }
+                None => solve_decision_recorded(
+                    enc.formula(),
+                    options.solver,
+                    &options.budget,
+                    recorder,
+                ),
             }
-            None => solve_decision(enc.formula(), options.solver, &options.budget),
         };
+        let _span = recorder.span(Phase::Verify);
         match out {
             out if out.is_unsat() => Ok(None),
             out => match out.model() {
@@ -240,11 +264,19 @@ pub fn chromatic_number_incremental(graph: &Graph, options: &SolveOptions) -> Ch
         return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
     }
     debug_assert!(!matches!(options.solver, SolverKind::Cplex));
+    let recorder = &options.recorder;
     let k = b.upper.min(options.k);
-    let mut enc = ColoringEncoding::new(graph, k);
+    let mut enc = {
+        let _span = recorder.span(sbgc_obs::Phase::Encode);
+        ColoringEncoding::new(graph, k)
+    };
     enc.formula_mut().clear_objective();
-    let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+    {
+        let _span = recorder.span(sbgc_obs::Phase::Sbp);
+        let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+    }
     let mut engine = PbEngine::from_formula(enc.formula(), config);
+    engine.set_recorder(recorder.clone());
 
     let mut best = b.witness.clone();
     let mut upper = b.upper.min(k + 1); // colors known achievable (may exceed k by DSATUR)
@@ -261,8 +293,13 @@ pub fn chromatic_number_incremental(graph: &Graph, options: &SolveOptions) -> Ch
         }
         let assumptions: Vec<sbgc_formula::Lit> =
             (target..k).map(|j| enc.y(j).negative()).collect();
-        match engine.solve_with_assumptions(&assumptions, &options.budget) {
+        let out = {
+            let _span = recorder.span(sbgc_obs::Phase::Solve);
+            engine.solve_with_assumptions(&assumptions, &options.budget)
+        };
+        match out {
             SolveOutcome::Sat(model) => {
+                let _span = recorder.span(sbgc_obs::Phase::Verify);
                 let Some(coloring) = enc.decode(&model).filter(|c| c.is_proper(graph)) else {
                     return ChromaticResult::Bounded { lower, upper, witness: best };
                 };

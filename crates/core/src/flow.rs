@@ -5,7 +5,8 @@ use crate::encode::ColoringEncoding;
 use crate::sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 use sbgc_formula::FormulaStats;
 use sbgc_graph::{Coloring, Graph};
-use sbgc_pb::{optimize, Budget, OptOutcome, SolverKind};
+use sbgc_obs::{Phase, Recorder};
+use sbgc_pb::{optimize_recorded, Budget, OptOutcome, SolverKind};
 use sbgc_shatter::{shatter, ShatterOptions, ShatterReport};
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,11 @@ pub struct SolveOptions {
     /// cancellation (see [`sbgc_pb::solve_portfolio`]). Ignored by the
     /// branch-and-bound [`SolverKind::Cplex`] baseline.
     pub parallelism: usize,
+    /// Observability sink: an enabled [`Recorder`] receives phase spans
+    /// (encode/sbp/detect/solve/verify), solver counters, and per-worker
+    /// portfolio telemetry. The default disabled recorder adds only
+    /// stride-boundary branches to the hot paths.
+    pub recorder: Recorder,
 }
 
 impl SolveOptions {
@@ -57,6 +63,7 @@ impl SolveOptions {
             budget: Budget::unlimited(),
             shatter: ShatterOptions::default(),
             parallelism: 1,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -87,6 +94,13 @@ impl SolveOptions {
     /// Sets the number of parallel solver workers (clamped to ≥ 1).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Attaches an observability [`Recorder`]; the flow and the solvers
+    /// it runs will log phase spans and search counters into it.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -189,6 +203,8 @@ pub struct PreparedColoring {
     sbp_stats: SbpSizeStats,
     shatter: Option<ShatterReport>,
     prepare_time: Duration,
+    /// Recorder captured at prepare time; solve calls log into it too.
+    recorder: Recorder,
 }
 
 impl PreparedColoring {
@@ -201,13 +217,21 @@ impl PreparedColoring {
     ///
     /// Panics if `options.k == 0`.
     pub fn new(graph: &Graph, options: &SolveOptions) -> Self {
+        let recorder = options.recorder.clone();
         let start = Instant::now();
-        let mut encoding = ColoringEncoding::new(graph, options.k);
+        let mut encoding = {
+            let _span = recorder.span(Phase::Encode);
+            ColoringEncoding::new(graph, options.k)
+        };
         let base_stats = encoding.formula().stats();
-        let sbp_stats = add_instance_independent_sbps(&mut encoding, graph, options.sbp_mode);
+        let sbp_stats = {
+            let _span = recorder.span(Phase::Sbp);
+            add_instance_independent_sbps(&mut encoding, graph, options.sbp_mode)
+        };
         let shatter_report = match options.symmetry {
             SymmetryHandling::InstanceIndependentOnly => None,
             SymmetryHandling::WithInstanceDependent => {
+                let _span = recorder.span(Phase::Detect);
                 Some(shatter(encoding.formula_mut(), &options.shatter))
             }
         };
@@ -219,6 +243,7 @@ impl PreparedColoring {
             sbp_stats,
             shatter: shatter_report,
             prepare_time: start.elapsed(),
+            recorder,
         }
     }
 
@@ -281,12 +306,21 @@ impl PreparedColoring {
             _ => None,
         };
         let start = Instant::now();
-        let result = match workers {
-            Some(n) => {
-                let configs = sbgc_pb::portfolio_configs(n);
-                sbgc_pb::optimize_portfolio(self.encoding.formula(), &configs, budget).outcome
+        let result = {
+            let _span = self.recorder.span(Phase::Solve);
+            match workers {
+                Some(n) => {
+                    let configs = sbgc_pb::portfolio_configs(n);
+                    sbgc_pb::optimize_portfolio_recorded(
+                        self.encoding.formula(),
+                        &configs,
+                        budget,
+                        &self.recorder,
+                    )
+                    .outcome
+                }
+                None => optimize_recorded(self.encoding.formula(), solver, budget, &self.recorder),
             }
-            None => optimize(self.encoding.formula(), solver, budget),
         };
         let solve_time = start.elapsed();
 
@@ -301,17 +335,22 @@ impl PreparedColoring {
             Some(coloring)
         };
 
-        let outcome = match result {
-            OptOutcome::Optimal { value, model } => match decode_verified(value, &model) {
-                Some(coloring) => ColoringOutcome::Optimal { coloring, colors: value as usize },
-                None => ColoringOutcome::Unknown,
-            },
-            OptOutcome::Feasible { value, model } => match decode_verified(value, &model) {
-                Some(coloring) => ColoringOutcome::Feasible { coloring, colors: value as usize },
-                None => ColoringOutcome::Unknown,
-            },
-            OptOutcome::Infeasible => ColoringOutcome::InfeasibleAtK,
-            OptOutcome::Unknown => ColoringOutcome::Unknown,
+        let outcome = {
+            let _span = self.recorder.span(Phase::Verify);
+            match result {
+                OptOutcome::Optimal { value, model } => match decode_verified(value, &model) {
+                    Some(coloring) => ColoringOutcome::Optimal { coloring, colors: value as usize },
+                    None => ColoringOutcome::Unknown,
+                },
+                OptOutcome::Feasible { value, model } => match decode_verified(value, &model) {
+                    Some(coloring) => {
+                        ColoringOutcome::Feasible { coloring, colors: value as usize }
+                    }
+                    None => ColoringOutcome::Unknown,
+                },
+                OptOutcome::Infeasible => ColoringOutcome::InfeasibleAtK,
+                OptOutcome::Unknown => ColoringOutcome::Unknown,
+            }
         };
 
         SolveReport {
@@ -446,6 +485,36 @@ mod tests {
         assert!(report.final_stats.vars > report.base_stats.vars);
         assert!(report.final_stats.clauses > report.base_stats.clauses);
         assert_eq!(report.sbp_stats.aux_vars, 3 * 4);
+    }
+
+    #[test]
+    fn recorder_captures_phase_timings_and_counters() {
+        let g = queens(5, 5);
+        let rec = Recorder::new();
+        let opts = SolveOptions::new(6)
+            .with_sbp_mode(SbpMode::NuSc)
+            .with_instance_dependent_sbps()
+            .with_recorder(rec.clone());
+        let report = solve_coloring(&g, &opts);
+        assert!(report.outcome.is_decided());
+        for phase in Phase::ALL {
+            assert!(rec.phase_count(phase) > 0, "no {phase} span recorded");
+        }
+        assert!(rec.counter(sbgc_obs::Counter::Decisions) > 0);
+        assert_eq!(rec.open_spans(), 0);
+        // Sequential solve: no portfolio worker records.
+        assert!(rec.workers().is_empty());
+    }
+
+    #[test]
+    fn recorder_captures_portfolio_workers() {
+        let g = queens(5, 5);
+        let rec = Recorder::new();
+        let opts = SolveOptions::new(6).with_parallelism(3).with_recorder(rec.clone());
+        let report = solve_coloring(&g, &opts);
+        assert!(report.outcome.is_decided());
+        assert_eq!(rec.workers().len(), 3);
+        assert_eq!(rec.workers().iter().filter(|w| w.won).count(), 1);
     }
 
     #[test]

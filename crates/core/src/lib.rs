@@ -60,4 +60,5 @@ pub use flow::{
 pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 
 pub use sbgc_graph::{Coloring, Graph};
+pub use sbgc_obs::{Counter, Phase, Recorder, RunReport};
 pub use sbgc_pb::{Budget, SolverKind};

@@ -1,0 +1,134 @@
+//! A minimal JSON writer — just enough for the report schema, so the
+//! workspace stays free of serialization dependencies.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; those are
+/// clamped to `null`).
+pub(crate) fn number(x: f64) -> String {
+    if x.is_finite() {
+        // Enough precision for microsecond-scale durations.
+        let s = format!("{x:.9}");
+        // Trim trailing zeros but keep at least one decimal digit so the
+        // value round-trips as a float, not an integer.
+        let trimmed = s.trim_end_matches('0');
+        let mut t = trimmed.to_string();
+        if t.ends_with('.') {
+            t.push('0');
+        }
+        t
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An object under construction: `field` calls accumulate pre-rendered
+/// values, `finish` emits `{...}` with the given indentation.
+pub(crate) struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Obj { fields: Vec::new() }
+    }
+
+    /// Adds a field whose value is already valid JSON.
+    pub(crate) fn raw(&mut self, name: &str, value: impl Into<String>) -> &mut Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    pub(crate) fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.raw(name, format!("\"{}\"", escape(value)))
+    }
+
+    pub(crate) fn uint(&mut self, name: &str, value: u64) -> &mut Self {
+        self.raw(name, value.to_string())
+    }
+
+    pub(crate) fn usize(&mut self, name: &str, value: usize) -> &mut Self {
+        self.raw(name, value.to_string())
+    }
+
+    pub(crate) fn float(&mut self, name: &str, value: f64) -> &mut Self {
+        self.raw(name, number(value))
+    }
+
+    pub(crate) fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.raw(name, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object with `indent` spaces of leading indentation for
+    /// the closing brace and `indent + 2` for each field.
+    pub(crate) fn finish(&self, indent: usize) -> String {
+        if self.fields.is_empty() {
+            return "{}".to_string();
+        }
+        let pad = " ".repeat(indent + 2);
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}\"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n{}}}", " ".repeat(indent))
+    }
+}
+
+/// Renders a JSON array of pre-rendered values.
+pub(crate) fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent + 2);
+    let body = items.iter().map(|v| format!("{pad}{v}")).collect::<Vec<_>>().join(",\n");
+    format!("[\n{body}\n{}]", " ".repeat(indent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_finite_json() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let mut o = Obj::new();
+        o.str("name", "x").uint("n", 3);
+        let s = o.finish(0);
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("\"n\": 3"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Structured solver observability for the `sbgc` workspace.
+//!
+//! The paper's headline claims are *comparative* — which symmetry-breaking
+//! construction wins, and whether the win comes from search-space pruning
+//! or is eaten by clause overhead. Answering that requires attributing
+//! wall-clock to the pipeline's phases (encoding, SBP generation,
+//! automorphism detection, CDCL search, verification) and counting search
+//! events per solver worker. This crate provides the three pieces every
+//! other crate shares:
+//!
+//! * [`Recorder`] — a lightweight, zero-dependency event recorder:
+//!   RAII [phase spans](Recorder::span) with monotonic timing, typed
+//!   atomic [counters](Counter), and per-worker [telemetry
+//!   records](WorkerTelemetry). A disabled recorder (the default) records
+//!   nothing and costs one branch per call site, so the solver hot paths
+//!   only consult it at stride boundaries (like the existing stride-64
+//!   budget check).
+//! * [`RunReport`] — one serializable struct aggregating everything a
+//!   single end-to-end coloring run produced: graph statistics, encoding
+//!   sizes per SBP construction, automorphism-detection results, phase
+//!   timings, summed search counters and per-worker portfolio telemetry.
+//! * [`ReportFile`] — the envelope the bench binaries write with
+//!   `--report out.json`; the JSON schema is documented field-by-field in
+//!   `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_obs::{Counter, Phase, Recorder};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _span = rec.span(Phase::Encode);
+//!     // ... encode the instance ...
+//!     rec.add(Counter::Conflicts, 3);
+//! } // span closes here, recording its duration
+//!
+//! assert_eq!(rec.counter(Counter::Conflicts), 3);
+//! assert_eq!(rec.spans().len(), 1);
+//! assert!(rec.phase_time(Phase::Encode) > std::time::Duration::ZERO);
+//!
+//! // The disabled recorder is free and records nothing.
+//! let off = Recorder::disabled();
+//! let _span = off.span(Phase::Solve);
+//! off.add(Counter::Conflicts, 1_000_000);
+//! assert_eq!(off.counter(Counter::Conflicts), 0);
+//! assert!(off.spans().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod recorder;
+mod report;
+
+pub use recorder::{
+    Counter, Phase, Recorder, SearchCounters, SpanGuard, SpanRecord, WorkerTelemetry,
+};
+pub use report::{
+    DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile, RunOutcome, RunReport,
+    SCHEMA_VERSION,
+};

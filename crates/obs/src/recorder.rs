@@ -1,0 +1,445 @@
+//! The event recorder: phase spans, typed counters, worker telemetry.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The pipeline phases a [`Recorder`] can time.
+///
+/// Each phase corresponds to one stage of the end-to-end coloring flow
+/// (`encode → sbp → detect → solve → verify`); see `docs/OBSERVABILITY.md`
+/// for exactly which code runs under which phase.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Building the K-coloring 0-1 ILP encoding from the graph.
+    Encode,
+    /// Appending instance-independent SBPs (NU/CA/LI/SC/…).
+    Sbp,
+    /// The Shatter flow: symmetry detection + lex-leader SBP generation.
+    Detect,
+    /// The solver search (sequential or portfolio race).
+    Solve,
+    /// Decoding the model and re-verifying the coloring against the graph.
+    Verify,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] =
+        [Phase::Encode, Phase::Sbp, Phase::Detect, Phase::Solve, Phase::Verify];
+
+    /// The lower-case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Encode => "encode",
+            Phase::Sbp => "sbp",
+            Phase::Detect => "detect",
+            Phase::Solve => "solve",
+            Phase::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The typed counters a [`Recorder`] accumulates.
+///
+/// Counters are monotonically increasing `u64`s updated with relaxed
+/// atomics, so portfolio workers can record concurrently without locks.
+/// Solvers flush counter deltas at stride boundaries (every 64 conflicts)
+/// and at solve exit, so a live reader sees progress at that granularity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Counter {
+    /// Branching decisions made.
+    Decisions,
+    /// Conflicts analyzed.
+    Conflicts,
+    /// Literals propagated (trail pushes).
+    Propagations,
+    /// Restarts performed.
+    Restarts,
+    /// Clauses learned.
+    Learned,
+    /// Learned clauses deleted by database reduction.
+    Deleted,
+    /// Conflicts whose analysis touched a PB constraint.
+    PbConflicts,
+    /// Total literals across all learned clauses (divide by
+    /// [`Counter::Learned`] for the mean learned-clause size).
+    LearnedLiterals,
+}
+
+impl Counter {
+    /// All counters, in report order.
+    pub const ALL: [Counter; 8] = [
+        Counter::Decisions,
+        Counter::Conflicts,
+        Counter::Propagations,
+        Counter::Restarts,
+        Counter::Learned,
+        Counter::Deleted,
+        Counter::PbConflicts,
+        Counter::LearnedLiterals,
+    ];
+
+    /// The snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Decisions => "decisions",
+            Counter::Conflicts => "conflicts",
+            Counter::Propagations => "propagations",
+            Counter::Restarts => "restarts",
+            Counter::Learned => "learned",
+            Counter::Deleted => "deleted",
+            Counter::PbConflicts => "pb_conflicts",
+            Counter::LearnedLiterals => "learned_literals",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::Decisions => 0,
+            Counter::Conflicts => 1,
+            Counter::Propagations => 2,
+            Counter::Restarts => 3,
+            Counter::Learned => 4,
+            Counter::Deleted => 5,
+            Counter::PbConflicts => 6,
+            Counter::LearnedLiterals => 7,
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A plain-data snapshot of the search counters (one solver run or one
+/// portfolio worker). The same eight quantities as [`Counter`], as struct
+/// fields so they can be embedded in reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted: u64,
+    /// Conflicts whose analysis touched a PB constraint.
+    pub pb_conflicts: u64,
+    /// Total literals across all learned clauses.
+    pub learned_literals: u64,
+}
+
+impl SearchCounters {
+    /// Mean learned-clause length, or `None` before the first learned
+    /// clause.
+    pub fn mean_learned_len(&self) -> Option<f64> {
+        (self.learned > 0).then(|| self.learned_literals as f64 / self.learned as f64)
+    }
+
+    /// Reads the field corresponding to a [`Counter`].
+    pub fn get(&self, counter: Counter) -> u64 {
+        match counter {
+            Counter::Decisions => self.decisions,
+            Counter::Conflicts => self.conflicts,
+            Counter::Propagations => self.propagations,
+            Counter::Restarts => self.restarts,
+            Counter::Learned => self.learned,
+            Counter::Deleted => self.deleted,
+            Counter::PbConflicts => self.pb_conflicts,
+            Counter::LearnedLiterals => self.learned_literals,
+        }
+    }
+}
+
+/// One finished span: which phase ran, when it started (relative to the
+/// recorder's creation), for how long, and at which nesting depth.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    /// The phase the span timed.
+    pub phase: Phase,
+    /// Start offset from the recorder's creation instant.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+    /// Nesting depth at open time (0 = top level). Spans opened while
+    /// another span is open — e.g. a per-query `solve` inside an outer
+    /// flow — report depth ≥ 1.
+    pub depth: usize,
+}
+
+/// Per-worker telemetry of one portfolio race, recorded by
+/// `sbgc-pb::solve_portfolio` / `optimize_portfolio` when given an enabled
+/// recorder.
+#[derive(Clone, Debug)]
+pub struct WorkerTelemetry {
+    /// Worker index into the portfolio's config slice.
+    pub index: usize,
+    /// The worker's diversification seed.
+    pub seed: u64,
+    /// Human-readable description of the worker's engine configuration.
+    pub config: String,
+    /// The worker's own search counters (not summed with its peers).
+    pub search: SearchCounters,
+    /// Whether this worker produced the definitive answer.
+    pub won: bool,
+    /// For losing workers in a decided race: wall-clock delay between the
+    /// winner tripping the shared cancellation token (`sbgc-sat`'s
+    /// `CancelToken`) and this worker returning — the
+    /// cooperative-cancellation latency (≈ up to 64 conflicts of work).
+    /// `None` for the winner and for undecided races.
+    pub cancel_latency: Option<Duration>,
+    /// Total wall-clock time this worker ran.
+    pub run_time: Duration,
+}
+
+struct Inner {
+    epoch: Instant,
+    depth: AtomicUsize,
+    counters: [AtomicU64; Counter::ALL.len()],
+    spans: Mutex<Vec<SpanRecord>>,
+    workers: Mutex<Vec<WorkerTelemetry>>,
+}
+
+/// A lightweight event/span recorder shared across the solving pipeline.
+///
+/// A `Recorder` is either *enabled* (created by [`Recorder::new`]) or
+/// *disabled* ([`Recorder::disabled`], also the `Default`). Cloning an
+/// enabled recorder yields a handle to the **same** log, so one recorder
+/// can be handed to the flow, the solver and every portfolio worker, and
+/// all of them append to one place. Every recording method on a disabled
+/// recorder is a no-op behind a single branch
+/// ([`is_enabled`](Recorder::is_enabled)), which is why the solvers only
+/// consult it at stride boundaries.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder. Its monotonic epoch (the zero point of
+    /// [`SpanRecord::start`]) is the creation instant.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                depth: AtomicUsize::new(0),
+                counters: Default::default(),
+                spans: Mutex::new(Vec::new()),
+                workers: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Creates a disabled recorder: every recording call is a no-op and
+    /// every query returns empty/zero.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder records anything. Call sites on hot paths
+    /// should check this once per stride, not per event.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span for `phase`; the span is recorded when the
+    /// returned guard drops (including during panic unwinding). Spans may
+    /// nest; guards close in LIFO order by construction.
+    pub fn span(&self, phase: Phase) -> SpanGuard {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return SpanGuard { inner: None, phase, start: None, depth: 0 },
+        };
+        let depth = inner.depth.fetch_add(1, Ordering::Relaxed);
+        SpanGuard { inner: Some(Arc::clone(inner)), phase, start: Some(Instant::now()), depth }
+    }
+
+    /// Adds `n` to a typed counter (relaxed atomic; race-free across
+    /// threads).
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            if n > 0 {
+                inner.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.counters[counter.index()].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of all counters as a [`SearchCounters`] struct.
+    pub fn search_counters(&self) -> SearchCounters {
+        SearchCounters {
+            decisions: self.counter(Counter::Decisions),
+            conflicts: self.counter(Counter::Conflicts),
+            propagations: self.counter(Counter::Propagations),
+            restarts: self.counter(Counter::Restarts),
+            learned: self.counter(Counter::Learned),
+            deleted: self.counter(Counter::Deleted),
+            pb_conflicts: self.counter(Counter::PbConflicts),
+            learned_literals: self.counter(Counter::LearnedLiterals),
+        }
+    }
+
+    /// Records one portfolio worker's telemetry.
+    pub fn record_worker(&self, worker: WorkerTelemetry) {
+        if let Some(inner) = &self.inner {
+            inner.workers.lock().expect("worker log").push(worker);
+        }
+    }
+
+    /// All finished spans, in the order they *closed* (nested spans
+    /// therefore appear before their parents).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.spans.lock().expect("span log").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All recorded worker telemetry, in recording order.
+    pub fn workers(&self) -> Vec<WorkerTelemetry> {
+        match &self.inner {
+            Some(inner) => inner.workers.lock().expect("worker log").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total time spent in `phase` (sum over its finished spans).
+    pub fn phase_time(&self, phase: Phase) -> Duration {
+        self.spans().iter().filter(|s| s.phase == phase).map(|s| s.duration).sum()
+    }
+
+    /// Number of finished spans of `phase`.
+    pub fn phase_count(&self, phase: Phase) -> usize {
+        self.spans().iter().filter(|s| s.phase == phase).count()
+    }
+
+    /// The number of currently open spans (0 once all guards dropped).
+    pub fn open_spans(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.depth.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Recorder(spans={}, workers={}, conflicts={})",
+                inner.spans.lock().map(|s| s.len()).unwrap_or(0),
+                inner.workers.lock().map(|w| w.len()).unwrap_or(0),
+                inner.counters[Counter::Conflicts.index()].load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records the span when
+/// dropped. Dropping during panic unwinding still records, so phase
+/// accounting stays balanced even when a stage fails.
+#[must_use = "a span guard records its phase only when dropped"]
+pub struct SpanGuard {
+    inner: Option<Arc<Inner>>,
+    phase: Phase,
+    start: Option<Instant>,
+    depth: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (self.inner.take(), self.start) else {
+            return;
+        };
+        let record = SpanRecord {
+            phase: self.phase,
+            start: start.duration_since(inner.epoch),
+            duration: start.elapsed(),
+            depth: self.depth,
+        };
+        // Decrement depth before taking the lock so a panicking thread
+        // cannot leave the depth counter stuck if the mutex is poisoned.
+        inner.depth.fetch_sub(1, Ordering::Relaxed);
+        if let Ok(mut spans) = inner.spans.lock() {
+            spans.push(record);
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_log() {
+        let a = Recorder::new();
+        let b = a.clone();
+        b.add(Counter::Decisions, 7);
+        {
+            let _s = b.span(Phase::Solve);
+        }
+        assert_eq!(a.counter(Counter::Decisions), 7);
+        assert_eq!(a.spans().len(), 1);
+    }
+
+    #[test]
+    fn phase_time_sums_spans() {
+        let r = Recorder::new();
+        for _ in 0..3 {
+            let _s = r.span(Phase::Encode);
+        }
+        assert_eq!(r.phase_count(Phase::Encode), 3);
+        assert_eq!(r.phase_count(Phase::Solve), 0);
+    }
+
+    #[test]
+    fn nested_spans_report_depth() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span(Phase::Solve);
+            let _inner = r.span(Phase::Verify);
+        }
+        let spans = r.spans();
+        // Inner closes first.
+        assert_eq!(spans[0].phase, Phase::Verify);
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].phase, Phase::Solve);
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(r.open_spans(), 0);
+    }
+
+    #[test]
+    fn mean_learned_len() {
+        let c = SearchCounters { learned: 4, learned_literals: 10, ..Default::default() };
+        assert_eq!(c.mean_learned_len(), Some(2.5));
+        assert_eq!(SearchCounters::default().mean_learned_len(), None);
+    }
+}

@@ -1,0 +1,343 @@
+//! The unified run report: one serializable struct per end-to-end
+//! coloring run, plus the [`ReportFile`] envelope the bench binaries
+//! write with `--report out.json`.
+//!
+//! The JSON schema emitted here is documented field-by-field in
+//! `docs/OBSERVABILITY.md`; bump [`SCHEMA_VERSION`] when a field is
+//! added, removed, or changes meaning.
+
+use crate::json::{self, Obj};
+use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry};
+
+/// Version of the JSON schema emitted by [`RunReport::to_json`] and
+/// [`ReportFile::to_json`]. Incremented on any incompatible change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identity and size of the graph instance a run solved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Instance name as the benchmark tables print it (e.g. `"miles250"`).
+    pub name: String,
+    /// Number of vertices in the graph.
+    pub vertices: usize,
+    /// Number of undirected edges in the graph.
+    pub edges: usize,
+}
+
+/// Size of the encoded formula, split into the base coloring encoding
+/// and the symmetry-breaking predicates layered on top.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodingSize {
+    /// Variables in the base coloring encoding (before any SBPs).
+    pub base_vars: usize,
+    /// Clauses in the base coloring encoding.
+    pub base_clauses: usize,
+    /// Pseudo-Boolean constraints in the base coloring encoding.
+    pub base_pb: usize,
+    /// Auxiliary variables introduced by symmetry-breaking predicates.
+    pub sbp_aux_vars: usize,
+    /// Clauses added by symmetry-breaking predicates.
+    pub sbp_clauses: usize,
+    /// Pseudo-Boolean constraints added by symmetry-breaking predicates.
+    pub sbp_pb: usize,
+    /// Total variables in the final formula handed to the solver.
+    pub final_vars: usize,
+    /// Total clauses in the final formula.
+    pub final_clauses: usize,
+    /// Total pseudo-Boolean constraints in the final formula.
+    pub final_pb: usize,
+}
+
+impl EncodingSize {
+    fn to_json(self, indent: usize) -> String {
+        let mut o = Obj::new();
+        o.usize("base_vars", self.base_vars)
+            .usize("base_clauses", self.base_clauses)
+            .usize("base_pb", self.base_pb)
+            .usize("sbp_aux_vars", self.sbp_aux_vars)
+            .usize("sbp_clauses", self.sbp_clauses)
+            .usize("sbp_pb", self.sbp_pb)
+            .usize("final_vars", self.final_vars)
+            .usize("final_clauses", self.final_clauses)
+            .usize("final_pb", self.final_pb);
+        o.finish(indent)
+    }
+}
+
+/// Results of instance-dependent automorphism detection (the Shatter
+/// pipeline). Absent from a report when the run used only
+/// instance-independent SBPs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectionStats {
+    /// Wall-clock seconds spent in automorphism detection.
+    pub seconds: f64,
+    /// Number of generators the detector returned.
+    pub generators: usize,
+    /// `log10` of the estimated automorphism-group order.
+    pub order_log10: f64,
+    /// Generators discarded as spurious (failed validation).
+    pub spurious_dropped: usize,
+    /// Whether detection was exact (`true`) or a heuristic cutoff hit.
+    pub exact: bool,
+    /// Clauses contributed by the instance-dependent SBPs.
+    pub sbp_clauses: usize,
+    /// Auxiliary variables contributed by the instance-dependent SBPs.
+    pub sbp_aux_vars: usize,
+}
+
+impl DetectionStats {
+    fn to_json(&self, indent: usize) -> String {
+        let mut o = Obj::new();
+        o.float("seconds", self.seconds)
+            .usize("generators", self.generators)
+            .float("order_log10", self.order_log10)
+            .usize("spurious_dropped", self.spurious_dropped)
+            .bool("exact", self.exact)
+            .usize("sbp_clauses", self.sbp_clauses)
+            .usize("sbp_aux_vars", self.sbp_aux_vars);
+        o.finish(indent)
+    }
+}
+
+/// Aggregated wall-clock for one [`Phase`]: total seconds across all
+/// spans of that phase and how many spans were recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTiming {
+    /// Total seconds summed over every span of the phase.
+    pub seconds: f64,
+    /// Number of spans recorded for the phase.
+    pub count: usize,
+}
+
+/// What the solve concluded, in report-friendly form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// One of `"optimal"`, `"feasible"` (budget ran out holding a
+    /// suboptimal coloring), `"infeasible_at_k"`, or `"timeout"`.
+    pub kind: String,
+    /// Number of colors established, when the run produced one (the
+    /// verified coloring size, or χ for chromatic-number runs).
+    pub colors: Option<usize>,
+    /// Whether the run reached a definitive answer (not a timeout).
+    pub decided: bool,
+}
+
+impl RunOutcome {
+    fn to_json(&self, indent: usize) -> String {
+        let mut o = Obj::new();
+        o.str("kind", &self.kind);
+        match self.colors {
+            Some(c) => o.usize("colors", c),
+            None => o.raw("colors", "null"),
+        };
+        o.bool("decided", self.decided);
+        o.finish(indent)
+    }
+}
+
+/// Everything one end-to-end coloring run produced, aggregated into a
+/// single serializable record.
+///
+/// Built by the bench harness from a solved instance plus the
+/// [`Recorder`] that observed it; see [`RunReport::from_recorder`] for
+/// the parts that come straight off the recorder.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// The graph instance that was solved.
+    pub instance: InstanceInfo,
+    /// Color count `k` the decision query used (0 for pure χ searches).
+    pub k: usize,
+    /// Human-readable SBP construction label (e.g. `"NU+SC"`).
+    pub sbp_mode: String,
+    /// Human-readable solver label (e.g. `"PBS II"`).
+    pub solver: String,
+    /// Worker count the run was configured with (1 = sequential).
+    pub jobs: usize,
+    /// Formula sizes before and after SBP generation.
+    pub encoding: EncodingSize,
+    /// Automorphism-detection results, when instance-dependent SBPs ran.
+    pub detection: Option<DetectionStats>,
+    /// Per-phase wall-clock aggregates, one entry per [`Phase`] in
+    /// [`Phase::ALL`] order.
+    pub phases: Vec<(Phase, PhaseTiming)>,
+    /// Search counters summed over every solver worker in the run.
+    pub search: SearchCounters,
+    /// Per-worker portfolio telemetry; empty for sequential runs.
+    pub workers: Vec<WorkerTelemetry>,
+    /// End-to-end wall-clock seconds for the run.
+    pub total_seconds: f64,
+    /// What the run concluded.
+    pub outcome: RunOutcome,
+}
+
+impl RunReport {
+    /// Copies the recorder-owned parts — phase timings, summed search
+    /// counters, and per-worker telemetry — into `self`.
+    ///
+    /// The caller fills the remaining fields (instance identity,
+    /// encoding sizes, outcome) from its own context.
+    pub fn from_recorder(&mut self, rec: &Recorder) {
+        self.phases = Phase::ALL
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    PhaseTiming {
+                        seconds: rec.phase_time(p).as_secs_f64(),
+                        count: rec.phase_count(p),
+                    },
+                )
+            })
+            .collect();
+        self.search = rec.search_counters();
+        self.workers = rec.workers();
+    }
+
+    /// Renders the report as a pretty-printed JSON object indented by
+    /// `indent` spaces (see `docs/OBSERVABILITY.md` for the schema).
+    pub fn to_json(&self, indent: usize) -> String {
+        let inner = indent + 2;
+        let mut o = Obj::new();
+        o.raw("instance", {
+            let mut i = Obj::new();
+            i.str("name", &self.instance.name)
+                .usize("vertices", self.instance.vertices)
+                .usize("edges", self.instance.edges);
+            i.finish(inner)
+        });
+        o.usize("k", self.k)
+            .str("sbp_mode", &self.sbp_mode)
+            .str("solver", &self.solver)
+            .usize("jobs", self.jobs)
+            .raw("encoding", self.encoding.to_json(inner));
+        match &self.detection {
+            Some(d) => o.raw("detection", d.to_json(inner)),
+            None => o.raw("detection", "null"),
+        };
+        o.raw("phases", {
+            let mut p = Obj::new();
+            for (phase, timing) in &self.phases {
+                let mut t = Obj::new();
+                t.float("seconds", timing.seconds).usize("count", timing.count);
+                p.raw(phase.name(), t.finish(inner + 2));
+            }
+            p.finish(inner)
+        });
+        o.raw("search", search_counters_json(&self.search, inner));
+        o.raw(
+            "workers",
+            json::array(
+                &self.workers.iter().map(|w| worker_json(w, inner + 2)).collect::<Vec<_>>(),
+                inner,
+            ),
+        );
+        o.float("total_seconds", self.total_seconds).raw("outcome", self.outcome.to_json(inner));
+        o.finish(indent)
+    }
+}
+
+fn search_counters_json(s: &SearchCounters, indent: usize) -> String {
+    let mut o = Obj::new();
+    for &c in Counter::ALL.iter() {
+        o.uint(c.name(), s.get(c));
+    }
+    match s.mean_learned_len() {
+        Some(len) => o.float("mean_learned_len", len),
+        None => o.raw("mean_learned_len", "null"),
+    };
+    o.finish(indent)
+}
+
+fn worker_json(w: &WorkerTelemetry, indent: usize) -> String {
+    let mut o = Obj::new();
+    o.usize("index", w.index)
+        .uint("seed", w.seed)
+        .str("config", &w.config)
+        .raw("search", search_counters_json(&w.search, indent + 2))
+        .bool("won", w.won);
+    match w.cancel_latency {
+        Some(d) => o.float("cancel_latency_seconds", d.as_secs_f64()),
+        None => o.raw("cancel_latency_seconds", "null"),
+    };
+    o.float("run_seconds", w.run_time.as_secs_f64());
+    o.finish(indent)
+}
+
+/// The envelope a bench binary writes when invoked with
+/// `--report out.json`: file-level metadata plus one [`RunReport`] per
+/// instance solved.
+#[derive(Clone, Debug, Default)]
+pub struct ReportFile {
+    /// Name of the binary that produced the file (e.g. `"table2"`).
+    pub generator: String,
+    /// Color count `k` the harness was configured with.
+    pub k: usize,
+    /// Per-run budget in seconds.
+    pub timeout_s: f64,
+    /// Worker count (`--jobs`) the harness was configured with.
+    pub jobs: usize,
+    /// One report per instance, in harness order.
+    pub runs: Vec<RunReport>,
+}
+
+impl ReportFile {
+    /// Renders the complete report file as pretty-printed JSON, with a
+    /// trailing newline, ready to write to disk.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.uint("schema_version", u64::from(SCHEMA_VERSION))
+            .str("generator", &self.generator)
+            .usize("k", self.k)
+            .float("timeout_s", self.timeout_s)
+            .usize("jobs", self.jobs)
+            .raw(
+                "runs",
+                json::array(&self.runs.iter().map(|r| r.to_json(4)).collect::<Vec<_>>(), 2),
+            );
+        let mut s = o.finish(0);
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Phase;
+
+    #[test]
+    fn run_report_round_trips_recorder_data() {
+        let rec = Recorder::new();
+        {
+            let _s = rec.span(Phase::Encode);
+            rec.add(Counter::Decisions, 7);
+        }
+        let mut report = RunReport::default();
+        report.from_recorder(&rec);
+        assert_eq!(report.phases.len(), Phase::ALL.len());
+        let encode = report.phases.iter().find(|(p, _)| *p == Phase::Encode).unwrap();
+        assert_eq!(encode.1.count, 1);
+        assert!(encode.1.seconds > 0.0);
+        assert_eq!(report.search.decisions, 7);
+    }
+
+    #[test]
+    fn report_file_emits_valid_looking_json() {
+        let mut report = RunReport::default();
+        report.instance.name = "grid\"3x3".to_string();
+        report.outcome.kind = "sat".to_string();
+        report.outcome.colors = Some(2);
+        let file = ReportFile {
+            generator: "table2".to_string(),
+            k: 2,
+            timeout_s: 10.0,
+            jobs: 1,
+            runs: vec![report],
+        };
+        let json = file.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"grid\\\"3x3\""));
+        assert!(json.contains("\"colors\": 2"));
+        assert!(json.ends_with('\n'));
+    }
+}

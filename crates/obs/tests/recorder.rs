@@ -1,0 +1,152 @@
+//! Integration coverage for the recorder: LIFO span closing under
+//! panic-unwind, race-free counters under concurrent workers, and the
+//! zero-event guarantee of a disabled recorder.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::Duration;
+
+use sbgc_obs::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry};
+
+/// Spans opened inside a panicking scope still close, in LIFO order,
+/// and leave no span dangling open.
+#[test]
+fn spans_close_lifo_under_panic_unwind() {
+    let rec = Recorder::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _outer = rec.span(Phase::Solve);
+        let _inner = rec.span(Phase::Verify);
+        panic!("stage failed");
+    }));
+    assert!(result.is_err());
+
+    let spans = rec.spans();
+    assert_eq!(spans.len(), 2, "both guards must record during unwind");
+    // LIFO: the inner (deeper) span closes before its parent.
+    assert_eq!(spans[0].phase, Phase::Verify);
+    assert_eq!(spans[0].depth, 1);
+    assert_eq!(spans[1].phase, Phase::Solve);
+    assert_eq!(spans[1].depth, 0);
+    assert_eq!(rec.open_spans(), 0, "unwind must not leak open spans");
+}
+
+/// Deeply nested spans each report their open-time depth and unwind
+/// back to zero open spans.
+#[test]
+fn nested_spans_unwind_to_zero_depth() {
+    let rec = Recorder::new();
+    {
+        let _a = rec.span(Phase::Encode);
+        {
+            let _b = rec.span(Phase::Sbp);
+            {
+                let _c = rec.span(Phase::Detect);
+                assert_eq!(rec.open_spans(), 3);
+            }
+        }
+    }
+    assert_eq!(rec.open_spans(), 0);
+    let depths: Vec<usize> = rec.spans().iter().map(|s| s.depth).collect();
+    assert_eq!(depths, vec![2, 1, 0], "closing order is LIFO");
+}
+
+/// Counters are race-free: N threads each adding M increments always
+/// total exactly N*M, and concurrent worker records are all retained.
+#[test]
+fn counters_race_free_under_concurrent_workers() {
+    const WORKERS: usize = 8;
+    const ADDS: u64 = 10_000;
+
+    let rec = Recorder::new();
+    thread::scope(|scope| {
+        for index in 0..WORKERS {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                for _ in 0..ADDS {
+                    rec.add(Counter::Conflicts, 1);
+                    rec.add(Counter::Propagations, 3);
+                }
+                rec.record_worker(WorkerTelemetry {
+                    index,
+                    seed: index as u64,
+                    config: format!("worker-{index}"),
+                    search: SearchCounters { conflicts: ADDS, ..Default::default() },
+                    won: index == 0,
+                    cancel_latency: (index != 0).then(|| Duration::from_millis(1)),
+                    run_time: Duration::from_millis(5),
+                });
+            });
+        }
+    });
+
+    assert_eq!(rec.counter(Counter::Conflicts), WORKERS as u64 * ADDS);
+    assert_eq!(rec.counter(Counter::Propagations), WORKERS as u64 * ADDS * 3);
+
+    let workers = rec.workers();
+    assert_eq!(workers.len(), WORKERS, "every worker record is retained");
+    let mut indices: Vec<usize> = workers.iter().map(|w| w.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..WORKERS).collect::<Vec<_>>());
+    assert_eq!(workers.iter().filter(|w| w.won).count(), 1);
+}
+
+/// Concurrent spans from racing workers are all recorded.
+#[test]
+fn concurrent_spans_all_recorded() {
+    const WORKERS: usize = 4;
+    const SPANS: usize = 50;
+
+    let rec = Recorder::new();
+    thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                for _ in 0..SPANS {
+                    let _s = rec.span(Phase::Solve);
+                }
+            });
+        }
+    });
+    assert_eq!(rec.phase_count(Phase::Solve), WORKERS * SPANS);
+    assert_eq!(rec.open_spans(), 0);
+}
+
+/// A disabled recorder adds zero events: no spans, no counters, no
+/// worker records, regardless of what is thrown at it.
+#[test]
+fn disabled_recorder_adds_zero_events() {
+    let rec = Recorder::disabled();
+    assert!(!rec.is_enabled());
+
+    {
+        let _outer = rec.span(Phase::Encode);
+        let _inner = rec.span(Phase::Solve);
+        rec.add(Counter::Decisions, 1_000_000);
+        rec.add(Counter::Conflicts, 42);
+    }
+    rec.record_worker(WorkerTelemetry {
+        index: 0,
+        seed: 0,
+        config: "ignored".to_string(),
+        search: SearchCounters::default(),
+        won: true,
+        cancel_latency: None,
+        run_time: Duration::from_secs(1),
+    });
+
+    assert!(rec.spans().is_empty());
+    assert!(rec.workers().is_empty());
+    for &c in Counter::ALL.iter() {
+        assert_eq!(rec.counter(c), 0);
+    }
+    assert_eq!(rec.search_counters(), SearchCounters::default());
+    assert_eq!(rec.open_spans(), 0);
+    assert_eq!(rec.phase_time(Phase::Encode), Duration::ZERO);
+}
+
+/// The `Default` recorder is the disabled one — embedding a `Recorder`
+/// field in an options struct stays opt-in.
+#[test]
+fn default_recorder_is_disabled() {
+    assert!(!Recorder::default().is_enabled());
+}

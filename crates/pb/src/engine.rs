@@ -3,6 +3,7 @@
 use crate::config::{EngineConfig, RestartPolicy};
 use crate::explain::FalseTerm;
 use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
+use sbgc_obs::{Counter, Recorder, SearchCounters};
 use sbgc_sat::{Budget, Luby, SolveOutcome};
 use std::fmt;
 
@@ -23,6 +24,39 @@ pub struct PbStats {
     pub deleted: u64,
     /// Number of conflicts whose analysis touched a PB constraint.
     pub pb_conflicts: u64,
+    /// Total literals across all learned clauses (after minimization).
+    pub learned_literals: u64,
+}
+
+impl From<PbStats> for SearchCounters {
+    fn from(s: PbStats) -> SearchCounters {
+        SearchCounters {
+            decisions: s.decisions,
+            conflicts: s.conflicts,
+            propagations: s.propagations,
+            restarts: s.restarts,
+            learned: s.learned,
+            deleted: s.deleted,
+            pb_conflicts: s.pb_conflicts,
+            learned_literals: s.learned_literals,
+        }
+    }
+}
+
+impl PbStats {
+    /// Flushes the delta between `self` and the snapshot `prev` into the
+    /// recorder's typed counters, returning the new snapshot.
+    fn flush_delta(self, prev: PbStats, recorder: &Recorder) -> PbStats {
+        recorder.add(Counter::Decisions, self.decisions - prev.decisions);
+        recorder.add(Counter::Conflicts, self.conflicts - prev.conflicts);
+        recorder.add(Counter::Propagations, self.propagations - prev.propagations);
+        recorder.add(Counter::Restarts, self.restarts - prev.restarts);
+        recorder.add(Counter::Learned, self.learned - prev.learned);
+        recorder.add(Counter::Deleted, self.deleted - prev.deleted);
+        recorder.add(Counter::PbConflicts, self.pb_conflicts - prev.pb_conflicts);
+        recorder.add(Counter::LearnedLiterals, self.learned_literals - prev.learned_literals);
+        self
+    }
 }
 
 const NO_POS: usize = usize::MAX;
@@ -178,6 +212,9 @@ pub struct PbEngine {
     max_learnts: f64,
     ok: bool,
     stats: PbStats,
+    recorder: Recorder,
+    /// Stats snapshot already flushed to the recorder.
+    flushed: PbStats,
     seen: Vec<bool>,
     /// Assumption core of the last assumption-relative UNSAT answer.
     final_core: Vec<Lit>,
@@ -209,6 +246,8 @@ impl PbEngine {
             max_learnts: 0.0,
             ok: true,
             stats: PbStats::default(),
+            recorder: Recorder::disabled(),
+            flushed: PbStats::default(),
             seen: vec![false; num_vars],
             final_core: Vec::new(),
         };
@@ -263,6 +302,22 @@ impl PbEngine {
     /// Statistics so far.
     pub fn stats(&self) -> PbStats {
         self.stats
+    }
+
+    /// Attaches a [`Recorder`]; subsequent solve calls flush counter
+    /// deltas to it every 64 conflicts (the budget-check stride) and on
+    /// solve exit. The default disabled recorder costs one branch per
+    /// stride.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Pushes any counter deltas accumulated since the last flush into the
+    /// attached recorder. Solve calls flush on exit themselves; the
+    /// portfolio calls this for workers that never entered a solve (their
+    /// setup-time root propagations would otherwise go unreported).
+    pub(crate) fn flush_recorder(&mut self) {
+        self.flushed = self.stats.flush_delta(self.flushed, &self.recorder);
     }
 
     #[inline]
@@ -801,6 +856,14 @@ impl PbEngine {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        let out = self.search(assumptions, budget);
+        if self.recorder.is_enabled() {
+            self.flush_recorder();
+        }
+        out
+    }
+
+    fn search(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         // Arm the wall-clock countdown (no-op if an outer entry point, e.g.
         // the optimization loop, already armed it).
         let budget = budget.started();
@@ -840,6 +903,7 @@ impl PbEngine {
                 let (learnt, bt) = self.analyze(confl);
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
+                self.stats.learned_literals += learnt.len() as u64;
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], Reason::Decision);
                 } else {
@@ -856,6 +920,11 @@ impl PbEngine {
                     budget_check = 0;
                     if budget.exhausted(self.stats.conflicts) {
                         return SolveOutcome::Unknown;
+                    }
+                    // Same stride as the budget check: live readers see
+                    // counter progress without a per-conflict branch.
+                    if self.recorder.is_enabled() {
+                        self.flush_recorder();
                     }
                 } else if budget.conflicts_exhausted(self.stats.conflicts) {
                     return SolveOutcome::Unknown;

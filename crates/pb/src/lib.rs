@@ -50,9 +50,13 @@ pub use bnb::BnbSolver;
 pub use config::{EngineConfig, RestartPolicy, SolverKind};
 pub use engine::{PbEngine, PbStats};
 pub use explain::ExplainStrategy;
-pub use optimize::{optimize, solve_decision, OptOutcome, Optimizer};
+pub use optimize::{
+    optimize, optimize_recorded, solve_decision, solve_decision_recorded, OptOutcome, Optimizer,
+};
 pub use portfolio::{
-    optimize_portfolio, portfolio_configs, solve_portfolio, PortfolioOptOutcome, PortfolioOutcome,
+    optimize_portfolio, optimize_portfolio_recorded, portfolio_configs, solve_portfolio,
+    solve_portfolio_recorded, PortfolioOptOutcome, PortfolioOutcome,
 };
 
+pub use sbgc_obs::{Recorder, WorkerTelemetry};
 pub use sbgc_sat::{Budget, CancelToken, SolveOutcome};

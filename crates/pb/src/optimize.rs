@@ -9,6 +9,7 @@ use crate::bnb::BnbSolver;
 use crate::config::SolverKind;
 use crate::engine::PbEngine;
 use sbgc_formula::{Assignment, PbConstraint, PbFormula};
+use sbgc_obs::Recorder;
 use sbgc_sat::{Budget, SolveOutcome};
 
 /// Result of an optimization run.
@@ -144,6 +145,12 @@ impl Optimizer {
     pub fn stats(&self) -> crate::PbStats {
         self.engine.stats()
     }
+
+    /// Attaches a [`Recorder`] to the underlying engine (see
+    /// [`PbEngine::set_recorder`]).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.engine.set_recorder(recorder);
+    }
 }
 
 /// Minimizes `formula`'s objective with the given solver under `budget`.
@@ -155,19 +162,48 @@ impl Optimizer {
 ///
 /// Panics if the formula has no objective.
 pub fn optimize(formula: &PbFormula, kind: SolverKind, budget: &Budget) -> OptOutcome {
+    optimize_recorded(formula, kind, budget, &Recorder::disabled())
+}
+
+/// [`optimize`] with observability: CDCL engines (including every
+/// portfolio worker) flush their search counters into `recorder`.
+/// The branch-and-bound [`SolverKind::Cplex`] baseline records no
+/// counters — it has no CDCL events to report.
+pub fn optimize_recorded(
+    formula: &PbFormula,
+    kind: SolverKind,
+    budget: &Budget,
+    recorder: &Recorder,
+) -> OptOutcome {
     match kind {
         SolverKind::Cplex => BnbSolver::new(formula).run(budget),
         SolverKind::Portfolio => {
             let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
-            crate::optimize_portfolio(formula, &configs, budget).outcome
+            crate::optimize_portfolio_recorded(formula, &configs, budget, recorder).outcome
         }
-        _ => Optimizer::new(formula, kind).run(budget),
+        _ => {
+            let mut opt = Optimizer::new(formula, kind);
+            opt.set_recorder(recorder.clone());
+            opt.run(budget)
+        }
     }
 }
 
 /// Solves the decision problem (ignoring any objective) with the given
 /// solver under `budget`.
 pub fn solve_decision(formula: &PbFormula, kind: SolverKind, budget: &Budget) -> SolveOutcome {
+    solve_decision_recorded(formula, kind, budget, &Recorder::disabled())
+}
+
+/// [`solve_decision`] with observability: CDCL engines (including every
+/// portfolio worker) flush their search counters into `recorder`; the
+/// branch-and-bound baseline records nothing.
+pub fn solve_decision_recorded(
+    formula: &PbFormula,
+    kind: SolverKind,
+    budget: &Budget,
+    recorder: &Recorder,
+) -> SolveOutcome {
     match kind {
         SolverKind::Cplex => {
             let mut f = formula.clone();
@@ -176,11 +212,13 @@ pub fn solve_decision(formula: &PbFormula, kind: SolverKind, budget: &Budget) ->
         }
         SolverKind::Portfolio => {
             let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
-            crate::solve_portfolio(formula, &configs, budget).outcome
+            crate::solve_portfolio_recorded(formula, &configs, budget, recorder).outcome
         }
         _ => {
             let config = kind.engine_config().expect("CDCL kind");
-            PbEngine::from_formula(formula, config).solve_with_budget(budget)
+            let mut engine = PbEngine::from_formula(formula, config);
+            engine.set_recorder(recorder.clone());
+            engine.solve_with_budget(budget)
         }
     }
 }

@@ -24,9 +24,11 @@ use crate::config::{EngineConfig, SolverKind};
 use crate::engine::{PbEngine, PbStats};
 use crate::optimize::OptOutcome;
 use sbgc_formula::{Assignment, PbConstraint, PbFormula};
+use sbgc_obs::{Recorder, WorkerTelemetry};
 use sbgc_sat::{Budget, CancelToken, SolveOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Result of a [`solve_portfolio`] race.
 #[derive(Clone, Debug)]
@@ -62,6 +64,42 @@ fn add_stats(total: &mut PbStats, s: PbStats) {
     total.learned += s.learned;
     total.deleted += s.deleted;
     total.pb_conflicts += s.pb_conflicts;
+    total.learned_literals += s.learned_literals;
+}
+
+/// Human-readable label of a worker configuration: the preset name when
+/// the config matches one of the named [`SolverKind`]s, plus the seed.
+fn config_label(config: &EngineConfig) -> String {
+    const NAMED: [SolverKind; 4] =
+        [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy];
+    let base = config.with_seed(0);
+    for kind in NAMED {
+        if kind.engine_config() == Some(base) {
+            return format!("{} (seed {})", kind.display_name(), config.seed);
+        }
+    }
+    format!("{config:?}")
+}
+
+/// Shared cancel-time mark for measuring cooperative-cancellation latency:
+/// the winner stamps it immediately before tripping the [`CancelToken`];
+/// losers subtract it from their own finish time.
+struct CancelMark(Mutex<Option<Instant>>);
+
+impl CancelMark {
+    fn new() -> Self {
+        CancelMark(Mutex::new(None))
+    }
+
+    fn stamp(&self) {
+        *self.0.lock().expect("cancel mark") = Some(Instant::now());
+    }
+
+    /// Latency from the stamp to `finish`; `None` if the race was never
+    /// cancelled or this worker finished before the stamp.
+    fn latency(&self, finish: Instant) -> Option<std::time::Duration> {
+        self.0.lock().expect("cancel mark").and_then(|t| finish.checked_duration_since(t))
+    }
 }
 
 /// A diversified portfolio of `n` engine configurations.
@@ -100,26 +138,84 @@ pub fn solve_portfolio(
     configs: &[EngineConfig],
     budget: &Budget,
 ) -> PortfolioOutcome {
+    solve_portfolio_recorded(formula, configs, budget, &Recorder::disabled())
+}
+
+/// [`solve_portfolio`] with observability: each worker flushes its search
+/// counters into `recorder` and records a [`WorkerTelemetry`] entry
+/// (configuration, own counters, whether it won, cancellation latency,
+/// run time) on exit. A disabled recorder makes this identical to
+/// [`solve_portfolio`].
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::PbFormula;
+/// use sbgc_obs::Recorder;
+/// use sbgc_pb::{portfolio_configs, solve_portfolio_recorded, Budget};
+///
+/// let mut f = PbFormula::new();
+/// let a = f.new_var().positive();
+/// let b = f.new_var().positive();
+/// f.add_clause([a, b]);
+///
+/// let recorder = Recorder::new();
+/// let out =
+///     solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &recorder);
+/// assert!(out.outcome.is_sat());
+/// let workers = recorder.workers();
+/// assert_eq!(workers.len(), 2);
+/// assert_eq!(workers.iter().filter(|w| w.won).count(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn solve_portfolio_recorded(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+    recorder: &Recorder,
+) -> PortfolioOutcome {
     assert!(!configs.is_empty(), "portfolio needs at least one config");
     let budget = budget.started();
     let race = CancelToken::new();
+    let cancel_mark = CancelMark::new();
     let winner: Mutex<Option<(usize, SolveOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
 
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
-            let (race, winner, stats) = (&race, &winner, &stats);
+            let (race, winner, stats, cancel_mark) = (&race, &winner, &stats, &cancel_mark);
             s.spawn(move || {
+                let run_start = Instant::now();
                 let mut engine = PbEngine::from_formula(formula, config);
+                engine.set_recorder(recorder.clone());
                 let out = engine.solve_with_budget(&worker_budget);
+                let finish = Instant::now();
                 add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
+                let mut won = false;
                 if matches!(out, SolveOutcome::Sat(_) | SolveOutcome::Unsat) {
                     let mut w = winner.lock().expect("winner lock");
                     if w.is_none() {
                         *w = Some((index, out));
+                        cancel_mark.stamp();
                         race.cancel();
+                        won = true;
                     }
+                }
+                if recorder.is_enabled() {
+                    engine.flush_recorder();
+                    recorder.record_worker(WorkerTelemetry {
+                        index,
+                        seed: config.seed,
+                        config: config_label(&config),
+                        search: engine.stats().into(),
+                        won,
+                        cancel_latency: if won { None } else { cancel_mark.latency(finish) },
+                        run_time: finish.duration_since(run_start),
+                    });
                 }
             });
         }
@@ -213,10 +309,24 @@ pub fn optimize_portfolio(
     configs: &[EngineConfig],
     budget: &Budget,
 ) -> PortfolioOptOutcome {
+    optimize_portfolio_recorded(formula, configs, budget, &Recorder::disabled())
+}
+
+/// [`optimize_portfolio`] with observability: each worker flushes its
+/// search counters into `recorder` and records a [`WorkerTelemetry`]
+/// entry on exit. A disabled recorder makes this identical to
+/// [`optimize_portfolio`].
+pub fn optimize_portfolio_recorded(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+    recorder: &Recorder,
+) -> PortfolioOptOutcome {
     assert!(!configs.is_empty(), "portfolio needs at least one config");
     let objective = formula.objective().expect("formula must carry an objective").clone();
     let budget = budget.started();
     let race = CancelToken::new();
+    let cancel_mark = CancelMark::new();
     let incumbent = Incumbent::new();
     let winner: Mutex<Option<(usize, OptOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
@@ -224,10 +334,12 @@ pub fn optimize_portfolio(
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
-            let (race, winner, stats, incumbent, objective) =
-                (&race, &winner, &stats, &incumbent, &objective);
+            let (race, winner, stats, incumbent, objective, cancel_mark) =
+                (&race, &winner, &stats, &incumbent, &objective, &cancel_mark);
             s.spawn(move || {
+                let run_start = Instant::now();
                 let mut engine = PbEngine::from_formula(formula, config);
+                engine.set_recorder(recorder.clone());
                 // Tightest objective cut this worker's engine carries.
                 let mut local_cut: Option<u64> = None;
                 let decided = loop {
@@ -270,13 +382,29 @@ pub fn optimize_portfolio(
                         SolveOutcome::Unknown => break None,
                     }
                 };
+                let finish = Instant::now();
                 add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
+                let mut won = false;
                 if let Some(outcome) = decided {
                     let mut w = winner.lock().expect("winner lock");
                     if w.is_none() {
                         *w = Some((index, outcome));
+                        cancel_mark.stamp();
                         race.cancel();
+                        won = true;
                     }
+                }
+                if recorder.is_enabled() {
+                    engine.flush_recorder();
+                    recorder.record_worker(WorkerTelemetry {
+                        index,
+                        seed: config.seed,
+                        config: config_label(&config),
+                        search: engine.stats().into(),
+                        won,
+                        cancel_latency: if won { None } else { cancel_mark.latency(finish) },
+                        run_time: finish.duration_since(run_start),
+                    });
                 }
             });
         }
@@ -367,6 +495,44 @@ mod tests {
         let b = Budget::unlimited().with_max_conflicts(0);
         let out = optimize_portfolio(&f, &portfolio_configs(4), &b);
         assert!(!out.outcome.is_infeasible());
+    }
+
+    #[test]
+    fn recorded_race_captures_worker_telemetry() {
+        let f = covering();
+        let rec = Recorder::new();
+        let out =
+            optimize_portfolio_recorded(&f, &portfolio_configs(3), &Budget::unlimited(), &rec);
+        assert!(out.winner.is_some());
+        let workers = rec.workers();
+        assert_eq!(workers.len(), 3, "every worker records telemetry");
+        assert_eq!(workers.iter().filter(|w| w.won).count(), 1, "exactly one winner");
+        for w in &workers {
+            assert_eq!(w.seed, w.index as u64, "portfolio seeds are worker indices");
+            assert!(!w.config.is_empty());
+        }
+        // The engines flushed their counters into the shared recorder.
+        assert!(rec.counter(sbgc_obs::Counter::Decisions) > 0);
+        assert_eq!(rec.counter(sbgc_obs::Counter::Decisions), out.stats.decisions);
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_portfolio_silent() {
+        let f = covering();
+        let rec = Recorder::disabled();
+        let out = solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &rec);
+        assert!(matches!(out.outcome, SolveOutcome::Sat(_)));
+        assert!(rec.workers().is_empty());
+        assert_eq!(rec.counter(sbgc_obs::Counter::Decisions), 0);
+    }
+
+    #[test]
+    fn config_labels_name_the_presets() {
+        let labels: Vec<String> = portfolio_configs(4).iter().map(config_label).collect();
+        assert_eq!(labels[0], "PBS II (seed 0)");
+        assert_eq!(labels[1], "Galena (seed 1)");
+        assert_eq!(labels[2], "Pueblo (seed 2)");
+        assert_eq!(labels[3], "PBS (seed 3)");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::budget::Budget;
 use crate::heap::ActivityHeap;
 use crate::luby::Luby;
 use sbgc_formula::{Assignment, Lit, PbFormula, Var};
+use sbgc_obs::{Counter, Recorder};
 use std::fmt;
 
 /// Result of a [`SatSolver::solve`] call.
@@ -38,20 +39,46 @@ impl SolveOutcome {
 }
 
 /// Search statistics, for the experiment harness and for tests.
+///
+/// All fields count events since the solver was constructed and only
+/// ever grow; subtract snapshots to get per-call deltas.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Number of decisions made.
+    /// Number of decisions made (branching literals picked by VSIDS or
+    /// placed as assumptions).
     pub decisions: u64,
-    /// Number of conflicts analyzed.
+    /// Number of conflicts analyzed (one per learned clause or root-level
+    /// refutation).
     pub conflicts: u64,
-    /// Number of literals propagated.
+    /// Number of literals propagated (every trail push, including
+    /// decisions and assumptions).
     pub propagations: u64,
-    /// Number of restarts performed.
+    /// Number of restarts performed (Luby schedule).
     pub restarts: u64,
-    /// Number of clauses learned.
+    /// Number of clauses learned by 1UIP conflict analysis.
     pub learned: u64,
     /// Number of learned clauses deleted by database reduction.
     pub deleted: u64,
+    /// Total literals across all learned clauses (after minimization);
+    /// divide by [`learned`](SolverStats::learned) for the mean
+    /// learned-clause length.
+    pub learned_literals: u64,
+}
+
+impl SolverStats {
+    /// Flushes the delta between `self` and the previously flushed
+    /// snapshot `prev` into `recorder`'s typed counters, returning the
+    /// new snapshot.
+    pub(crate) fn flush_delta(self, prev: SolverStats, recorder: &Recorder) -> SolverStats {
+        recorder.add(Counter::Decisions, self.decisions - prev.decisions);
+        recorder.add(Counter::Conflicts, self.conflicts - prev.conflicts);
+        recorder.add(Counter::Propagations, self.propagations - prev.propagations);
+        recorder.add(Counter::Restarts, self.restarts - prev.restarts);
+        recorder.add(Counter::Learned, self.learned - prev.learned);
+        recorder.add(Counter::Deleted, self.deleted - prev.deleted);
+        recorder.add(Counter::LearnedLiterals, self.learned_literals - prev.learned_literals);
+        self
+    }
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -102,6 +129,10 @@ pub struct SatSolver {
     max_learnts: f64,
     ok: bool,
     stats: SolverStats,
+    recorder: Recorder,
+    // Stats snapshot already flushed to the recorder; deltas beyond this
+    // are pushed at stride boundaries and at solve exit.
+    flushed: SolverStats,
     // scratch for analyze
     seen: Vec<bool>,
 }
@@ -127,6 +158,8 @@ impl SatSolver {
             max_learnts: 0.0,
             ok: true,
             stats: SolverStats::default(),
+            recorder: Recorder::disabled(),
+            flushed: SolverStats::default(),
             seen: vec![false; num_vars],
         }
     }
@@ -156,6 +189,41 @@ impl SatSolver {
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Attaches a [`Recorder`]; subsequent solve calls flush counter
+    /// deltas to it at stride boundaries (every 64 conflicts, matching
+    /// the budget-check stride) and on solve exit. A disabled recorder
+    /// (the default) keeps the hot path branch-cheap.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sbgc_formula::PbFormula;
+    /// use sbgc_obs::{Counter, Recorder};
+    /// use sbgc_sat::SatSolver;
+    ///
+    /// let mut f = PbFormula::new();
+    /// let a = f.new_var().positive();
+    /// let b = f.new_var().positive();
+    /// f.add_clause([a, b]);
+    /// f.add_clause([!a, b]);
+    ///
+    /// let recorder = Recorder::new();
+    /// let mut solver = SatSolver::from_formula(&f).unwrap();
+    /// solver.set_recorder(recorder.clone());
+    /// solver.solve();
+    /// assert_eq!(
+    ///     recorder.counter(Counter::Propagations),
+    ///     solver.stats().propagations,
+    /// );
+    /// ```
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    fn flush_recorder(&mut self) {
+        self.flushed = self.stats.flush_delta(self.flushed, &self.recorder);
     }
 
     /// Adds a clause. May be called before or between `solve` calls (the
@@ -500,6 +568,14 @@ impl SatSolver {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        let out = self.search(assumptions, budget);
+        if self.recorder.is_enabled() {
+            self.flush_recorder();
+        }
+        out
+    }
+
+    fn search(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         // Arm the wall-clock countdown (no-op if the caller already did).
         let budget = budget.started();
         if budget.cancelled() {
@@ -538,6 +614,7 @@ impl SatSolver {
                 let (learnt, bt) = self.analyze(confl);
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
+                self.stats.learned_literals += learnt.len() as u64;
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], NO_REASON);
                 } else {
@@ -554,6 +631,11 @@ impl SatSolver {
                     budget_check = 0;
                     if budget.exhausted(self.stats.conflicts) {
                         return SolveOutcome::Unknown;
+                    }
+                    // Same stride as the budget check: live readers see
+                    // counter progress without a per-conflict branch.
+                    if self.recorder.is_enabled() {
+                        self.flush_recorder();
                     }
                 } else if budget.conflicts_exhausted(self.stats.conflicts) {
                     return SolveOutcome::Unknown;
