@@ -174,5 +174,6 @@ fn main() {
         speedup
     );
 
+    sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "bench_json");
 }

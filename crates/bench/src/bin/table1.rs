@@ -60,5 +60,6 @@ fn main() {
          analogues (see DESIGN.md). chi is computed within --timeout (default 5s)."
     );
 
+    sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "table1");
 }

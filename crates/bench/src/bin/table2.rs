@@ -79,5 +79,6 @@ fn main() {
          the paper's exact parameters (slow)."
     );
 
+    sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "table2");
 }

@@ -67,5 +67,6 @@ pub fn run_table(config: &HarnessConfig, title: &str) {
          the best overall; (4) the CPLEX* baseline does not benefit from SBPs."
     );
 
+    sbgc_bench::run_certification(config);
     sbgc_bench::write_report(config, "table3");
 }

@@ -59,5 +59,6 @@ fn main() {
          K = 30 encodings are half again as large."
     );
 
+    sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "table4");
 }

@@ -71,5 +71,6 @@ fn main() {
          follows the same trends as PBS II/Galena/Pueblo."
     );
 
+    sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "table5");
 }

@@ -23,16 +23,25 @@
 //! counters, encoding sizes, detection statistics, and (with `--jobs N`,
 //! N > 1) per-worker portfolio telemetry. The schema is documented
 //! field-by-field in `docs/OBSERVABILITY.md`.
+//!
+//! With `--certify` the binaries additionally re-derive each instance's
+//! chromatic number on the SBP-free pure-CNF decision encoding, replay the
+//! DRAT refutation of χ−1 through the independent checker of `sbgc-proof`,
+//! and exit non-zero unless every instance certifies ([`run_certification`]);
+//! `--proof DIR` writes the accepted proofs as `DIR/<instance>.drat`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use sbgc_core::{
-    solve_coloring, ColoringOutcome, PreparedColoring, Recorder, SbpMode, SolveOptions, SolverKind,
-    SymmetryHandling,
+    certify_result, chromatic_number_certified, solve_coloring, ChromaticResult, ColoringOutcome,
+    OptimalityCertificate, PreparedColoring, ProofStatus, Recorder, SbpMode, SolveOptions,
+    SolverKind, SymmetryHandling,
 };
 use sbgc_graph::suite::{self, Instance};
-use sbgc_obs::{DetectionStats, EncodingSize, InstanceInfo, ReportFile, RunOutcome, RunReport};
+use sbgc_obs::{
+    CertificateStats, DetectionStats, EncodingSize, InstanceInfo, ReportFile, RunOutcome, RunReport,
+};
 use sbgc_pb::Budget;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -58,6 +67,15 @@ pub struct HarnessConfig {
     /// [`ReportFile`] of instrumented per-instance runs to this path after
     /// the table prints. Schema documented in `docs/OBSERVABILITY.md`.
     pub report: Option<String>,
+    /// With `--certify`, re-derive every instance's chromatic number on the
+    /// SBP-free pure-CNF decision encoding and check the DRAT refutation of
+    /// χ−1 with the independent checker; the binary exits non-zero if any
+    /// certificate fails (see [`run_certification`]).
+    pub certify: bool,
+    /// With `--proof DIR`, certification writes each accepted DRAT proof to
+    /// `DIR/<instance>.drat` (implies nothing by itself; only used when
+    /// `certify` is set).
+    pub proof_dir: Option<String>,
 }
 
 /// The quick default subset: small and medium instances from five of the
@@ -76,6 +94,8 @@ impl HarnessConfig {
             per_instance: false,
             jobs: 1,
             report: None,
+            certify: false,
+            proof_dir: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -118,6 +138,12 @@ impl HarnessConfig {
                     let path = args.get(i).unwrap_or_else(|| usage("--report needs a path"));
                     config.report = Some(path.clone());
                 }
+                "--certify" => config.certify = true,
+                "--proof" => {
+                    i += 1;
+                    let dir = args.get(i).unwrap_or_else(|| usage("--proof needs a directory"));
+                    config.proof_dir = Some(dir.clone());
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
             i += 1;
@@ -140,7 +166,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
-         [--jobs N] [--report PATH]"
+         [--jobs N] [--report PATH] [--certify] [--proof DIR]"
     );
     std::process::exit(2)
 }
@@ -303,6 +329,103 @@ pub fn render_row(cells: &[String]) -> String {
     cells.join(" | ")
 }
 
+/// Flattens an [`OptimalityCertificate`] into the dependency-free
+/// [`CertificateStats`] form the JSON report schema carries.
+pub fn certificate_stats(cert: &OptimalityCertificate) -> CertificateStats {
+    let mut stats = CertificateStats {
+        chromatic_number: cert.chromatic_number,
+        witness_verified: cert.witness_verified,
+        ..CertificateStats::default()
+    };
+    match &cert.unsat {
+        ProofStatus::Checked { steps, adds, deletes, literals, solve_seconds, check_seconds } => {
+            stats.status = "checked".to_string();
+            stats.proof_steps = *steps;
+            stats.proof_adds = *adds;
+            stats.proof_deletes = *deletes;
+            stats.proof_literals = *literals;
+            stats.solve_seconds = *solve_seconds;
+            stats.check_seconds = *check_seconds;
+        }
+        ProofStatus::Trivial { reason } => {
+            stats.status = "trivial".to_string();
+            stats.detail = reason.clone();
+        }
+        ProofStatus::Unchecked { reason } => {
+            stats.status = "unchecked".to_string();
+            stats.detail = reason.clone();
+        }
+        ProofStatus::Rejected { error } => {
+            stats.status = "rejected".to_string();
+            stats.detail = error.clone();
+        }
+    }
+    stats
+}
+
+/// Runs the `--certify` pass: re-derives each configured instance's
+/// chromatic number on the SBP-free pure-CNF decision encoding, checks the
+/// DRAT refutation of χ−1 with the independent checker in `sbgc-proof`,
+/// and prints one line per instance. With `--proof DIR` each produced
+/// proof is also written to `DIR/<instance>.drat` in DIMACS DRAT format.
+///
+/// Exits the process with status 1 if any instance fails to certify — a
+/// rejected proof, an unverified witness, a budget-truncated proof, or a
+/// χ search that only bounded the answer. This is the CI gate: on the
+/// small-graph suite with a sane timeout every instance must certify.
+pub fn run_certification(config: &HarnessConfig) {
+    if !config.certify {
+        return;
+    }
+    if let Some(dir) = &config.proof_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create proof directory {dir}: {err}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nCertification (SBP-free CNF decision encoding, independent DRAT check):");
+    let mut failures = 0usize;
+    for inst in config.build_instances() {
+        // NU+SC speeds up the (untrusted) chi search; the certificate
+        // re-derives optimality on an SBP-free formula regardless.
+        let opts =
+            SolveOptions::new(config.k).with_sbp_mode(SbpMode::NuSc).with_budget(config.budget());
+        let (result, cert) = chromatic_number_certified(&inst.graph, &opts);
+        let Some(cert) = cert else {
+            let (lower, upper) = match result {
+                ChromaticResult::Bounded { lower, upper, .. } => (lower, upper),
+                ChromaticResult::Exact { .. } => unreachable!("exact results always certify"),
+            };
+            println!(
+                "  {:<12} FAILED: search only bounded chi to {lower}..{upper} within the budget",
+                inst.meta.name
+            );
+            failures += 1;
+            continue;
+        };
+        let witness = if cert.witness_verified { "witness ok" } else { "WITNESS BAD" };
+        println!(
+            "  {:<12} chi = {:<3} {witness}, unsat {}",
+            inst.meta.name, cert.chromatic_number, cert.unsat
+        );
+        if let (Some(dir), Some(proof)) = (&config.proof_dir, &cert.proof) {
+            let path = format!("{dir}/{}.drat", inst.meta.name);
+            if let Err(err) = std::fs::write(&path, proof.to_dimacs()) {
+                eprintln!("error: could not write {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        if !cert.is_certified() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("certification FAILED on {failures} instance(s)");
+        std::process::exit(1);
+    }
+    println!("all instances certified");
+}
+
 /// Runs one fully instrumented end-to-end solve of `inst` and assembles
 /// the [`RunReport`] for it.
 ///
@@ -371,6 +494,18 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
         ..RunReport::default()
     };
     report.from_recorder(&recorder);
+    if config.certify {
+        // An Optimal outcome at K is the exact chromatic number (the
+        // optimizer minimizes color count), so it can be certified; the
+        // certificate re-derives optimality on the SBP-free CNF encoding.
+        if let ColoringOutcome::Optimal { coloring, colors } = &solved.outcome {
+            let claim =
+                ChromaticResult::Exact { chromatic_number: *colors, witness: coloring.clone() };
+            report.certificate = certify_result(&inst.graph, &claim, &config.budget())
+                .as_ref()
+                .map(certificate_stats);
+        }
+    }
     report
 }
 
@@ -445,6 +580,8 @@ mod tests {
             per_instance: false,
             jobs: 1,
             report: None,
+            certify: false,
+            proof_dir: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -472,10 +609,53 @@ mod tests {
             per_instance: false,
             jobs: 2,
             report: None,
+            certify: false,
+            proof_dir: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
         assert_eq!(report.workers.len(), 2);
         assert_eq!(report.workers.iter().filter(|w| w.won).count(), 1);
+    }
+
+    #[test]
+    fn certify_flag_attaches_checked_certificate_to_report() {
+        let config = HarnessConfig {
+            timeout: Duration::from_secs(30),
+            k: 5,
+            instances: vec!["myciel3".to_string()],
+            per_instance: false,
+            jobs: 1,
+            report: None,
+            certify: true,
+            proof_dir: None,
+        };
+        let inst = suite::build("myciel3");
+        let report = collect_run_report(&inst, &config);
+        let cert = report.certificate.as_ref().expect("certified run");
+        assert_eq!(cert.status, "checked");
+        assert_eq!(cert.chromatic_number, 4);
+        assert!(cert.witness_verified);
+        assert!(cert.proof_steps > 0);
+        assert!(cert.is_verified());
+        let json = report.to_json(0);
+        assert!(json.contains("\"status\": \"checked\""));
+    }
+
+    #[test]
+    fn certificate_stats_preserve_failure_detail() {
+        use sbgc_core::Coloring;
+        use sbgc_graph::Graph;
+        // An overclaimed optimum must flatten to a "rejected" record.
+        let g = Graph::cycle(6);
+        let bogus = ChromaticResult::Exact {
+            chromatic_number: 4,
+            witness: Coloring::new(vec![0, 1, 2, 3, 0, 1]),
+        };
+        let cert = certify_result(&g, &bogus, &Budget::unlimited()).expect("exact claim");
+        let stats = certificate_stats(&cert);
+        assert_eq!(stats.status, "rejected");
+        assert!(!stats.detail.is_empty());
+        assert!(!stats.is_verified());
     }
 }

@@ -1,0 +1,384 @@
+//! Verified optimality certificates for chromatic numbers.
+//!
+//! A claim "χ(G) = k" decomposes into two independently checkable halves:
+//!
+//! 1. **Feasibility** — a proper k-coloring of `G`, verified syntactically
+//!    against the edge list ([`Coloring::is_proper`]);
+//! 2. **Optimality** — a refutation of (k−1)-colorability, verified by
+//!    replaying a DRAT proof against the *pure-CNF decision encoding*
+//!    ([`crate::encode::cnf_decision_formula`]) with the independent
+//!    checker in `sbgc-proof`.
+//!
+//! The refutation is always produced on a formula with no symmetry-breaking
+//! predicates and no PB constraints: SBP soundness and the PB inference
+//! rules are exactly what a certificate must not take on faith. When the
+//! solved formula cannot be proof-checked (it carries PB constraints, e.g.
+//! the CA construction's cardinality chain), the certificate says
+//! [`ProofStatus::Unchecked`] with a reason rather than pretending.
+
+use crate::chromatic::{chromatic_number, ChromaticResult};
+use crate::encode::cnf_decision_formula;
+use crate::flow::SolveOptions;
+use sbgc_formula::{Lit, PbFormula};
+use sbgc_graph::{Coloring, Graph};
+use sbgc_pb::Budget;
+use sbgc_proof::{check_drat, DratProof, SharedProof};
+use sbgc_sat::{SatSolver, SolveOutcome};
+use std::time::Instant;
+
+/// Outcome of the UNSAT half of a certificate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProofStatus {
+    /// A DRAT refutation was produced and accepted by the independent
+    /// checker.
+    Checked {
+        /// Proof steps replayed (additions + deletions).
+        steps: usize,
+        /// Lemma additions verified RUP/RAT.
+        adds: usize,
+        /// Deletions applied.
+        deletes: usize,
+        /// Total literals across all proof steps (a size proxy).
+        literals: usize,
+        /// Wall-clock seconds spent producing the refutation.
+        solve_seconds: f64,
+        /// Wall-clock seconds spent checking it.
+        check_seconds: f64,
+    },
+    /// No proof is needed: the claim holds by definition (e.g. χ ≤ 1, where
+    /// no smaller color count exists to refute).
+    Trivial {
+        /// Why no proof is required.
+        reason: String,
+    },
+    /// No checked proof is available — the formula was not checkable (PB
+    /// constraints present) or the proving budget ran out. The chromatic
+    /// number may still be correct; it is just not *certified*.
+    Unchecked {
+        /// Why checking was not possible.
+        reason: String,
+    },
+    /// A proof was produced but the checker rejected it, or the certifying
+    /// solve contradicted the claimed optimum. This indicates a solver or
+    /// logger bug and must fail loudly downstream.
+    Rejected {
+        /// The checker's error, or the contradiction found.
+        error: String,
+    },
+}
+
+impl ProofStatus {
+    /// `true` when optimality is established without trusting any solver:
+    /// either an accepted DRAT refutation or a by-definition case.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, ProofStatus::Checked { .. } | ProofStatus::Trivial { .. })
+    }
+}
+
+impl std::fmt::Display for ProofStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofStatus::Checked { steps, adds, deletes, .. } => {
+                write!(f, "checked ({steps} steps: {adds} adds, {deletes} deletes)")
+            }
+            ProofStatus::Trivial { reason } => write!(f, "trivial ({reason})"),
+            ProofStatus::Unchecked { reason } => write!(f, "unchecked ({reason})"),
+            ProofStatus::Rejected { error } => write!(f, "REJECTED ({error})"),
+        }
+    }
+}
+
+/// A machine-checkable certificate that `chromatic_number` colors suffice
+/// and `chromatic_number − 1` do not.
+#[derive(Clone, Debug)]
+pub struct OptimalityCertificate {
+    /// The certified chromatic number.
+    pub chromatic_number: usize,
+    /// The witness coloring at χ colors.
+    pub witness: Coloring,
+    /// Whether the witness passed independent verification: proper on the
+    /// input graph and using exactly χ colors.
+    pub witness_verified: bool,
+    /// Status of the (χ−1)-uncolorability proof.
+    pub unsat: ProofStatus,
+    /// The DRAT refutation itself, when one was produced (checked or
+    /// rejected). `None` for trivial/unchecked certificates.
+    pub proof: Option<DratProof>,
+}
+
+impl OptimalityCertificate {
+    /// `true` when both halves hold: the witness verified syntactically and
+    /// optimality is [`ProofStatus::is_verified`].
+    pub fn is_certified(&self) -> bool {
+        self.witness_verified && self.unsat.is_verified()
+    }
+}
+
+/// Attempts to produce a checked DRAT refutation of `formula`.
+///
+/// Returns [`ProofStatus::Unchecked`] without solving when the formula
+/// carries PB constraints (the DRAT calculus speaks only CNF — this is the
+/// honest answer for e.g. CA-encoded instances), when the budget runs out,
+/// or when the formula turns out satisfiable.
+pub fn certify_unsat_formula(
+    formula: &PbFormula,
+    budget: &Budget,
+) -> (ProofStatus, Option<DratProof>) {
+    if !formula.is_pure_cnf() {
+        let status = ProofStatus::Unchecked {
+            reason: format!(
+                "formula has {} PB constraints; DRAT checking covers only pure CNF",
+                formula.pb_constraints().len()
+            ),
+        };
+        return (status, None);
+    }
+    let clauses: Vec<Vec<Lit>> =
+        formula.clauses().iter().map(|c| c.iter().copied().collect()).collect();
+    refute_and_check(formula.num_vars(), &clauses, budget)
+}
+
+/// Solves `clauses` expecting UNSAT, then replays the logged proof through
+/// the independent checker.
+fn refute_and_check(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    budget: &Budget,
+) -> (ProofStatus, Option<DratProof>) {
+    let shared = SharedProof::new();
+    let mut solver = SatSolver::new(num_vars);
+    solver.set_proof_logger(Box::new(shared.clone()));
+    for c in clauses {
+        solver.add_clause(c.iter().copied());
+    }
+    let solve_start = Instant::now();
+    let outcome = solver.solve_with_budget(budget);
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    let proof = shared.take();
+    match outcome {
+        SolveOutcome::Unsat => {
+            let check_start = Instant::now();
+            let checked = check_drat(num_vars, clauses, &proof);
+            let check_seconds = check_start.elapsed().as_secs_f64();
+            let status = match checked {
+                Ok(stats) => ProofStatus::Checked {
+                    steps: stats.steps,
+                    adds: stats.adds,
+                    deletes: stats.deletes,
+                    literals: proof.total_literals(),
+                    solve_seconds,
+                    check_seconds,
+                },
+                Err(e) => ProofStatus::Rejected { error: e.to_string() },
+            };
+            (status, Some(proof))
+        }
+        SolveOutcome::Sat(_) => {
+            (ProofStatus::Unchecked { reason: "formula is satisfiable".into() }, None)
+        }
+        SolveOutcome::Unknown => {
+            let status = ProofStatus::Unchecked {
+                reason: "budget exhausted before a refutation was found".into(),
+            };
+            (status, None)
+        }
+    }
+}
+
+/// Certifies an exact chromatic-number result.
+///
+/// Returns `None` when `result` is only a bound (there is no optimum to
+/// certify). For an exact result this verifies the witness syntactically
+/// and attempts a checked refutation of (χ−1)-colorability on the SBP-free
+/// pure-CNF decision encoding — independent of whatever encoding and solver
+/// produced `result`.
+///
+/// A [`ProofStatus::Rejected`] status (checker refused the proof, or the
+/// certifying solver *satisfied* the χ−1 formula) means the claimed optimum
+/// is unsupported and should be treated as a bug.
+pub fn certify_result(
+    graph: &Graph,
+    result: &ChromaticResult,
+    budget: &Budget,
+) -> Option<OptimalityCertificate> {
+    let (chi, witness) = match result {
+        ChromaticResult::Exact { chromatic_number, witness } => (*chromatic_number, witness),
+        ChromaticResult::Bounded { .. } => return None,
+    };
+    let witness_verified = witness.is_proper(graph) && witness.num_colors() == chi;
+    let (unsat, proof) = if chi <= 1 {
+        let status = ProofStatus::Trivial {
+            reason: "χ ≤ 1: there is no smaller color count to refute".into(),
+        };
+        (status, None)
+    } else {
+        let (num_vars, clauses) = cnf_decision_formula(graph, chi - 1);
+        match refute_and_check(num_vars, &clauses, budget) {
+            (ProofStatus::Unchecked { reason }, p) if reason == "formula is satisfiable" => {
+                let error =
+                    format!("graph is ({})-colorable — claimed χ = {chi} is not optimal", chi - 1);
+                (ProofStatus::Rejected { error }, p)
+            }
+            other => other,
+        }
+    };
+    Some(OptimalityCertificate {
+        chromatic_number: chi,
+        witness: witness.clone(),
+        witness_verified,
+        unsat,
+        proof,
+    })
+}
+
+/// Computes the chromatic number and certifies it in one call.
+///
+/// Runs [`chromatic_number`] with `options`, then [`certify_result`] under
+/// the same budget. The certificate is `None` exactly when the search only
+/// bounded χ.
+///
+/// # Panics
+///
+/// Panics if `graph` has no vertices or `options.k == 0` (as
+/// [`chromatic_number`] does).
+pub fn chromatic_number_certified(
+    graph: &Graph,
+    options: &SolveOptions,
+) -> (ChromaticResult, Option<OptimalityCertificate>) {
+    let result = chromatic_number(graph, options);
+    let certificate = certify_result(graph, &result, &options.budget);
+    (result, certificate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbp::SbpMode;
+    use sbgc_graph::gen::{mycielski, queens};
+
+    fn certify(graph: &Graph, k: usize) -> OptimalityCertificate {
+        let (result, cert) = chromatic_number_certified(graph, &SolveOptions::new(k));
+        assert!(result.exact().is_some(), "expected an exact result");
+        cert.expect("exact result must yield a certificate")
+    }
+
+    #[test]
+    fn complete_graph_certificate_checks() {
+        let cert = certify(&Graph::complete(4), 6);
+        assert_eq!(cert.chromatic_number, 4);
+        assert!(cert.witness_verified);
+        assert!(matches!(cert.unsat, ProofStatus::Checked { .. }), "{}", cert.unsat);
+        assert!(cert.is_certified());
+        assert!(cert.proof.is_some());
+    }
+
+    #[test]
+    fn odd_cycle_certificate_checks() {
+        let cert = certify(&Graph::cycle(7), 4);
+        assert_eq!(cert.chromatic_number, 3);
+        assert!(cert.is_certified());
+    }
+
+    #[test]
+    fn mycielski_certificate_checks() {
+        let cert = certify(&mycielski(3), 6);
+        assert_eq!(cert.chromatic_number, 4);
+        assert!(cert.is_certified());
+        if let ProofStatus::Checked { adds, .. } = cert.unsat {
+            assert!(adds > 0, "a nontrivial refutation must contain lemmas");
+        }
+    }
+
+    #[test]
+    fn queens5_certificate_checks() {
+        let cert = certify(&queens(5, 5), 6);
+        assert_eq!(cert.chromatic_number, 5);
+        assert!(cert.is_certified());
+    }
+
+    #[test]
+    fn edgeless_graph_is_trivially_certified() {
+        let cert = certify(&Graph::empty(3), 3);
+        assert_eq!(cert.chromatic_number, 1);
+        assert!(matches!(cert.unsat, ProofStatus::Trivial { .. }));
+        assert!(cert.is_certified());
+        assert!(cert.proof.is_none());
+    }
+
+    #[test]
+    fn certificate_is_independent_of_sbp_mode() {
+        // Whatever (possibly SBP-heavy) flow produced the result, the
+        // certificate re-derives optimality on the SBP-free encoding.
+        let g = mycielski(3);
+        for mode in [SbpMode::Li, SbpMode::NuSc] {
+            let opts = SolveOptions::new(6).with_sbp_mode(mode);
+            let (result, cert) = chromatic_number_certified(&g, &opts);
+            assert_eq!(result.exact(), Some(4), "{mode}");
+            assert!(cert.expect("certificate").is_certified(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn bounded_results_yield_no_certificate() {
+        let g = queens(6, 6);
+        let opts = SolveOptions::new(7).with_budget(Budget::unlimited().with_max_conflicts(1));
+        let (result, cert) = chromatic_number_certified(&g, &opts);
+        if result.exact().is_none() {
+            assert!(cert.is_none());
+        }
+    }
+
+    #[test]
+    fn overclaimed_optimum_is_rejected() {
+        // Claim χ = 4 for an even cycle (true χ = 2): the certifying solver
+        // finds a 3-coloring of the "χ−1" formula and must flag the claim.
+        let g = Graph::cycle(6);
+        let bogus = ChromaticResult::Exact {
+            chromatic_number: 4,
+            witness: Coloring::new(vec![0, 1, 2, 3, 0, 1]),
+        };
+        let cert = certify_result(&g, &bogus, &Budget::unlimited()).expect("exact claim");
+        assert!(matches!(cert.unsat, ProofStatus::Rejected { .. }), "{}", cert.unsat);
+        assert!(!cert.is_certified());
+    }
+
+    #[test]
+    fn pb_bearing_formula_reports_unchecked() {
+        // The optimization encoding keeps per-vertex exactly-one PB pairs,
+        // so its refutations cannot be DRAT-checked; the honest answer is
+        // Unchecked with a reason, not a fake pass.
+        let enc = crate::ColoringEncoding::new(&Graph::complete(4), 2);
+        let (status, proof) = certify_unsat_formula(enc.formula(), &Budget::unlimited());
+        match status {
+            ProofStatus::Unchecked { reason } => assert!(reason.contains("PB")),
+            other => panic!("expected Unchecked, got {other}"),
+        }
+        assert!(proof.is_none());
+    }
+
+    #[test]
+    fn pure_cnf_formula_certifies() {
+        let (num_vars, clauses) = cnf_decision_formula(&Graph::complete(4), 3);
+        let mut f = PbFormula::with_vars(num_vars);
+        for c in &clauses {
+            f.add_clause(c.iter().copied());
+        }
+        let (status, proof) = certify_unsat_formula(&f, &Budget::unlimited());
+        assert!(matches!(status, ProofStatus::Checked { .. }), "{status}");
+        assert!(proof.is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unchecked() {
+        let (num_vars, clauses) = cnf_decision_formula(&queens(6, 6), 6);
+        let mut f = PbFormula::with_vars(num_vars);
+        for c in &clauses {
+            f.add_clause(c.iter().copied());
+        }
+        let (status, _) = certify_unsat_formula(&f, &Budget::unlimited().with_max_conflicts(0));
+        match status {
+            ProofStatus::Unchecked { reason } => assert!(reason.contains("budget")),
+            other => panic!("expected Unchecked, got {other}"),
+        }
+    }
+}

@@ -169,6 +169,49 @@ impl ColoringEncoding {
     }
 }
 
+/// The pure-CNF K-colorability *decision* encoding used for certification.
+///
+/// Unlike [`ColoringEncoding`], which mixes CNF clauses with PB exactly-one
+/// constraints and an objective, this encoding is deliberately restricted to
+/// plain clauses so that a refutation of it can be checked as a DRAT proof
+/// (`sbgc-proof` speaks only CNF):
+///
+/// * indicator `x[i][j] = Var(i·k + j)` — vertex `i` has color `j`;
+/// * per vertex: at-least-one clause `(x[i][0] ∨ … ∨ x[i][k−1])` plus
+///   pairwise at-most-one clauses `(¬x[i][j₁] ∨ ¬x[i][j₂])`;
+/// * per edge `(a, b)`, per color `j`: `(¬x[a][j] ∨ ¬x[b][j])`.
+///
+/// There are no color-usage `y` variables and no objective: the formula is
+/// satisfiable iff the graph is k-colorable. It also carries no symmetry-
+/// breaking predicates of either kind — SBP soundness is exactly what a
+/// certificate must not assume.
+///
+/// Returns `(num_vars, clauses)` with `num_vars = n·k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn cnf_decision_formula(graph: &Graph, k: usize) -> (usize, Vec<Vec<Lit>>) {
+    assert!(k > 0, "at least one color is required");
+    let n = graph.num_vertices();
+    let x = |i: usize, j: usize| Var::from_index(i * k + j);
+    let mut clauses = Vec::with_capacity(n * (1 + k * (k - 1) / 2) + graph.num_edges() * k);
+    for i in 0..n {
+        clauses.push((0..k).map(|j| x(i, j).positive()).collect());
+        for j1 in 0..k {
+            for j2 in j1 + 1..k {
+                clauses.push(vec![x(i, j1).negative(), x(i, j2).negative()]);
+            }
+        }
+    }
+    for (a, b) in graph.edges() {
+        for j in 0..k {
+            clauses.push(vec![x(a, j).negative(), x(b, j).negative()]);
+        }
+    }
+    (n * k, clauses)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +312,39 @@ mod tests {
     fn x_bounds_checked() {
         let enc = ColoringEncoding::new(&Graph::empty(2), 2);
         let _ = enc.x(2, 0);
+    }
+
+    #[test]
+    fn decision_formula_is_pure_cnf_with_expected_size() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let k = 3;
+        let (num_vars, clauses) = cnf_decision_formula(&g, k);
+        assert_eq!(num_vars, 4 * k);
+        // n ALO + n·C(k,2) AMO + m·k conflict clauses.
+        assert_eq!(clauses.len(), 4 + 4 * 3 + 5 * k);
+        assert!(clauses.iter().all(|c| c.iter().all(|l| l.var().index() < num_vars)));
+    }
+
+    #[test]
+    fn decision_formula_sat_iff_colorable() {
+        use sbgc_formula::Assignment;
+        let g = triangle(); // χ = 3
+        let (num_vars, clauses) = cnf_decision_formula(&g, 3);
+        // The coloring 0,1,2 satisfies every clause.
+        let mut asg = Assignment::new(num_vars);
+        for (i, &c) in [0usize, 1, 2].iter().enumerate() {
+            for j in 0..3 {
+                asg.assign(Var::from_index(i * 3 + j), c == j);
+            }
+        }
+        for clause in &clauses {
+            assert!(clause.iter().any(|&l| asg.satisfies(l)));
+        }
+        // At k = 2 the formula is unsatisfiable (checked exhaustively).
+        let (nv, cl) = cnf_decision_formula(&g, 2);
+        for bits in 0..(1u32 << nv) {
+            let asg = Assignment::from_bools((0..nv).map(|v| bits >> v & 1 == 1));
+            assert!(cl.iter().any(|c| c.iter().all(|&l| !asg.satisfies(l))));
+        }
     }
 }

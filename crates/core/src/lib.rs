@@ -21,7 +21,11 @@
 //!   independently verify the coloring;
 //! * [`chromatic`] — exact chromatic numbers via the paper's K-selection
 //!   procedure (DSATUR upper bound, clique lower bound, then exact
-//!   optimization).
+//!   optimization);
+//! * [`certify`] — verified optimality certificates: a syntactically
+//!   checked witness coloring at χ plus a DRAT refutation of
+//!   (χ−1)-colorability replayed through the independent checker of
+//!   `sbgc-proof`.
 //!
 //! # Example
 //!
@@ -44,16 +48,21 @@
 #![warn(missing_docs)]
 
 pub mod applications;
+pub mod certify;
 pub mod chromatic;
 pub mod encode;
 pub mod flow;
 pub mod sbp;
 
+pub use certify::{
+    certify_result, certify_unsat_formula, chromatic_number_certified, OptimalityCertificate,
+    ProofStatus,
+};
 pub use chromatic::{
     chromatic_number, chromatic_number_by_decision, chromatic_number_incremental, ChromaticBounds,
     ChromaticResult, SearchStrategy,
 };
-pub use encode::ColoringEncoding;
+pub use encode::{cnf_decision_formula, ColoringEncoding};
 pub use flow::{
     solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions, SolveReport, SymmetryHandling,
 };

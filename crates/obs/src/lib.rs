@@ -58,6 +58,6 @@ pub use recorder::{
     Counter, Phase, Recorder, SearchCounters, SpanGuard, SpanRecord, WorkerTelemetry,
 };
 pub use report::{
-    DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile, RunOutcome, RunReport,
-    SCHEMA_VERSION,
+    CertificateStats, DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile,
+    RunOutcome, RunReport, SCHEMA_VERSION,
 };

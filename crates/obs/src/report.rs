@@ -11,7 +11,10 @@ use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry}
 
 /// Version of the JSON schema emitted by [`RunReport::to_json`] and
 /// [`ReportFile::to_json`]. Incremented on any incompatible change.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the optional `certificate` object (optimality-certificate
+/// status, proof size, and check time).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -99,6 +102,58 @@ impl DetectionStats {
     }
 }
 
+/// Outcome of optimality certification for a run, when `--certify` was
+/// requested. This crate stays dependency-free, so the certificate is
+/// flattened to plain counters here; the structured form lives in
+/// `sbgc-core::certify`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CertificateStats {
+    /// One of `"checked"`, `"trivial"`, `"unchecked"`, or `"rejected"`.
+    pub status: String,
+    /// Reason (for trivial/unchecked) or checker error (for rejected);
+    /// empty for checked proofs.
+    pub detail: String,
+    /// The chromatic number the certificate is about.
+    pub chromatic_number: usize,
+    /// Whether the witness coloring verified (proper, exactly χ colors).
+    pub witness_verified: bool,
+    /// Proof steps replayed by the checker (0 unless checked).
+    pub proof_steps: usize,
+    /// Lemma additions in the proof.
+    pub proof_adds: usize,
+    /// Deletions in the proof.
+    pub proof_deletes: usize,
+    /// Total literals across proof steps (a proof-size proxy).
+    pub proof_literals: usize,
+    /// Wall-clock seconds producing the refutation (0 unless checked).
+    pub solve_seconds: f64,
+    /// Wall-clock seconds replaying it through the checker.
+    pub check_seconds: f64,
+}
+
+impl CertificateStats {
+    /// `true` when the run's optimality claim is machine-verified: the
+    /// witness checked out and the status is `"checked"` or `"trivial"`.
+    pub fn is_verified(&self) -> bool {
+        self.witness_verified && (self.status == "checked" || self.status == "trivial")
+    }
+
+    fn to_json(&self, indent: usize) -> String {
+        let mut o = Obj::new();
+        o.str("status", &self.status)
+            .str("detail", &self.detail)
+            .usize("chromatic_number", self.chromatic_number)
+            .bool("witness_verified", self.witness_verified)
+            .usize("proof_steps", self.proof_steps)
+            .usize("proof_adds", self.proof_adds)
+            .usize("proof_deletes", self.proof_deletes)
+            .usize("proof_literals", self.proof_literals)
+            .float("solve_seconds", self.solve_seconds)
+            .float("check_seconds", self.check_seconds);
+        o.finish(indent)
+    }
+}
+
 /// Aggregated wall-clock for one [`Phase`]: total seconds across all
 /// spans of that phase and how many spans were recorded.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -168,6 +223,8 @@ pub struct RunReport {
     pub total_seconds: f64,
     /// What the run concluded.
     pub outcome: RunOutcome,
+    /// Optimality-certificate results, when certification ran.
+    pub certificate: Option<CertificateStats>,
 }
 
 impl RunReport {
@@ -232,6 +289,10 @@ impl RunReport {
             ),
         );
         o.float("total_seconds", self.total_seconds).raw("outcome", self.outcome.to_json(inner));
+        match &self.certificate {
+            Some(c) => o.raw("certificate", c.to_json(inner)),
+            None => o.raw("certificate", "null"),
+        };
         o.finish(indent)
     }
 }
@@ -335,9 +396,46 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"grid\\\"3x3\""));
         assert!(json.contains("\"colors\": 2"));
+        assert!(json.contains("\"certificate\": null"));
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn certificate_stats_serialize_and_classify() {
+        let checked = CertificateStats {
+            status: "checked".to_string(),
+            detail: String::new(),
+            chromatic_number: 4,
+            witness_verified: true,
+            proof_steps: 12,
+            proof_adds: 10,
+            proof_deletes: 2,
+            proof_literals: 57,
+            solve_seconds: 0.25,
+            check_seconds: 0.01,
+        };
+        assert!(checked.is_verified());
+        let mut report = RunReport::default();
+        report.certificate = Some(checked);
+        let json = report.to_json(0);
+        assert!(json.contains("\"status\": \"checked\""));
+        assert!(json.contains("\"proof_steps\": 12"));
+        assert!(json.contains("\"witness_verified\": true"));
+
+        let rejected = CertificateStats {
+            status: "rejected".to_string(),
+            witness_verified: true,
+            ..CertificateStats::default()
+        };
+        assert!(!rejected.is_verified());
+        let unchecked_witness = CertificateStats {
+            status: "trivial".to_string(),
+            witness_verified: false,
+            ..CertificateStats::default()
+        };
+        assert!(!unchecked_witness.is_verified());
     }
 }

@@ -4,6 +4,7 @@ use crate::config::{EngineConfig, RestartPolicy};
 use crate::explain::FalseTerm;
 use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder, SearchCounters};
+use sbgc_proof::ProofLogger;
 use sbgc_sat::{Budget, Luby, SolveOutcome};
 use std::fmt;
 
@@ -26,6 +27,11 @@ pub struct PbStats {
     pub pb_conflicts: u64,
     /// Total literals across all learned clauses (after minimization).
     pub learned_literals: u64,
+    /// Number of database-reduction (`reduce_db`) passes.
+    pub reductions: u64,
+    /// Number of dead clause slots physically reclaimed by arena
+    /// compaction (see [`PbEngine::set_compaction`]).
+    pub reclaimed: u64,
 }
 
 impl From<PbStats> for SearchCounters {
@@ -211,10 +217,14 @@ pub struct PbEngine {
     cla_inc: f64,
     max_learnts: f64,
     ok: bool,
+    /// Physically reclaim tombstoned clauses after each reduce_db pass;
+    /// disabled only by tests comparing against the lazy-deletion baseline.
+    compact: bool,
     stats: PbStats,
     recorder: Recorder,
     /// Stats snapshot already flushed to the recorder.
     flushed: PbStats,
+    proof: Option<Box<dyn ProofLogger>>,
     seen: Vec<bool>,
     /// Assumption core of the last assumption-relative UNSAT answer.
     final_core: Vec<Lit>,
@@ -245,9 +255,11 @@ impl PbEngine {
             cla_inc: 1.0,
             max_learnts: 0.0,
             ok: true,
+            compact: true,
             stats: PbStats::default(),
             recorder: Recorder::disabled(),
             flushed: PbStats::default(),
+            proof: None,
             seen: vec![false; num_vars],
             final_core: Vec::new(),
         };
@@ -312,6 +324,47 @@ impl PbEngine {
         self.recorder = recorder;
     }
 
+    /// Attaches a DRAT [`ProofLogger`] covering the engine's *clausal*
+    /// path: root-simplified clause additions, learned clauses, database
+    /// deletions and the final empty clause.
+    ///
+    /// The resulting proof is RUP-checkable only when the input is pure
+    /// CNF. PB constraints are not logged, and learned clauses whose
+    /// derivation resolved on a PB explanation are consequences of those
+    /// constraints — not of the clause database alone — so proofs of mixed
+    /// inputs must be treated as `Unchecked` (see `sbgc-core`'s
+    /// certificate layer).
+    pub fn set_proof_logger(&mut self, logger: Box<dyn ProofLogger>) {
+        self.proof = Some(logger);
+    }
+
+    /// Enables or disables physical arena compaction after each
+    /// `reduce_db` pass (default: enabled). Disabling restores the
+    /// historical tombstone-only behavior.
+    pub fn set_compaction(&mut self, compact: bool) {
+        self.compact = compact;
+    }
+
+    /// Overrides the learned-clause limit that triggers database
+    /// reduction (test knob; the default is derived from the constraint
+    /// count on the first solve).
+    pub fn set_max_learnts(&mut self, max_learnts: f64) {
+        self.max_learnts = max_learnts;
+    }
+
+    /// Total `StoredClause` slots in the arena, live or tombstoned. With
+    /// compaction enabled this tracks [`PbEngine::live_clauses`].
+    pub fn arena_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.log_add(lits);
+        }
+    }
+
     /// Pushes any counter deltas accumulated since the last flush into the
     /// attached recorder. Solve calls flush on exit themselves; the
     /// portfolio calls this for workers that never entered a solve (their
@@ -353,15 +406,22 @@ impl PbEngine {
         if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
             return; // tautology
         }
+        let before = lits.len();
         lits.retain(|&l| self.lit_value(l) != VarValue::False);
         if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
             return;
+        }
+        if lits.len() != before {
+            // The simplified clause is a derived (RUP) clause: its dropped
+            // literals are root-falsified by earlier unit propagation.
+            self.proof_add(&lits);
         }
         match lits.len() {
             0 => self.ok = false,
             1 => {
                 self.enqueue(lits[0], Reason::Decision);
                 if self.propagate().is_some() {
+                    self.proof_add(&[]);
                     self.ok = false;
                 }
             }
@@ -771,8 +831,82 @@ impl PbEngine {
             if locked.contains(&(i as u32)) {
                 continue;
             }
+            if let Some(p) = self.proof.as_mut() {
+                p.log_delete(&self.clauses[i].lits);
+            }
             self.clauses[i].deleted = true;
             self.stats.deleted += 1;
+        }
+        self.stats.reductions += 1;
+        if self.compact {
+            self.compact_db();
+        }
+    }
+
+    /// Physically removes tombstoned clauses, remapping the clause
+    /// references held by watch lists and trail reasons. Runs right after
+    /// `reduce_db` (propagation at fixpoint; locked clauses were kept, so
+    /// every `Reason::Clause` on the trail stays live). PB constraints are
+    /// unaffected — `Reason::Pb` indexes a separate store that never
+    /// shrinks.
+    fn compact_db(&mut self) {
+        const DEAD: u32 = u32::MAX;
+        let mut remap = vec![DEAD; self.clauses.len()];
+        let mut next = 0u32;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let dead = self.clauses.len() - next as usize;
+        if dead == 0 {
+            return;
+        }
+        self.stats.reclaimed += dead as u64;
+        self.clauses.retain(|c| !c.deleted);
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let m = remap[w.clause as usize];
+                w.clause = m;
+                m != DEAD
+            });
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            if let Reason::Clause(r) = self.reason[v] {
+                debug_assert_ne!(remap[r as usize], DEAD, "trail reason must stay live");
+                self.reason[v] = Reason::Clause(remap[r as usize]);
+            }
+        }
+    }
+
+    /// Debug sweep of the clause-database invariants: every watcher
+    /// references a live clause and watches its first two literals, and
+    /// every clausal trail reason is a live clause containing the implied
+    /// literal. Intended for tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (code, ws) in self.watches.iter().enumerate() {
+            let watched = Lit::from_code(code);
+            for w in ws {
+                let c = &self.clauses[w.clause as usize];
+                if c.deleted {
+                    continue; // lazily dropped on the next propagation visit
+                }
+                assert!(
+                    c.lits[0] == watched || c.lits[1] == watched,
+                    "watcher for {watched} does not watch clause {}",
+                    w.clause
+                );
+            }
+        }
+        for &l in &self.trail {
+            if let Reason::Clause(r) = self.reason[l.var().index()] {
+                let c = &self.clauses[r as usize];
+                assert!(!c.deleted, "trail reason {r} is deleted");
+                assert!(c.lits.contains(&l), "reason clause {r} lacks implied literal {l}");
+            }
         }
     }
 
@@ -790,7 +924,16 @@ impl PbEngine {
         match self.config.restart {
             RestartPolicy::Luby { base } => luby.next().unwrap_or(1) * base,
             RestartPolicy::Geometric { first, factor } => {
-                (first as f64 * factor.powi(restarts as i32)) as u64
+                // The geometric limit overflows f64→u64 range after a few
+                // hundred restarts; clamp explicitly to u64::MAX (and clamp
+                // the exponent, which would wrap the i32 cast long before).
+                let exponent = restarts.min(i32::MAX as u64) as i32;
+                let limit = first as f64 * factor.powi(exponent);
+                if limit.is_finite() && limit < u64::MAX as f64 {
+                    limit as u64
+                } else {
+                    u64::MAX
+                }
             }
         }
     }
@@ -877,6 +1020,7 @@ impl PbEngine {
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return SolveOutcome::Unsat;
         }
@@ -897,10 +1041,12 @@ impl PbEngine {
                 self.stats.conflicts += 1;
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if self.decision_level() == 0 {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return SolveOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                self.proof_add(&learnt);
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
                 self.stats.learned_literals += learnt.len() as u64;
@@ -1168,5 +1314,107 @@ mod tests {
         f.add_pb(PbConstraint::at_least([(1, a)], 5));
         let mut e = default_engine(&f);
         assert!(e.solve().is_unsat());
+    }
+
+    #[test]
+    fn geometric_restart_limit_saturates_at_high_counts() {
+        // Regression: the limit used to be computed as a raw f64→u64 cast
+        // with an unclamped i32 exponent; verify it now grows monotonically
+        // and pins to u64::MAX instead of wrapping or going to garbage.
+        let config = EngineConfig {
+            restart: RestartPolicy::Geometric { first: 100, factor: 1.5 },
+            ..EngineConfig::default()
+        };
+        let e = PbEngine::new(1, config);
+        let mut luby = Luby::new();
+        let mut prev = 0u64;
+        for r in [0u64, 1, 10, 100, 400, 1_000, 10_000, 1 << 40, u64::MAX] {
+            let lim = e.next_restart_limit(r, &mut luby);
+            assert!(lim >= prev, "limit must be monotone: {lim} after {prev} (restarts={r})");
+            assert!(lim >= 100, "limit must never drop below `first` (restarts={r})");
+            prev = lim;
+        }
+        assert_eq!(e.next_restart_limit(10_000, &mut luby), u64::MAX);
+        assert_eq!(e.next_restart_limit(u64::MAX, &mut luby), u64::MAX);
+    }
+
+    /// PHP(holes+1, holes) as pure clauses (no PB constraints).
+    fn clausal_pigeonhole(holes: usize) -> (usize, Vec<Vec<Lit>>) {
+        let pigeons = holes + 1;
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    clauses.push(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        (pigeons * holes, clauses)
+    }
+
+    #[test]
+    fn pure_cnf_refutation_proof_checks() {
+        let (n, clauses) = clausal_pigeonhole(4);
+        let shared = sbgc_proof::SharedProof::new();
+        let mut e = PbEngine::new(n, EngineConfig::default());
+        e.set_proof_logger(Box::new(shared.clone()));
+        for c in &clauses {
+            e.add_clause(c.iter().copied());
+        }
+        assert!(e.solve().is_unsat());
+        e.check_invariants();
+        let proof = shared.take();
+        assert!(proof.num_adds() > 0);
+        sbgc_proof::check_drat(n, &clauses, &proof).expect("engine proof must check");
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones() {
+        let (n, clauses) = clausal_pigeonhole(5);
+        let mut e = PbEngine::new(n, EngineConfig::default());
+        e.set_max_learnts(10.0);
+        for c in &clauses {
+            e.add_clause(c.iter().copied());
+        }
+        assert!(e.solve().is_unsat());
+        let st = e.stats();
+        assert!(st.reductions > 0);
+        assert!(st.deleted > 0);
+        assert_eq!(st.reclaimed, st.deleted, "every tombstone must be reclaimed");
+        assert_eq!(e.arena_clauses(), e.live_clauses());
+        e.check_invariants();
+    }
+
+    #[test]
+    fn compaction_equivalence_with_mixed_constraints() {
+        // The PB store is untouched by compaction; mixed instances must
+        // give the same answer with and without it.
+        let holes = 4;
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(pigeons * holes);
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            f.add_exactly_one(&row);
+        }
+        for h in 0..holes {
+            let col: Vec<Lit> = (0..pigeons).map(|p| var(p, h).positive()).collect();
+            f.add_at_most_one(&col);
+        }
+        for compact in [true, false] {
+            let mut e = default_engine(&f);
+            e.set_compaction(compact);
+            e.set_max_learnts(10.0);
+            assert!(e.solve().is_unsat(), "compact={compact}");
+            e.check_invariants();
+            if !compact {
+                assert_eq!(e.stats().reclaimed, 0);
+            }
+        }
     }
 }

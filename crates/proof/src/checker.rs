@@ -1,0 +1,547 @@
+//! An independent forward RUP/DRAT proof checker.
+//!
+//! [`check_drat`] replays a [`DratProof`] against the original clause list
+//! with its own watched-literal unit propagation — deliberately sharing no
+//! code with the solvers in `sbgc-sat`/`sbgc-pb`, so a bug there cannot
+//! silently vouch for itself here.
+//!
+//! The checker follows forward drat-trim semantics: root-level assignments
+//! are persistent (a unit stays derived even if the clause that produced it
+//! is later deleted), each added clause must be RUP — assuming its negation
+//! and propagating must yield a conflict — with a RAT fallback on the first
+//! literal, and the proof is accepted once the database is refuted at the
+//! root (the empty clause, or a unit addition whose propagation conflicts).
+
+use crate::drat::{DratProof, ProofStep};
+use sbgc_formula::Lit;
+use std::collections::HashMap;
+
+/// Statistics of a successful [`check_drat`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Total proof steps examined (additions + deletions).
+    pub steps: usize,
+    /// Addition steps verified.
+    pub adds: usize,
+    /// Deletion steps applied.
+    pub deletes: usize,
+    /// Literals assigned during checking (root and temporary).
+    pub propagations: u64,
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// An added clause at `step` (0-based) is neither RUP nor RAT.
+    NotRup {
+        /// Index of the offending proof step.
+        step: usize,
+    },
+    /// A deletion at `step` names a clause not present in the database.
+    MissingDeletion {
+        /// Index of the offending proof step.
+        step: usize,
+    },
+    /// A literal at `step` references a variable outside the formula.
+    /// `step` is `None` when the literal is in the formula itself.
+    OutOfRangeLit {
+        /// Index of the offending proof step, if any.
+        step: Option<usize>,
+    },
+    /// The proof ran out of steps without refuting the formula.
+    NotUnsat,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotRup { step } => {
+                write!(f, "proof step {step}: added clause is neither RUP nor RAT")
+            }
+            CheckError::MissingDeletion { step } => {
+                write!(f, "proof step {step}: deleted clause not in database")
+            }
+            CheckError::OutOfRangeLit { step: Some(step) } => {
+                write!(f, "proof step {step}: literal out of range")
+            }
+            CheckError::OutOfRangeLit { step: None } => {
+                write!(f, "formula literal out of range")
+            }
+            CheckError::NotUnsat => write!(f, "proof ends without refuting the formula"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+const UNDEF: i8 = 0;
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+
+struct CheckedClause {
+    /// Literal order is internal: positions 0 and 1 are the watched
+    /// literals of attached clauses.
+    lits: Vec<Lit>,
+    active: bool,
+    /// Root-satisfied and unit clauses are never attached to watch lists;
+    /// their effect is already frozen into the persistent root trail.
+    attached: bool,
+}
+
+struct Checker {
+    clauses: Vec<CheckedClause>,
+    /// `watches[l.code()]` lists clauses watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    values: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Normalized literal set → indices of active database clauses, for
+    /// deletion matching regardless of literal order.
+    by_key: HashMap<Vec<Lit>, Vec<usize>>,
+    refuted: bool,
+    propagations: u64,
+}
+
+fn clause_key(lits: &[Lit]) -> Vec<Lit> {
+    let mut key = lits.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Self {
+        Checker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            values: vec![UNDEF; num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+            by_key: HashMap::new(),
+            refuted: false,
+            propagations: 0,
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.values[l.var().index()];
+        if l.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn assign(&mut self, l: Lit) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        self.values[l.var().index()] = if l.is_negated() { FALSE } else { TRUE };
+        self.trail.push(l);
+        self.propagations += 1;
+    }
+
+    /// Unit propagation to fixpoint; `true` means a conflict was found.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                if !self.clauses[ci].active {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let other = self.clauses[ci].lits[0];
+                if self.lit_value(other) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                // Find a replacement watch among the tail literals.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != FALSE {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                if self.lit_value(other) == FALSE {
+                    self.watches[false_lit.code()] = ws;
+                    return true; // conflict
+                }
+                self.assign(other);
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        false
+    }
+
+    /// Inserts a clause into the database, assuming it was already
+    /// verified (or comes from the original formula). Root-unit and
+    /// root-falsified clauses are folded into the persistent trail.
+    fn insert(&mut self, lits: &[Lit]) {
+        let ci = self.clauses.len();
+        self.by_key.entry(clause_key(lits)).or_default().push(ci);
+        let mut stored = CheckedClause { lits: lits.to_vec(), active: true, attached: false };
+        if self.refuted {
+            self.clauses.push(stored);
+            return;
+        }
+        // Partition: move (up to two) non-false literals to the front.
+        let mut free = 0usize;
+        let mut satisfied = false;
+        for k in 0..stored.lits.len() {
+            match self.lit_value(stored.lits[k]) {
+                TRUE => satisfied = true,
+                UNDEF => {
+                    stored.lits.swap(free, k);
+                    free += 1;
+                }
+                _ => {}
+            }
+        }
+        if satisfied {
+            // Root assignments are persistent, so this clause can never
+            // become unit; no watches needed.
+            self.clauses.push(stored);
+            return;
+        }
+        match free {
+            0 => {
+                self.refuted = true;
+                self.clauses.push(stored);
+            }
+            1 => {
+                let unit = stored.lits[0];
+                self.clauses.push(stored);
+                self.assign(unit);
+                if self.propagate() {
+                    self.refuted = true;
+                }
+            }
+            _ => {
+                self.watches[stored.lits[0].code()].push(ci);
+                self.watches[stored.lits[1].code()].push(ci);
+                stored.attached = true;
+                self.clauses.push(stored);
+            }
+        }
+    }
+
+    /// RUP check: assume the negation of every literal of `lits`,
+    /// propagate, and demand a conflict. The temporary assignments are
+    /// rolled back; the persistent root trail is untouched.
+    fn is_rup(&mut self, lits: &[Lit]) -> bool {
+        if self.refuted {
+            return true;
+        }
+        debug_assert_eq!(self.qhead, self.trail.len());
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in lits {
+            match self.lit_value(l) {
+                // A root-satisfied clause is a trivial consequence.
+                TRUE => {
+                    conflict = true;
+                    break;
+                }
+                FALSE => {}
+                _ => self.assign(!l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate();
+        }
+        for i in (mark..self.trail.len()).rev() {
+            self.values[self.trail[i].var().index()] = UNDEF;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        conflict
+    }
+
+    /// RAT check on the first literal of `lits`: every resolvent with an
+    /// active database clause containing the negated pivot must be RUP.
+    fn is_rat(&mut self, lits: &[Lit]) -> bool {
+        let Some(&pivot) = lits.first() else {
+            return false;
+        };
+        for ci in 0..self.clauses.len() {
+            if !self.clauses[ci].active || !self.clauses[ci].lits.contains(&!pivot) {
+                continue;
+            }
+            let mut resolvent: Vec<Lit> = lits.iter().copied().filter(|&l| l != pivot).collect();
+            let mut tautology = false;
+            for k in 0..self.clauses[ci].lits.len() {
+                let q = self.clauses[ci].lits[k];
+                if q == !pivot {
+                    continue;
+                }
+                if resolvent.contains(&!q) {
+                    tautology = true;
+                    break;
+                }
+                resolvent.push(q);
+            }
+            if !tautology && !self.is_rup(&resolvent) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deletes one database clause with the given literal set; `false` if
+    /// none matches.
+    fn delete(&mut self, lits: &[Lit]) -> bool {
+        let key = clause_key(lits);
+        let Some(indices) = self.by_key.get_mut(&key) else {
+            return false;
+        };
+        let Some(ci) = indices.pop() else {
+            return false;
+        };
+        if indices.is_empty() {
+            self.by_key.remove(&key);
+        }
+        // Watch lists drop the index lazily during propagation.
+        self.clauses[ci].active = false;
+        true
+    }
+}
+
+/// Checks a DRAT refutation of the clause list `formula` over variables
+/// `0..num_vars`.
+///
+/// Returns [`CheckStats`] when the proof is accepted — every addition is
+/// RUP (or RAT on its first literal) with respect to the formula plus the
+/// surviving earlier additions, every deletion names a present clause, and
+/// the final database is refuted by unit propagation.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered; in particular
+/// [`CheckError::NotUnsat`] when the (possibly valid) derivation never
+/// reaches a refutation — e.g. a proof for a different formula.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_formula::Var;
+/// use sbgc_proof::{check_drat, DratProof};
+///
+/// let a = Var::from_index(0).positive();
+/// let b = Var::from_index(1).positive();
+/// let formula = vec![vec![a, b], vec![!a, b], vec![a, !b], vec![!a, !b]];
+/// let mut proof = DratProof::new();
+/// proof.push_add(&[b]);
+/// proof.push_add(&[]);
+/// assert!(check_drat(2, &formula, &proof).is_ok());
+/// ```
+pub fn check_drat(
+    num_vars: usize,
+    formula: &[Vec<Lit>],
+    proof: &DratProof,
+) -> Result<CheckStats, CheckError> {
+    for clause in formula {
+        if clause.iter().any(|l| l.var().index() >= num_vars) {
+            return Err(CheckError::OutOfRangeLit { step: None });
+        }
+    }
+    let mut ck = Checker::new(num_vars);
+    for clause in formula {
+        ck.insert(clause);
+        if ck.refuted {
+            break;
+        }
+    }
+    let mut stats = CheckStats::default();
+    for (step, s) in proof.steps().iter().enumerate() {
+        if ck.refuted {
+            break;
+        }
+        stats.steps += 1;
+        match s {
+            ProofStep::Add(lits) => {
+                if lits.iter().any(|l| l.var().index() >= num_vars) {
+                    return Err(CheckError::OutOfRangeLit { step: Some(step) });
+                }
+                stats.adds += 1;
+                if !ck.is_rup(lits) && !ck.is_rat(lits) {
+                    return Err(CheckError::NotRup { step });
+                }
+                ck.insert(lits);
+            }
+            ProofStep::Delete(lits) => {
+                stats.deletes += 1;
+                if !ck.delete(lits) {
+                    return Err(CheckError::MissingDeletion { step });
+                }
+            }
+        }
+    }
+    if !ck.refuted {
+        return Err(CheckError::NotUnsat);
+    }
+    stats.propagations = ck.propagations;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::Var;
+
+    fn lit(i: usize, neg: bool) -> Lit {
+        Var::from_index(i).lit(neg)
+    }
+
+    fn l(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    /// (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b): minimal UNSAT square.
+    fn square() -> Vec<Vec<Lit>> {
+        vec![vec![l(1), l(2)], vec![l(-1), l(2)], vec![l(1), l(-2)], vec![l(-1), l(-2)]]
+    }
+
+    #[test]
+    fn accepts_unit_then_empty() {
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(2)]);
+        proof.push_add(&[]);
+        let stats = check_drat(2, &square(), &proof).unwrap();
+        assert_eq!(stats.adds, 1, "refuted before the empty clause is reached");
+    }
+
+    #[test]
+    fn accepts_refutation_without_explicit_empty_clause() {
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(2)]);
+        assert!(check_drat(2, &square(), &proof).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_rup_addition() {
+        // Over (¬a∨b)(¬a∨c), the unit [a] is not RUP (assuming ¬a yields no
+        // conflict) and not RAT either: the resolvent [b] with (¬a∨b) has
+        // no propagation support.
+        let formula = vec![vec![l(-1), l(2)], vec![l(-1), l(3)]];
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(1)]);
+        proof.push_add(&[]);
+        assert_eq!(check_drat(3, &formula, &proof), Err(CheckError::NotRup { step: 0 }));
+    }
+
+    #[test]
+    fn rejects_corrupted_lemma() {
+        // Over (¬a∨b)(¬a∨c)(d∨e), the corrupted lemma [a, ¬d] is neither
+        // RUP (assuming ¬a, d propagates nothing) nor RAT on pivot a (the
+        // resolvent [¬d, b] with (¬a∨b) is not RUP).
+        let formula = vec![vec![l(-1), l(2)], vec![l(-1), l(3)], vec![l(4), l(5)]];
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(1), l(-4)]);
+        proof.push_add(&[]);
+        assert_eq!(check_drat(5, &formula, &proof), Err(CheckError::NotRup { step: 0 }));
+    }
+
+    #[test]
+    fn rejects_truncated_proof() {
+        let proof = DratProof::new();
+        assert_eq!(check_drat(2, &square(), &proof), Err(CheckError::NotUnsat));
+    }
+
+    #[test]
+    fn rejects_missing_deletion() {
+        let mut proof = DratProof::new();
+        proof.push_delete(&[l(1), l(2), l(-3)]);
+        assert_eq!(check_drat(3, &square(), &proof), Err(CheckError::MissingDeletion { step: 0 }));
+    }
+
+    #[test]
+    fn deletion_matches_any_literal_order() {
+        // The clause is stored as [1, 2]; deleting [2, 1] must match it
+        // (failure mode would be MissingDeletion, not NotUnsat).
+        let mut proof = DratProof::new();
+        proof.push_delete(&[l(2), l(1)]);
+        assert_eq!(check_drat(2, &square(), &proof), Err(CheckError::NotUnsat));
+    }
+
+    #[test]
+    fn deleted_clause_no_longer_supports_rup() {
+        // After deleting (a∨b), the unit [b] loses its RUP support:
+        // assuming ¬b propagates a (from a∨¬b)... which conflicts with
+        // ¬a∨¬b? No: ¬a∨¬b needs b true. Check the exact chain: ¬b makes
+        // (a∨¬b) satisfied; remaining constraints (¬a∨b)→¬a, and nothing
+        // conflicts. So [b] must be rejected.
+        let mut proof = DratProof::new();
+        proof.push_delete(&[l(1), l(2)]);
+        proof.push_add(&[l(2)]);
+        proof.push_add(&[]);
+        assert_eq!(check_drat(2, &square(), &proof), Err(CheckError::NotRup { step: 1 }));
+    }
+
+    #[test]
+    fn rejects_proof_for_permuted_formula() {
+        // A valid refutation of PHP-style pairwise constraints does not
+        // refute the (satisfiable) formula with one clause sign-flipped.
+        let mut satisfiable = square();
+        satisfiable[3] = vec![l(1), l(-2)]; // duplicate, leaves (1, ¬2) open
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(2)]);
+        proof.push_add(&[]);
+        let err = check_drat(2, &satisfiable, &proof).unwrap_err();
+        assert!(matches!(err, CheckError::NotRup { .. } | CheckError::NotUnsat), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_range_literals_rejected() {
+        let mut proof = DratProof::new();
+        proof.push_add(&[lit(7, false)]);
+        assert_eq!(
+            check_drat(2, &square(), &proof),
+            Err(CheckError::OutOfRangeLit { step: Some(0) })
+        );
+        assert_eq!(
+            check_drat(1, &square(), &DratProof::new()),
+            Err(CheckError::OutOfRangeLit { step: None })
+        );
+    }
+
+    #[test]
+    fn formula_with_root_conflict_is_refuted_without_proof() {
+        let formula = vec![vec![l(1)], vec![l(-1)]];
+        assert!(check_drat(1, &formula, &DratProof::new()).is_ok());
+    }
+
+    #[test]
+    fn empty_formula_is_not_refutable() {
+        let proof = DratProof::new();
+        assert_eq!(check_drat(1, &[], &proof), Err(CheckError::NotUnsat));
+    }
+
+    #[test]
+    fn rat_addition_accepted() {
+        // [a] over (a∨b) is not RUP (assuming ¬a yields no conflict) but is
+        // vacuously RAT on pivot a: no clause contains ¬a. The formula stays
+        // satisfiable, so the final error must be NotUnsat — proving the
+        // RAT addition itself passed.
+        let formula = vec![vec![l(1), l(2)]];
+        let mut proof = DratProof::new();
+        proof.push_add(&[l(1)]);
+        assert_eq!(check_drat(2, &formula, &proof), Err(CheckError::NotUnsat));
+    }
+}

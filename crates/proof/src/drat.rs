@@ -1,0 +1,349 @@
+//! DRAT proof representation and logging sinks.
+//!
+//! A DRAT proof is a sequence of clause *additions* (each a RUP or RAT
+//! consequence of the formula plus the earlier additions) and clause
+//! *deletions*, ending — for a refutation — in the empty clause. Solvers
+//! emit steps through the [`ProofLogger`] trait; the independent checker in
+//! [`crate::checker`] replays them against the original formula.
+
+use sbgc_formula::Lit;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One step of a DRAT proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Addition of a clause derived by the solver (learned clause,
+    /// root-simplified clause, or the final empty clause).
+    Add(Vec<Lit>),
+    /// Deletion of a clause no longer needed (database reduction).
+    Delete(Vec<Lit>),
+}
+
+/// An in-memory DRAT proof: the ordered list of additions and deletions a
+/// solver emitted while refuting a formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DratProof {
+    steps: Vec<ProofStep>,
+}
+
+impl DratProof {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        DratProof::default()
+    }
+
+    /// Appends a clause addition.
+    pub fn push_add(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Add(lits.to_vec()));
+    }
+
+    /// Appends a clause deletion.
+    pub fn push_delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(lits.to_vec()));
+    }
+
+    /// The recorded steps, in emission order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Total number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of addition steps.
+    pub fn num_adds(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, ProofStep::Add(_))).count()
+    }
+
+    /// Number of deletion steps.
+    pub fn num_deletes(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, ProofStep::Delete(_))).count()
+    }
+
+    /// Total literal count across all steps — the proof-size metric of the
+    /// run reports.
+    pub fn total_literals(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                ProofStep::Add(lits) | ProofStep::Delete(lits) => lits.len(),
+            })
+            .sum()
+    }
+
+    /// Renders the proof in the standard textual DRAT format: one step per
+    /// line, `d`-prefixed deletions, 1-based signed literals, `0`
+    /// terminators.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            let lits = match step {
+                ProofStep::Add(lits) => lits,
+                ProofStep::Delete(lits) => {
+                    out.push_str("d ");
+                    lits
+                }
+            };
+            for l in lits {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses the textual DRAT format produced by [`DratProof::to_dimacs`]
+    /// (comment lines starting with `c` are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input
+    /// (non-integer token, missing `0` terminator, or a `0` literal).
+    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+        let mut proof = DratProof::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            let (delete, rest) = match line.strip_prefix('d') {
+                Some(rest) => (true, rest),
+                None => (false, line),
+            };
+            let mut lits = Vec::new();
+            let mut terminated = false;
+            for tok in rest.split_whitespace() {
+                let n: i64 =
+                    tok.parse().map_err(|_| format!("line {}: bad literal {tok:?}", lineno + 1))?;
+                if n == 0 {
+                    terminated = true;
+                    break;
+                }
+                lits.push(Lit::from_dimacs(n));
+            }
+            if !terminated {
+                return Err(format!("line {}: missing 0 terminator", lineno + 1));
+            }
+            proof.steps.push(if delete { ProofStep::Delete(lits) } else { ProofStep::Add(lits) });
+        }
+        Ok(proof)
+    }
+}
+
+/// Sink for DRAT steps emitted by a solver.
+///
+/// Implementations must be `Send`: portfolio workers carry their solvers
+/// (and thus any attached logger) across threads.
+pub trait ProofLogger: Send {
+    /// Records the addition of a derived clause.
+    fn log_add(&mut self, lits: &[Lit]);
+    /// Records the deletion of a clause.
+    fn log_delete(&mut self, lits: &[Lit]);
+}
+
+impl ProofLogger for DratProof {
+    fn log_add(&mut self, lits: &[Lit]) {
+        self.push_add(lits);
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        self.push_delete(lits);
+    }
+}
+
+/// A cloneable handle to an in-memory proof, for retrieving the steps after
+/// the solver (which owns its logger as a `Box<dyn ProofLogger>`) is done.
+///
+/// # Example
+///
+/// ```
+/// use sbgc_proof::{ProofLogger, SharedProof};
+/// use sbgc_formula::Var;
+///
+/// let shared = SharedProof::new();
+/// let mut sink: Box<dyn ProofLogger> = Box::new(shared.clone());
+/// sink.log_add(&[Var::from_index(0).positive()]);
+/// assert_eq!(shared.take().num_adds(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SharedProof {
+    inner: Arc<Mutex<DratProof>>,
+}
+
+impl SharedProof {
+    /// Creates a handle to a fresh empty proof.
+    pub fn new() -> Self {
+        SharedProof::default()
+    }
+
+    /// Takes the accumulated proof, leaving the shared buffer empty.
+    pub fn take(&self) -> DratProof {
+        std::mem::take(&mut self.inner.lock().expect("proof mutex poisoned"))
+    }
+
+    /// Copies the accumulated proof without clearing it.
+    pub fn snapshot(&self) -> DratProof {
+        self.inner.lock().expect("proof mutex poisoned").clone()
+    }
+}
+
+impl ProofLogger for SharedProof {
+    fn log_add(&mut self, lits: &[Lit]) {
+        self.inner.lock().expect("proof mutex poisoned").push_add(lits);
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        self.inner.lock().expect("proof mutex poisoned").push_delete(lits);
+    }
+}
+
+/// A file-backed logger streaming textual DRAT to any writer; pair with
+/// [`DratProof::from_dimacs`] to re-load.
+pub struct FileProofLogger<W: Write + Send> {
+    out: W,
+}
+
+impl FileProofLogger<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a buffered logger writing
+    /// textual DRAT to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(FileProofLogger { out: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl<W: Write + Send> FileProofLogger<W> {
+    /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn new(out: W) -> Self {
+        FileProofLogger { out }
+    }
+
+    /// Unwraps the underlying writer (flushing it first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn write_step(&mut self, prefix: &str, lits: &[Lit]) {
+        let mut line = String::with_capacity(prefix.len() + 6 * lits.len() + 2);
+        line.push_str(prefix);
+        for l in lits {
+            let _ = write!(line, "{} ", l.to_dimacs());
+        }
+        line.push_str("0\n");
+        // Proof logging is advisory; an I/O error degrades to a truncated
+        // proof that the checker will reject rather than aborting the solve.
+        let _ = self.out.write_all(line.as_bytes());
+    }
+}
+
+impl<W: Write + Send> ProofLogger for FileProofLogger<W> {
+    fn log_add(&mut self, lits: &[Lit]) {
+        self.write_step("", lits);
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        self.write_step("d ", lits);
+    }
+}
+
+/// Renders a clause list in DIMACS CNF format (for dumping certified
+/// formulas next to their `.drat` proofs).
+pub fn dimacs_cnf(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = format!("p cnf {} {}\n", num_vars, clauses.len());
+    for clause in clauses {
+        for l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::Var;
+
+    fn lit(i: usize, neg: bool) -> Lit {
+        Var::from_index(i).lit(neg)
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut proof = DratProof::new();
+        proof.push_add(&[lit(0, false), lit(1, true)]);
+        proof.push_delete(&[lit(1, true), lit(2, false)]);
+        proof.push_add(&[]);
+        let text = proof.to_dimacs();
+        assert_eq!(text, "1 -2 0\nd -2 3 0\n0\n");
+        assert_eq!(DratProof::from_dimacs(&text).unwrap(), proof);
+    }
+
+    #[test]
+    fn from_dimacs_rejects_garbage() {
+        assert!(DratProof::from_dimacs("1 x 0\n").is_err());
+        assert!(DratProof::from_dimacs("1 2\n").is_err());
+    }
+
+    #[test]
+    fn from_dimacs_skips_comments() {
+        let proof = DratProof::from_dimacs("c hello\n1 0\n").unwrap();
+        assert_eq!(proof.steps(), &[ProofStep::Add(vec![lit(0, false)])]);
+    }
+
+    #[test]
+    fn size_metrics() {
+        let mut proof = DratProof::new();
+        proof.push_add(&[lit(0, false), lit(1, false)]);
+        proof.push_delete(&[lit(0, false)]);
+        proof.push_add(&[]);
+        assert_eq!(proof.num_adds(), 2);
+        assert_eq!(proof.num_deletes(), 1);
+        assert_eq!(proof.total_literals(), 3);
+        assert_eq!(proof.len(), 3);
+        assert!(!proof.is_empty());
+    }
+
+    #[test]
+    fn file_logger_matches_memory_format() {
+        let mut logger = FileProofLogger::new(Vec::new());
+        logger.log_add(&[lit(0, false), lit(1, true)]);
+        logger.log_delete(&[lit(1, true)]);
+        let bytes = logger.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed = DratProof::from_dimacs(&text).unwrap();
+        assert_eq!(parsed.num_adds(), 1);
+        assert_eq!(parsed.num_deletes(), 1);
+    }
+
+    #[test]
+    fn shared_proof_take_resets() {
+        let shared = SharedProof::new();
+        let mut h = shared.clone();
+        h.log_add(&[lit(0, false)]);
+        assert_eq!(shared.snapshot().num_adds(), 1);
+        assert_eq!(shared.take().num_adds(), 1);
+        assert!(shared.take().is_empty());
+    }
+
+    #[test]
+    fn dimacs_cnf_header() {
+        let cnf = dimacs_cnf(3, &[vec![lit(0, false), lit(2, true)], vec![lit(1, false)]]);
+        assert_eq!(cnf, "p cnf 3 2\n1 -3 0\n2 0\n");
+    }
+}

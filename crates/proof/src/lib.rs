@@ -1,0 +1,45 @@
+//! DRAT proof logging and independent proof checking.
+//!
+//! The paper's symmetry-breaking predicates must not change satisfiability;
+//! this crate provides the machinery to *verify* that claim per run instead
+//! of trusting the solvers. It has two halves that deliberately share no
+//! code:
+//!
+//! * [`DratProof`] / [`ProofLogger`] — a small logging interface the CDCL
+//!   engines in `sbgc-sat` and `sbgc-pb` emit DRAT steps through (learned
+//!   clause additions from 1UIP analysis, deletions from database
+//!   reduction), either into memory ([`SharedProof`]) or streamed to a
+//!   file ([`FileProofLogger`]).
+//! * [`check_drat`] — a forward RUP/DRAT checker with its own
+//!   watched-literal propagation that replays a proof against the original
+//!   clause list and accepts only genuine refutations.
+//!
+//! `sbgc-core` combines both into optimality certificates: a verified
+//! k-coloring at χ plus a checked UNSAT proof at χ−1.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_formula::Var;
+//! use sbgc_proof::{check_drat, DratProof};
+//!
+//! // (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b) is UNSAT; derive [b], then the conflict.
+//! let a = Var::from_index(0).positive();
+//! let b = Var::from_index(1).positive();
+//! let formula = vec![vec![a, b], vec![!a, b], vec![a, !b], vec![!a, !b]];
+//!
+//! let mut proof = DratProof::new();
+//! proof.push_add(&[b]);
+//! proof.push_add(&[]);
+//! let stats = check_drat(2, &formula, &proof).expect("valid refutation");
+//! assert!(stats.adds >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod drat;
+
+pub use checker::{check_drat, CheckError, CheckStats};
+pub use drat::{dimacs_cnf, DratProof, FileProofLogger, ProofLogger, ProofStep, SharedProof};

@@ -5,6 +5,7 @@ use crate::heap::ActivityHeap;
 use crate::luby::Luby;
 use sbgc_formula::{Assignment, Lit, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder};
+use sbgc_proof::ProofLogger;
 use std::fmt;
 
 /// Result of a [`SatSolver::solve`] call.
@@ -63,6 +64,11 @@ pub struct SolverStats {
     /// divide by [`learned`](SolverStats::learned) for the mean
     /// learned-clause length.
     pub learned_literals: u64,
+    /// Number of database-reduction (`reduce_db`) passes.
+    pub reductions: u64,
+    /// Number of dead clause slots physically reclaimed by arena
+    /// compaction (see [`SatSolver::set_compaction`]).
+    pub reclaimed: u64,
 }
 
 impl SolverStats {
@@ -128,11 +134,15 @@ pub struct SatSolver {
     cla_inc: f64,
     max_learnts: f64,
     ok: bool,
+    // Physically reclaim tombstoned clauses after each reduce_db pass;
+    // disabled only by tests comparing against the lazy-deletion baseline.
+    compact: bool,
     stats: SolverStats,
     recorder: Recorder,
     // Stats snapshot already flushed to the recorder; deltas beyond this
     // are pushed at stride boundaries and at solve exit.
     flushed: SolverStats,
+    proof: Option<Box<dyn ProofLogger>>,
     // scratch for analyze
     seen: Vec<bool>,
 }
@@ -157,9 +167,11 @@ impl SatSolver {
             cla_inc: 1.0,
             max_learnts: 0.0,
             ok: true,
+            compact: true,
             stats: SolverStats::default(),
             recorder: Recorder::disabled(),
             flushed: SolverStats::default(),
+            proof: None,
             seen: vec![false; num_vars],
         }
     }
@@ -226,6 +238,51 @@ impl SatSolver {
         self.flushed = self.stats.flush_delta(self.flushed, &self.recorder);
     }
 
+    /// Attaches a DRAT [`ProofLogger`]. Every clause the solver derives
+    /// from here on — root-simplified additions, 1UIP learned clauses, the
+    /// final empty clause — and every database deletion is logged, so an
+    /// UNSAT answer comes with a checkable refutation of the clauses added
+    /// *after* this call.
+    ///
+    /// Attach the logger before the first [`SatSolver::add_clause`] call so
+    /// the proof is grounded in the full original formula.
+    pub fn set_proof_logger(&mut self, logger: Box<dyn ProofLogger>) {
+        self.proof = Some(logger);
+    }
+
+    /// Enables or disables physical arena compaction after each
+    /// `reduce_db` pass (default: enabled). Disabling restores the
+    /// historical tombstone-only behavior, where deleted clauses linger in
+    /// the arena and watch lists until process exit.
+    pub fn set_compaction(&mut self, compact: bool) {
+        self.compact = compact;
+    }
+
+    /// Overrides the learned-clause limit that triggers database
+    /// reduction (test knob; the default is derived from the clause count
+    /// on the first solve).
+    pub fn set_max_learnts(&mut self, max_learnts: f64) {
+        self.max_learnts = max_learnts;
+    }
+
+    /// Total `StoredClause` slots in the arena, live or tombstoned.
+    /// With compaction enabled this tracks [`SatSolver::live_clauses`].
+    pub fn arena_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of non-deleted stored clauses.
+    pub fn live_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.log_add(lits);
+        }
+    }
+
     /// Adds a clause. May be called before or between `solve` calls (the
     /// solver backtracks to the root level first).
     ///
@@ -248,15 +305,22 @@ impl SatSolver {
             return;
         }
         // Remove root-level falsified literals; drop clause if satisfied.
+        let before = lits.len();
         lits.retain(|&l| self.lit_value(l) != VarValue::False);
         if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
             return;
+        }
+        if lits.len() != before {
+            // The simplified clause is a derived (RUP) clause: its dropped
+            // literals are root-falsified by earlier unit propagation.
+            self.proof_add(&lits);
         }
         match lits.len() {
             0 => self.ok = false,
             1 => {
                 self.enqueue(lits[0], NO_REASON);
                 if self.propagate().is_some() {
+                    self.proof_add(&[]);
                     self.ok = false;
                 }
             }
@@ -523,7 +587,7 @@ impl SatSolver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: Vec<u32> = self
+        let locked: std::collections::HashSet<u32> = self
             .trail
             .iter()
             .map(|l| self.reason[l.var().index()])
@@ -534,8 +598,83 @@ impl SatSolver {
             if locked.contains(&(i as u32)) {
                 continue;
             }
+            if let Some(p) = self.proof.as_mut() {
+                p.log_delete(&self.clauses[i].lits);
+            }
             self.clauses[i].deleted = true;
             self.stats.deleted += 1;
+        }
+        self.stats.reductions += 1;
+        if self.compact {
+            self.compact_db();
+        }
+    }
+
+    /// Physically removes tombstoned clauses, remapping the clause
+    /// references held by watch lists and trail reasons. Must run with
+    /// propagation at fixpoint (it is called right after `reduce_db`,
+    /// which never deletes locked clauses, so every trail reason stays
+    /// live).
+    fn compact_db(&mut self) {
+        let mut remap = vec![NO_REASON; self.clauses.len()];
+        let mut next = 0u32;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let dead = self.clauses.len() - next as usize;
+        if dead == 0 {
+            return;
+        }
+        self.stats.reclaimed += dead as u64;
+        self.clauses.retain(|c| !c.deleted);
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let m = remap[w.clause as usize];
+                w.clause = m;
+                m != NO_REASON
+            });
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            let r = self.reason[v];
+            if r != NO_REASON {
+                debug_assert_ne!(remap[r as usize], NO_REASON, "trail reason must stay live");
+                self.reason[v] = remap[r as usize];
+            }
+        }
+    }
+
+    /// Debug sweep of the clause-database invariants: every watcher
+    /// references a live clause and watches its first two literals, and
+    /// every trail reason is a live clause containing the implied literal.
+    /// Intended for tests; compiled in all profiles but only cheap enough
+    /// for small instances.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (code, ws) in self.watches.iter().enumerate() {
+            let watched = Lit::from_code(code);
+            for w in ws {
+                let c = &self.clauses[w.clause as usize];
+                if c.deleted {
+                    continue; // lazily dropped on the next propagation visit
+                }
+                assert!(
+                    c.lits[0] == watched || c.lits[1] == watched,
+                    "watcher for {watched} does not watch clause {}",
+                    w.clause
+                );
+            }
+        }
+        for &l in &self.trail {
+            let r = self.reason[l.var().index()];
+            if r != NO_REASON {
+                let c = &self.clauses[r as usize];
+                assert!(!c.deleted, "trail reason {r} is deleted");
+                assert!(c.lits.contains(&l), "reason clause {r} lacks implied literal {l}");
+            }
         }
     }
 
@@ -586,6 +725,7 @@ impl SatSolver {
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return SolveOutcome::Unsat;
         }
@@ -608,10 +748,12 @@ impl SatSolver {
                 self.stats.conflicts += 1;
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if self.decision_level() == 0 {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return SolveOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                self.proof_add(&learnt);
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
                 self.stats.learned_literals += learnt.len() as u64;
