@@ -101,7 +101,8 @@ fn main() {
 
             let configs = portfolio_configs(workers);
             let start = Instant::now();
-            let par_out = optimize_portfolio(formula, &configs, &config.budget());
+            let par_out = optimize_portfolio(formula, &configs, &config.budget())
+                .expect("portfolio_configs is non-empty and the formula has an objective");
             let portfolio = RunRecord {
                 time: start.elapsed(),
                 conflicts: par_out.stats.conflicts,
@@ -166,7 +167,13 @@ fn main() {
         speedup,
         agree
     );
-    std::fs::write("BENCH_portfolio.json", &json).expect("write BENCH_portfolio.json");
+    if let Err(err) = std::fs::write("BENCH_portfolio.json", &json) {
+        // The measurements are already printed; dump the JSON to stderr so
+        // the data survives, then flag the failure in the exit status.
+        eprintln!("error: could not write BENCH_portfolio.json: {err}");
+        eprintln!("{json}");
+        std::process::exit(1);
+    }
     println!(
         "\ntotals: sequential {:.3}s, portfolio {:.3}s, speedup {:.2}x — wrote BENCH_portfolio.json",
         seq_total.as_secs_f64(),

@@ -44,8 +44,16 @@ use sbgc_obs::{
 };
 use sbgc_pb::Budget;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex even if a previous holder panicked. The only data behind
+/// these locks are per-instance result slots, which are written atomically
+/// (a single `Option` assignment), so a poisoned lock never guards a
+/// half-updated value.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Harness configuration parsed from the command line.
 #[derive(Clone, Debug)]
@@ -269,7 +277,7 @@ pub fn run_grid_row(
     let jobs = jobs.max(1).min(instances.len().max(1));
     if jobs == 1 {
         for (inst, slot) in instances.iter().zip(&rows) {
-            *slot.lock().expect("row slot") =
+            *lock_tolerant(slot) =
                 Some(run_instance_row(inst, k, mode, symmetry, solvers, &budget_for, per_instance));
         }
     } else {
@@ -289,7 +297,7 @@ pub fn run_grid_row(
                         budget_for,
                         per_instance,
                     );
-                    *rows[i].lock().expect("row slot") = Some(row);
+                    *lock_tolerant(&rows[i]) = Some(row);
                 });
             }
         });
@@ -297,7 +305,10 @@ pub fn run_grid_row(
 
     let mut cells = vec![GridCell::default(); solvers.len()];
     for slot in rows {
-        let row = slot.into_inner().expect("row slot").expect("worker filled every slot");
+        let row = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .expect("worker filled every slot");
         for (cell, c) in cells.iter_mut().zip(&row.cells) {
             cell.total_time += c.total_time;
             cell.solved += c.solved;
@@ -373,14 +384,21 @@ pub fn certificate_stats(cert: &OptimalityCertificate) -> CertificateStats {
 /// rejected proof, an unverified witness, a budget-truncated proof, or a
 /// χ search that only bounded the answer. This is the CI gate: on the
 /// small-graph suite with a sane timeout every instance must certify.
+/// Proof-archiving I/O failures, by contrast, only degrade: a warning is
+/// printed and certification continues without the archive.
 pub fn run_certification(config: &HarnessConfig) {
     if !config.certify {
         return;
     }
-    if let Some(dir) = &config.proof_dir {
+    let mut proof_dir = config.proof_dir.clone();
+    if let Some(dir) = &proof_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {
-            eprintln!("error: could not create proof directory {dir}: {err}");
-            std::process::exit(1);
+            // Degrade rather than die: certification itself can still run,
+            // only the proof archive is lost.
+            eprintln!(
+                "warning: could not create proof directory {dir}: {err}; proofs not archived"
+            );
+            proof_dir = None;
         }
     }
     println!("\nCertification (SBP-free CNF decision encoding, independent DRAT check):");
@@ -408,11 +426,10 @@ pub fn run_certification(config: &HarnessConfig) {
             "  {:<12} chi = {:<3} {witness}, unsat {}",
             inst.meta.name, cert.chromatic_number, cert.unsat
         );
-        if let (Some(dir), Some(proof)) = (&config.proof_dir, &cert.proof) {
+        if let (Some(dir), Some(proof)) = (&proof_dir, &cert.proof) {
             let path = format!("{dir}/{}.drat", inst.meta.name);
             if let Err(err) = std::fs::write(&path, proof.to_dimacs()) {
-                eprintln!("error: could not write {path}: {err}");
-                std::process::exit(1);
+                eprintln!("warning: could not write {path}: {err}; proof not archived");
             }
         }
         if !cert.is_certified() {
@@ -477,18 +494,35 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
             sbp_aux_vars: s.sbp.aux_vars,
         }),
         total_seconds: solved.total_time.as_secs_f64(),
-        outcome: match &solved.outcome {
-            ColoringOutcome::Optimal { colors, .. } => {
-                RunOutcome { kind: "optimal".to_string(), colors: Some(*colors), decided: true }
-            }
-            ColoringOutcome::Feasible { colors, .. } => {
-                RunOutcome { kind: "feasible".to_string(), colors: Some(*colors), decided: false }
-            }
-            ColoringOutcome::InfeasibleAtK => {
-                RunOutcome { kind: "infeasible_at_k".to_string(), colors: None, decided: true }
-            }
-            ColoringOutcome::Unknown => {
-                RunOutcome { kind: "timeout".to_string(), colors: None, decided: false }
+        outcome: {
+            // Undecided runs carry the budget dimension that stopped them
+            // (schema v3 `exhaust_reason`); decided runs carry none.
+            let exhaust = solved.exhaust.map(|e| e.as_str().to_string());
+            match &solved.outcome {
+                ColoringOutcome::Optimal { colors, .. } => RunOutcome {
+                    kind: "optimal".to_string(),
+                    colors: Some(*colors),
+                    decided: true,
+                    exhaust_reason: None,
+                },
+                ColoringOutcome::Feasible { colors, .. } => RunOutcome {
+                    kind: "feasible".to_string(),
+                    colors: Some(*colors),
+                    decided: false,
+                    exhaust_reason: exhaust,
+                },
+                ColoringOutcome::InfeasibleAtK => RunOutcome {
+                    kind: "infeasible_at_k".to_string(),
+                    colors: None,
+                    decided: true,
+                    exhaust_reason: None,
+                },
+                ColoringOutcome::Unknown => RunOutcome {
+                    kind: "timeout".to_string(),
+                    colors: None,
+                    decided: false,
+                    exhaust_reason: exhaust,
+                },
             }
         },
         ..RunReport::default()
@@ -509,6 +543,70 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
     report
 }
 
+/// Drop guard that makes `--report` crash-safe: runs are pushed into the
+/// guard as they complete, and if the process unwinds before [`finish`]
+/// (a panic inside an instrumented solve), [`Drop`] flushes whatever has
+/// accumulated so the completed runs survive on disk. The panic still
+/// propagates, so the process exits non-zero; only the data is saved.
+///
+/// [`finish`]: ReportGuard::finish
+pub struct ReportGuard {
+    path: String,
+    file: ReportFile,
+    finished: bool,
+}
+
+impl ReportGuard {
+    /// Starts a report destined for `path`, carrying the harness metadata.
+    pub fn new(path: &str, generator: &str, config: &HarnessConfig) -> Self {
+        ReportGuard {
+            path: path.to_string(),
+            file: ReportFile {
+                generator: generator.to_string(),
+                k: config.k,
+                timeout_s: config.timeout.as_secs_f64(),
+                jobs: config.jobs,
+                runs: Vec::new(),
+            },
+            finished: false,
+        }
+    }
+
+    /// Appends one completed instrumented run.
+    pub fn push(&mut self, run: RunReport) {
+        self.file.runs.push(run);
+    }
+
+    /// Writes the complete report. Exits with status 1 if the file cannot
+    /// be written — with `--report` the file *is* the deliverable.
+    pub fn finish(mut self) {
+        self.finished = true;
+        match std::fs::write(&self.path, self.file.to_json()) {
+            Ok(()) => eprintln!("report written: {}", self.path),
+            Err(err) => {
+                eprintln!("error: could not write report to {}: {err}", self.path);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+impl Drop for ReportGuard {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        eprintln!(
+            "warning: report interrupted; flushing {} completed run(s) to {}",
+            self.file.runs.len(),
+            self.path
+        );
+        if let Err(err) = std::fs::write(&self.path, self.file.to_json()) {
+            eprintln!("error: could not write partial report to {}: {err}", self.path);
+        }
+    }
+}
+
 /// Writes the `--report PATH` file if the flag was given, re-running every
 /// configured instance once with a live [`Recorder`] attached.
 ///
@@ -516,27 +614,16 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
 /// printed — the table grid varies SBP mode and solver per cell, while the
 /// report wants one canonical, fully-traced run per instance (see
 /// [`collect_run_report`]). Call this at the end of `main`. Exits with an
-/// error if the file cannot be written.
+/// error if the file cannot be written; if an instrumented run panics, the
+/// runs completed so far are still flushed to `PATH` ([`ReportGuard`]).
 pub fn write_report(config: &HarnessConfig, generator: &str) {
     let Some(path) = &config.report else { return };
     eprintln!("\ncollecting instrumented runs for --report {path}");
-    let instances = config.build_instances();
-    let runs: Vec<RunReport> =
-        instances.iter().map(|inst| collect_run_report(inst, config)).collect();
-    let file = ReportFile {
-        generator: generator.to_string(),
-        k: config.k,
-        timeout_s: config.timeout.as_secs_f64(),
-        jobs: config.jobs,
-        runs,
-    };
-    match std::fs::write(path, file.to_json()) {
-        Ok(()) => eprintln!("report written: {path}"),
-        Err(err) => {
-            eprintln!("error: could not write report to {path}: {err}");
-            std::process::exit(1);
-        }
+    let mut guard = ReportGuard::new(path, generator, config);
+    for inst in config.build_instances() {
+        guard.push(collect_run_report(&inst, config));
     }
+    guard.finish();
 }
 
 #[cfg(test)]
@@ -640,6 +727,81 @@ mod tests {
         assert!(cert.is_verified());
         let json = report.to_json(0);
         assert!(json.contains("\"status\": \"checked\""));
+    }
+
+    #[test]
+    fn exhausted_instrumented_run_reports_its_reason() {
+        // A nanosecond of budget cannot finish an optimization run; the
+        // report must say the run is undecided *because of time*. Budgets
+        // are checked on the stride-64 conflict path, so the instance must
+        // be hard enough to accumulate conflicts (queen6_6 at K = 7 needs
+        // an UNSAT proof at 6 colors).
+        let config = HarnessConfig {
+            timeout: Duration::from_nanos(1),
+            k: 7,
+            instances: vec!["queen6_6".to_string()],
+            per_instance: false,
+            jobs: 1,
+            report: None,
+            certify: false,
+            proof_dir: None,
+        };
+        let inst = suite::build("queen6_6");
+        let report = collect_run_report(&inst, &config);
+        assert!(!report.outcome.decided);
+        assert_eq!(report.outcome.exhaust_reason.as_deref(), Some("time"));
+        assert!(report.to_json(0).contains("\"exhaust_reason\": \"time\""));
+    }
+
+    #[test]
+    fn report_guard_flushes_partial_report_on_unwind() {
+        let path = std::env::temp_dir().join(format!("sbgc_partial_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        let config = HarnessConfig {
+            timeout: Duration::from_secs(1),
+            k: 3,
+            instances: vec![],
+            per_instance: false,
+            jobs: 1,
+            report: Some(path_str.clone()),
+            certify: false,
+            proof_dir: None,
+        };
+        let result = std::panic::catch_unwind(|| {
+            let mut guard = ReportGuard::new(&path_str, "chaos", &config);
+            let mut run = RunReport::default();
+            run.instance.name = "survivor".to_string();
+            guard.push(run);
+            panic!("boom mid-report");
+        });
+        assert!(result.is_err());
+        let json = std::fs::read_to_string(&path).expect("partial report flushed");
+        assert!(json.contains("\"generator\": \"chaos\""));
+        assert!(json.contains("\"survivor\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_guard_finish_writes_complete_report() {
+        let path = std::env::temp_dir().join(format!("sbgc_full_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        let config = HarnessConfig {
+            timeout: Duration::from_secs(1),
+            k: 3,
+            instances: vec![],
+            per_instance: false,
+            jobs: 1,
+            report: Some(path_str.clone()),
+            certify: false,
+            proof_dir: None,
+        };
+        let mut guard = ReportGuard::new(&path_str, "table9", &config);
+        guard.push(RunReport::default());
+        guard.push(RunReport::default());
+        guard.finish();
+        let json = std::fs::read_to_string(&path).expect("report written");
+        assert!(json.contains("\"generator\": \"table9\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

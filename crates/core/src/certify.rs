@@ -22,8 +22,11 @@ use crate::flow::SolveOptions;
 use sbgc_formula::{Lit, PbFormula};
 use sbgc_graph::{Coloring, Graph};
 use sbgc_pb::Budget;
-use sbgc_proof::{check_drat, DratProof, SharedProof};
+use sbgc_proof::{
+    check_drat, DratProof, FileProofLogger, ProofLogger, SharedProof, TeeProofLogger,
+};
 use sbgc_sat::{SatSolver, SolveOutcome};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Outcome of the UNSAT half of a certificate.
@@ -136,6 +139,112 @@ pub fn certify_unsat_formula(
     let clauses: Vec<Vec<Lit>> =
         formula.clauses().iter().map(|c| c.iter().copied().collect()).collect();
     refute_and_check(formula.num_vars(), &clauses, budget)
+}
+
+/// Owns the archive logger behind a shared slot so it can be reclaimed
+/// (and flushed, with errors captured) after the solver is done with its
+/// boxed copy of the handle.
+struct StreamHandle<W: std::io::Write + Send>(Arc<Mutex<Option<FileProofLogger<W>>>>);
+
+impl<W: std::io::Write + Send> ProofLogger for StreamHandle<W> {
+    fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(l) = self.0.lock().unwrap_or_else(PoisonError::into_inner).as_mut() {
+            l.log_add(lits);
+        }
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        if let Some(l) = self.0.lock().unwrap_or_else(PoisonError::into_inner).as_mut() {
+            l.log_delete(lits);
+        }
+    }
+}
+
+/// [`certify_unsat_formula`] that *also* streams the DRAT proof into a
+/// file-backed logger while solving, so an archived copy exists outside
+/// the process.
+///
+/// The in-memory proof is still replayed through the independent checker;
+/// the stream is the archival artifact. If any write (or the final flush)
+/// of the archive fails, a would-be [`ProofStatus::Checked`] result
+/// degrades to [`ProofStatus::Unchecked`] naming the I/O error — a
+/// certificate whose artifact of record is corrupt must not claim full
+/// verification. [`ProofStatus::Rejected`] is never masked by an I/O
+/// failure.
+pub fn certify_unsat_formula_streamed<W: std::io::Write + Send + 'static>(
+    formula: &PbFormula,
+    budget: &Budget,
+    archive: FileProofLogger<W>,
+) -> (ProofStatus, Option<DratProof>) {
+    if !formula.is_pure_cnf() {
+        let status = ProofStatus::Unchecked {
+            reason: format!(
+                "formula has {} PB constraints; DRAT checking covers only pure CNF",
+                formula.pb_constraints().len()
+            ),
+        };
+        return (status, None);
+    }
+    let clauses: Vec<Vec<Lit>> =
+        formula.clauses().iter().map(|c| c.iter().copied().collect()).collect();
+    let num_vars = formula.num_vars();
+
+    let flag = archive.error_flag();
+    let slot = Arc::new(Mutex::new(Some(archive)));
+    let shared = SharedProof::new();
+    let mut solver = SatSolver::new(num_vars);
+    solver.set_proof_logger(Box::new(TeeProofLogger::new(
+        shared.clone(),
+        StreamHandle(slot.clone()),
+    )));
+    for c in &clauses {
+        solver.add_clause(c.iter().copied());
+    }
+    let solve_start = Instant::now();
+    let outcome = solver.solve_with_budget(budget);
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    let proof = shared.take();
+    // Reclaim and flush the archive; flush failures land in the error flag
+    // like write failures.
+    if let Some(logger) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+        let _ = logger.into_inner();
+    }
+
+    let (status, proof) = match outcome {
+        SolveOutcome::Unsat => {
+            let check_start = Instant::now();
+            let checked = check_drat(num_vars, &clauses, &proof);
+            let check_seconds = check_start.elapsed().as_secs_f64();
+            let status = match checked {
+                Ok(stats) => ProofStatus::Checked {
+                    steps: stats.steps,
+                    adds: stats.adds,
+                    deletes: stats.deletes,
+                    literals: proof.total_literals(),
+                    solve_seconds,
+                    check_seconds,
+                },
+                Err(e) => ProofStatus::Rejected { error: e.to_string() },
+            };
+            (status, Some(proof))
+        }
+        SolveOutcome::Sat(_) => {
+            (ProofStatus::Unchecked { reason: "formula is satisfiable".into() }, None)
+        }
+        SolveOutcome::Unknown => {
+            let status = ProofStatus::Unchecked {
+                reason: "budget exhausted before a refutation was found".into(),
+            };
+            (status, None)
+        }
+    };
+    let status = match (flag.get(), status) {
+        (Some(err), ProofStatus::Checked { .. }) => {
+            ProofStatus::Unchecked { reason: format!("proof stream failed: {err}") }
+        }
+        (_, status) => status,
+    };
+    (status, proof)
 }
 
 /// Solves `clauses` expecting UNSAT, then replays the logged proof through
@@ -366,6 +475,73 @@ mod tests {
         let (status, proof) = certify_unsat_formula(&f, &Budget::unlimited());
         assert!(matches!(status, ProofStatus::Checked { .. }), "{status}");
         assert!(proof.is_some());
+    }
+
+    /// A `Write` whose buffer outlives the logger, so tests can inspect
+    /// what was streamed after `into_inner` consumed the writer.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn unsat_cnf(graph: &Graph, k: usize) -> PbFormula {
+        let (num_vars, clauses) = cnf_decision_formula(graph, k);
+        let mut f = PbFormula::with_vars(num_vars);
+        for c in &clauses {
+            f.add_clause(c.iter().copied());
+        }
+        f
+    }
+
+    #[test]
+    fn streamed_certificate_archives_the_proof() {
+        let f = unsat_cnf(&Graph::complete(4), 3);
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let logger = FileProofLogger::new(buf.clone());
+        let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+        assert!(matches!(status, ProofStatus::Checked { .. }), "{status}");
+        let proof = proof.expect("refutation");
+        let streamed = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 drat");
+        assert!(!streamed.is_empty(), "the archive must receive the proof");
+        // Every proof step is one archived line ending in the DRAT "0".
+        assert_eq!(streamed.lines().count(), proof.steps().len());
+        assert!(streamed.lines().all(|l| l.ends_with(" 0") || l == "0"));
+    }
+
+    #[test]
+    fn failed_proof_stream_degrades_certificate() {
+        use sbgc_obs::FaultPlan;
+        let f = unsat_cnf(&Graph::complete(4), 3);
+        // Fail the very first archive write.
+        let plan = FaultPlan::new(1).with_proof_write_failure(1);
+        let logger = FileProofLogger::new(std::io::sink()).with_fault_plan(&plan);
+        let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+        match status {
+            ProofStatus::Unchecked { reason } => {
+                assert!(reason.contains("proof stream failed"), "{reason}");
+            }
+            other => panic!("a corrupt archive must degrade the status, got {other}"),
+        }
+        assert!(proof.is_some(), "the in-memory proof is still produced");
+    }
+
+    #[test]
+    fn streamed_sat_formula_stays_unchecked_not_rejected() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        f.add_clause([a]);
+        let logger = FileProofLogger::new(std::io::sink());
+        let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+        assert!(matches!(status, ProofStatus::Unchecked { .. }), "{status}");
+        assert!(proof.is_none());
     }
 
     #[test]

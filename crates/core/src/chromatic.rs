@@ -1,7 +1,9 @@
 //! Exact chromatic numbers via the paper's K-selection procedure.
 
-use crate::flow::{solve_coloring, ColoringOutcome, SolveOptions};
+use crate::error::SolveError;
+use crate::flow::{try_solve_coloring, ColoringOutcome, SolveOptions};
 use sbgc_graph::{algo, Coloring, Graph};
+use sbgc_pb::ExhaustReason;
 
 /// Cheap combinatorial bounds on the chromatic number.
 #[derive(Clone, Debug)]
@@ -60,6 +62,50 @@ impl ChromaticResult {
             }
         }
     }
+
+    /// The proven inclusive bracket `[lower, upper]` on χ — collapsed to a
+    /// point for exact results. Even a budget-starved run returns an
+    /// honest bracket: the lower bound is proven (clique or refutation),
+    /// the upper bound is witnessed by a verified coloring.
+    pub fn bracket(&self) -> (usize, usize) {
+        match self {
+            ChromaticResult::Exact { chromatic_number, .. } => {
+                (*chromatic_number, *chromatic_number)
+            }
+            ChromaticResult::Bounded { lower, upper, .. } => (*lower, *upper),
+        }
+    }
+}
+
+/// Result of [`chromatic_number_outcome`]: the chromatic answer plus the
+/// reason the search stopped when it did not finish. Degrading gracefully
+/// means a budget-starved query still returns everything it proved — the
+/// bracket, the witness, and *which* limit stopped it.
+#[derive(Clone, Debug)]
+pub struct ChromaticOutcome {
+    /// The chromatic answer (exact or bracketed).
+    pub result: ChromaticResult,
+    /// Why the search stopped early, when `result` is bounded because a
+    /// limit was hit; `None` for exact results and for brackets that are
+    /// final for other reasons (e.g. a K-cap below χ).
+    pub exhaust: Option<ExhaustReason>,
+}
+
+impl ChromaticOutcome {
+    /// The exact chromatic number, if determined.
+    pub fn exact(&self) -> Option<usize> {
+        self.result.exact()
+    }
+
+    /// The best witness coloring available.
+    pub fn witness(&self) -> &Coloring {
+        self.result.witness()
+    }
+
+    /// The proven inclusive bracket `[lower, upper]` on χ.
+    pub fn bracket(&self) -> (usize, usize) {
+        self.result.bracket()
+    }
 }
 
 /// Computes the chromatic number exactly, following the paper's procedure:
@@ -72,23 +118,44 @@ impl ChromaticResult {
 ///
 /// # Panics
 ///
-/// Panics if `options.k == 0` or the graph has no vertices.
+/// Panics if `options.k == 0` or the graph has no vertices. Use
+/// [`chromatic_number_outcome`] for the non-panicking form (which also
+/// reports why a bounded search stopped).
 pub fn chromatic_number(graph: &Graph, options: &SolveOptions) -> ChromaticResult {
-    assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
+    chromatic_number_outcome(graph, options).unwrap_or_else(|e| panic!("{e}")).result
+}
+
+/// [`chromatic_number`] with typed errors and graceful degradation: input
+/// failures (empty graph, zero K) become [`SolveError`]s, and when the
+/// budget runs out the returned [`ChromaticOutcome`] carries both the
+/// proven `[lower, upper]` bracket and the [`ExhaustReason`] that stopped
+/// the search.
+pub fn chromatic_number_outcome(
+    graph: &Graph,
+    options: &SolveOptions,
+) -> Result<ChromaticOutcome, SolveError> {
+    if graph.num_vertices() == 0 {
+        return Err(SolveError::EmptyGraph);
+    }
+    if options.k == 0 {
+        return Err(SolveError::ZeroColorBound);
+    }
     let b = bounds(graph);
     if b.lower >= b.upper {
         // DSATUR met the clique bound: provably optimal without search.
-        return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
+        return Ok(ChromaticOutcome {
+            result: ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness },
+            exhaust: None,
+        });
     }
     let k = b.upper.min(options.k);
-    if k < b.upper {
-        // The cap is below the known-feasible bound; the search below can
-        // still determine χ exactly if χ ≤ k.
-    }
+    // When the cap is below the known-feasible bound, the search below can
+    // still determine χ exactly if χ ≤ k.
     let mut opts = options.clone();
     opts.k = k;
-    let report = solve_coloring(graph, &opts);
-    match report.outcome {
+    let report = try_solve_coloring(graph, &opts)?;
+    let exhaust = report.exhaust;
+    let result = match report.outcome {
         ColoringOutcome::Optimal { coloring, colors } => {
             ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
         }
@@ -114,7 +181,10 @@ pub fn chromatic_number(graph: &Graph, options: &SolveOptions) -> ChromaticResul
         ColoringOutcome::Unknown => {
             ChromaticResult::Bounded { lower: b.lower, upper: b.upper, witness: b.witness }
         }
-    }
+    };
+    // An exact answer supersedes any limit hit along the way.
+    let exhaust = if result.exact().is_some() { None } else { exhaust };
+    Ok(ChromaticOutcome { result, exhaust })
 }
 
 /// How [`chromatic_number_by_decision`] walks the K range — the two
@@ -185,6 +255,7 @@ pub fn chromatic_number_by_decision(
                         &options.budget,
                         recorder,
                     )
+                    .unwrap_or_else(|e| panic!("{e}"))
                     .outcome
                 }
                 None => solve_decision_recorded(
@@ -462,6 +533,53 @@ mod tests {
         let opts = SolveOptions::new(20).with_solver(SolverKind::Cplex);
         let result = chromatic_number_incremental(&g, &opts);
         assert_eq!(result.exact(), Some(4));
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        let g = Graph::empty(0);
+        let err = chromatic_number_outcome(&g, &SolveOptions::new(5)).unwrap_err();
+        assert_eq!(err, SolveError::EmptyGraph);
+    }
+
+    #[test]
+    fn zero_k_is_a_typed_error() {
+        let g = Graph::cycle(5);
+        let err = chromatic_number_outcome(&g, &SolveOptions::new(0)).unwrap_err();
+        assert_eq!(err, SolveError::ZeroColorBound);
+    }
+
+    #[test]
+    fn exhausted_search_returns_proven_bracket_and_reason() {
+        // Mycielski-4: clique 2, χ = 5, DSATUR overshoots — search needed.
+        let g = mycielski(4);
+        let opts = SolveOptions::new(20).with_budget(Budget::unlimited().with_max_conflicts(1));
+        let out = chromatic_number_outcome(&g, &opts).expect("valid inputs");
+        match out.result {
+            ChromaticResult::Bounded { lower, upper, ref witness } => {
+                let (lo, hi) = out.bracket();
+                assert_eq!((lo, hi), (lower, upper));
+                assert!(lo <= 5 && hi >= 5, "bracket [{lo}, {hi}] must contain χ=5");
+                assert!(witness.is_proper(&g), "upper bound must stay witnessed");
+                assert_eq!(witness.num_colors(), hi);
+                assert_eq!(out.exhaust, Some(ExhaustReason::Conflicts));
+            }
+            // A 1-conflict budget conceivably still decides; then no reason.
+            ChromaticResult::Exact { chromatic_number, .. } => {
+                assert_eq!(chromatic_number, 5);
+                assert_eq!(out.exhaust, None);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_outcome_has_point_bracket_and_no_exhaust() {
+        let g = queens(5, 5);
+        let out = chromatic_number_outcome(&g, &SolveOptions::new(20)).expect("valid inputs");
+        assert_eq!(out.exact(), Some(5));
+        assert_eq!(out.bracket(), (5, 5));
+        assert_eq!(out.exhaust, None);
+        assert!(out.witness().is_proper(&g));
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Typed errors of the solving pipeline.
+//!
+//! The original entry points of this crate report misuse (a zero color
+//! bound, an empty graph, a portfolio with no workers) by panicking —
+//! acceptable in a research harness, but hostile to callers that feed the
+//! pipeline untrusted inputs. The `try_*` variants introduced alongside
+//! them return [`SolveError`] instead; the panicking forms remain as thin
+//! wrappers so existing code keeps its behavior (see `docs/ROBUSTNESS.md`).
+
+use sbgc_pb::PortfolioError;
+
+/// Why a solve could not even be attempted. These are *input* failures,
+/// distinct from budget exhaustion (which yields an `Unknown`/bracketed
+/// outcome, not an error — partial answers are still answers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The graph has no vertices; chromatic-number queries are undefined.
+    EmptyGraph,
+    /// The color bound K was 0; the encoding needs at least one color.
+    ZeroColorBound,
+    /// The underlying portfolio race could not start.
+    Portfolio(PortfolioError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::EmptyGraph => write!(f, "chromatic number of the empty graph"),
+            SolveError::ZeroColorBound => write!(f, "color bound K must be at least 1"),
+            SolveError::Portfolio(e) => write!(f, "portfolio could not start: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Portfolio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PortfolioError> for SolveError {
+    fn from(e: PortfolioError) -> Self {
+        SolveError::Portfolio(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SolveError::ZeroColorBound.to_string().contains("K"));
+        assert!(SolveError::EmptyGraph.to_string().contains("empty"));
+        let wrapped = SolveError::from(PortfolioError::NoWorkers);
+        assert!(wrapped.to_string().contains("portfolio"));
+    }
+
+    #[test]
+    fn portfolio_errors_convert() {
+        let e: SolveError = PortfolioError::MissingObjective.into();
+        assert_eq!(e, SolveError::Portfolio(PortfolioError::MissingObjective));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

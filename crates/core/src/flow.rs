@@ -2,11 +2,12 @@
 //! → verify.
 
 use crate::encode::ColoringEncoding;
+use crate::error::SolveError;
 use crate::sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 use sbgc_formula::FormulaStats;
 use sbgc_graph::{Coloring, Graph};
 use sbgc_obs::{Phase, Recorder};
-use sbgc_pb::{optimize_recorded, Budget, OptOutcome, SolverKind};
+use sbgc_pb::{optimize_recorded_with_stats, Budget, ExhaustReason, OptOutcome, SolverKind};
 use sbgc_shatter::{shatter, ShatterOptions, ShatterReport};
 use std::time::{Duration, Instant};
 
@@ -190,6 +191,10 @@ pub struct SolveReport {
     pub solve_time: Duration,
     /// Wall-clock time of the whole flow (encode + SBPs + detect + solve).
     pub total_time: Duration,
+    /// Why the search stopped early when the outcome is undecided
+    /// (conflict cap, deadline, memory budget, or cancellation); `None`
+    /// when the run was decided or never hit a limit.
+    pub exhaust: Option<ExhaustReason>,
 }
 
 /// A prepared (encoded + symmetry-broken) coloring instance that can be
@@ -283,7 +288,9 @@ impl PreparedColoring {
     /// # Panics
     ///
     /// Panics if `graph` is not the graph this instance was prepared from
-    /// (detected via vertex count).
+    /// (detected via vertex count), or if the portfolio race could not
+    /// start. Use [`PreparedColoring::try_solve_with_parallelism`] for the
+    /// non-panicking form.
     pub fn solve_with_parallelism(
         &self,
         graph: &Graph,
@@ -291,6 +298,25 @@ impl PreparedColoring {
         budget: &Budget,
         parallelism: usize,
     ) -> SolveReport {
+        self.try_solve_with_parallelism(graph, solver, budget, parallelism)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`PreparedColoring::solve_with_parallelism`], but reporting
+    /// pipeline misuse as a typed [`SolveError`] instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is not the graph this instance was prepared from
+    /// (detected via vertex count) — that is a programming error of the
+    /// caller, not an input failure.
+    pub fn try_solve_with_parallelism(
+        &self,
+        graph: &Graph,
+        solver: SolverKind,
+        budget: &Budget,
+        parallelism: usize,
+    ) -> Result<SolveReport, SolveError> {
         assert_eq!(
             graph.num_vertices(),
             self.encoding.num_vertices(),
@@ -306,23 +332,34 @@ impl PreparedColoring {
             _ => None,
         };
         let start = Instant::now();
-        let result = {
+        let (result, exhaust) = {
             let _span = self.recorder.span(Phase::Solve);
             match workers {
                 Some(n) => {
                     let configs = sbgc_pb::portfolio_configs(n);
-                    sbgc_pb::optimize_portfolio_recorded(
+                    let race = sbgc_pb::optimize_portfolio_recorded(
                         self.encoding.formula(),
                         &configs,
                         budget,
                         &self.recorder,
-                    )
-                    .outcome
+                    )?;
+                    (race.outcome, race.stats.exhaust)
                 }
-                None => optimize_recorded(self.encoding.formula(), solver, budget, &self.recorder),
+                None => {
+                    let (outcome, stats) = optimize_recorded_with_stats(
+                        self.encoding.formula(),
+                        solver,
+                        budget,
+                        &self.recorder,
+                    );
+                    (outcome, stats.exhaust)
+                }
             }
         };
         let solve_time = start.elapsed();
+        // A decided run's answer supersedes any limit an earlier
+        // strengthening iteration may have touched.
+        let exhaust = if result.is_decided() { None } else { exhaust };
 
         let decode_verified = |value: u64, model: &sbgc_formula::Assignment| {
             let coloring = self.encoding.decode(model)?;
@@ -353,7 +390,7 @@ impl PreparedColoring {
             }
         };
 
-        SolveReport {
+        Ok(SolveReport {
             outcome,
             base_stats: self.base_stats,
             final_stats: self.final_stats,
@@ -361,7 +398,8 @@ impl PreparedColoring {
             shatter: self.shatter.clone(),
             solve_time,
             total_time: self.prepare_time + solve_time,
-        }
+            exhaust,
+        })
     }
 }
 
@@ -379,9 +417,25 @@ impl PreparedColoring {
 ///
 /// # Panics
 ///
-/// Panics if `options.k == 0`.
+/// Panics if `options.k == 0`. Use [`try_solve_coloring`] for the
+/// non-panicking form.
 pub fn solve_coloring(graph: &Graph, options: &SolveOptions) -> SolveReport {
-    PreparedColoring::new(graph, options).solve_with_parallelism(
+    try_solve_coloring(graph, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`solve_coloring`] with typed errors: a zero color bound or a failed
+/// portfolio start is reported as a [`SolveError`] instead of a panic.
+/// Budget exhaustion is still *not* an error — it yields an
+/// [`ColoringOutcome::Unknown`]/[`ColoringOutcome::Feasible`] report whose
+/// [`SolveReport::exhaust`] says which limit was hit.
+pub fn try_solve_coloring(
+    graph: &Graph,
+    options: &SolveOptions,
+) -> Result<SolveReport, SolveError> {
+    if options.k == 0 {
+        return Err(SolveError::ZeroColorBound);
+    }
+    PreparedColoring::new(graph, options).try_solve_with_parallelism(
         graph,
         options.solver,
         &options.budget,
@@ -526,5 +580,29 @@ mod tests {
             report.outcome,
             ColoringOutcome::Unknown | ColoringOutcome::Feasible { .. }
         ));
+    }
+
+    #[test]
+    fn exhausted_budget_reports_its_reason() {
+        let g = queens(5, 5);
+        let opts = SolveOptions::new(6).with_budget(Budget::unlimited().with_max_conflicts(0));
+        let report = solve_coloring(&g, &opts);
+        assert!(!report.outcome.is_decided());
+        assert_eq!(report.exhaust, Some(ExhaustReason::Conflicts));
+    }
+
+    #[test]
+    fn decided_runs_carry_no_exhaust_reason() {
+        let g = Graph::complete(3);
+        let report = solve_coloring(&g, &SolveOptions::new(4));
+        assert!(report.outcome.is_decided());
+        assert_eq!(report.exhaust, None);
+    }
+
+    #[test]
+    fn zero_color_bound_is_a_typed_error() {
+        let g = Graph::complete(3);
+        let err = try_solve_coloring(&g, &SolveOptions::new(0)).unwrap_err();
+        assert_eq!(err, SolveError::ZeroColorBound);
     }
 }

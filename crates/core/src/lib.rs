@@ -51,23 +51,26 @@ pub mod applications;
 pub mod certify;
 pub mod chromatic;
 pub mod encode;
+pub mod error;
 pub mod flow;
 pub mod sbp;
 
 pub use certify::{
-    certify_result, certify_unsat_formula, chromatic_number_certified, OptimalityCertificate,
-    ProofStatus,
+    certify_result, certify_unsat_formula, certify_unsat_formula_streamed,
+    chromatic_number_certified, OptimalityCertificate, ProofStatus,
 };
 pub use chromatic::{
-    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental, ChromaticBounds,
-    ChromaticResult, SearchStrategy,
+    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
+    chromatic_number_outcome, ChromaticBounds, ChromaticOutcome, ChromaticResult, SearchStrategy,
 };
 pub use encode::{cnf_decision_formula, ColoringEncoding};
+pub use error::SolveError;
 pub use flow::{
-    solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions, SolveReport, SymmetryHandling,
+    solve_coloring, try_solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions,
+    SolveReport, SymmetryHandling,
 };
 pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 
 pub use sbgc_graph::{Coloring, Graph};
-pub use sbgc_obs::{Counter, Phase, Recorder, RunReport};
-pub use sbgc_pb::{Budget, SolverKind};
+pub use sbgc_obs::{Counter, FaultPlan, Phase, Recorder, RunReport};
+pub use sbgc_pb::{Budget, ExhaustReason, PortfolioError, SolverKind};

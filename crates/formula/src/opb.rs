@@ -88,6 +88,13 @@ fn opb_lit(l: Lit) -> String {
     }
 }
 
+/// Largest variable count a parsed header may declare. Declared counts
+/// size downstream solver arrays, so an absurd header (`p cnf 99999999999
+/// 1`) must be a parse error rather than an out-of-memory abort. 10⁸ is
+/// two orders of magnitude above the largest DIMACS coloring benchmarks
+/// and comfortably inside the `u32` variable index space.
+pub const MAX_DECLARED_VARS: usize = 100_000_000;
+
 /// Parses a DIMACS CNF document into a (pure-CNF) formula.
 ///
 /// # Errors
@@ -126,6 +133,12 @@ pub fn parse_dimacs_cnf(text: &str) -> Result<PbFormula, ParseOpbError> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| ParseOpbError::new(lineno, "bad variable count"))?;
+            if declared_vars > MAX_DECLARED_VARS {
+                return Err(ParseOpbError::new(
+                    lineno,
+                    format!("declared variable count {declared_vars} exceeds {MAX_DECLARED_VARS}"),
+                ));
+            }
             formula = Some(PbFormula::with_vars(declared_vars));
             continue;
         }
@@ -201,6 +214,12 @@ pub fn parse_opb(text: &str) -> Result<PbFormula, ParseOpbError> {
                 if let Some(n) =
                     rest.split_whitespace().next().and_then(|t| t.parse::<usize>().ok())
                 {
+                    if n > MAX_DECLARED_VARS {
+                        return Err(ParseOpbError::new(
+                            lineno,
+                            format!("declared variable count {n} exceeds {MAX_DECLARED_VARS}"),
+                        ));
+                    }
                     if n > formula.num_vars() {
                         let grow = n - formula.num_vars();
                         let _ = formula.new_vars(grow);
@@ -273,7 +292,9 @@ fn parse_lit(token: &str) -> Option<Lit> {
         None => (false, token),
     };
     let idx: usize = rest.strip_prefix('x')?.parse().ok()?;
-    if idx == 0 {
+    // `Var::from_index` panics past the u32 index space; a hostile token
+    // like `x99999999999` must be a parse error, not a crash.
+    if idx == 0 || idx > MAX_DECLARED_VARS {
         return None;
     }
     Some(Var::from_index(idx - 1).lit(negated))
@@ -362,6 +383,27 @@ mod tests {
         assert_eq!(f.clauses().len(), 2);
         assert_eq!(f.clauses()[0].len(), 3);
         assert_eq!(f.clauses()[1].len(), 1);
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_crashing() {
+        // A literal index past the u32 variable space must not panic.
+        let err = parse_opb("+1 x99999999999 >= 1 ;").unwrap_err();
+        assert_eq!(err.line(), 1);
+        // Absurd declared counts must not trigger giant allocations.
+        assert!(parse_opb("* #variable= 99999999999 #constraint= 1\n").is_err());
+        assert!(parse_dimacs_cnf("p cnf 99999999999 1\n").is_err());
+        // A sane header still grows the formula.
+        let f = parse_opb("* #variable= 7 #constraint= 0\n").expect("parse");
+        assert_eq!(f.num_vars(), 7);
+    }
+
+    #[test]
+    fn undeclared_constraint_vars_grow_the_formula() {
+        // No header at all: the formula must still cover every literal a
+        // constraint mentions, or downstream solvers index out of range.
+        let f = parse_opb("+1 x5 +1 ~x2 >= 1 ;").expect("parse");
+        assert_eq!(f.num_vars(), 5);
     }
 
     #[test]

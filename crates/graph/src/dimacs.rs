@@ -34,6 +34,13 @@ impl fmt::Display for ParseColError {
 
 impl Error for ParseColError {}
 
+/// Largest vertex count a `p edge` line may declare. The adjacency
+/// structure is sized from the header before any edge is read, so an
+/// absurd declared count (`p edge 99999999999 0`) must be a parse error
+/// rather than an out-of-memory abort. 10⁸ is far above every DIMACS
+/// coloring benchmark.
+pub const MAX_DECLARED_VERTICES: usize = 100_000_000;
+
 /// Parses a DIMACS `.col` document.
 ///
 /// # Errors
@@ -75,6 +82,12 @@ pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| ParseColError::new(lineno, "bad vertex count"))?;
+                if n > MAX_DECLARED_VERTICES {
+                    return Err(ParseColError::new(
+                        lineno,
+                        format!("declared vertex count {n} exceeds {MAX_DECLARED_VERTICES}"),
+                    ));
+                }
                 // Edge count on the p line is advisory; parse but don't trust.
                 let _m: Option<usize> = tok.next().and_then(|t| t.parse().ok());
                 num_vertices = Some(n);
@@ -173,5 +186,13 @@ mod tests {
     #[test]
     fn error_on_missing_problem_line() {
         assert!(parse_col("c only comments\n").is_err());
+    }
+
+    #[test]
+    fn error_on_absurd_vertex_count() {
+        // A hostile header must not size a multi-terabyte adjacency list.
+        let err = parse_col("p edge 99999999999 0\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("exceeds"));
     }
 }

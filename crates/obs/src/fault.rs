@@ -1,0 +1,159 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] describes *when and where* the pipeline should fail:
+//! which portfolio worker panics after how many conflicts, and which proof
+//! write reports an I/O error. Plans are plain data — seeded, cloneable and
+//! free of wall-clock or RNG state at trigger time — so a chaos test that
+//! fails replays identically under `--test-threads=1` or in a debugger.
+//!
+//! Production entry points accept no plan (the portfolio's
+//! `*_instrumented` functions take `Option<&FaultPlan>` and every public
+//! wrapper passes `None`), so the injection machinery compiles away to a
+//! single `is_none` branch outside the solver hot path.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgc_obs::FaultPlan;
+//!
+//! let plan = FaultPlan::new(42).with_seeded_worker_panic(4, 100);
+//! let victim = plan.panicking_worker().unwrap();
+//! assert!(victim < 4);
+//! assert_eq!(plan.worker_panic(victim), Some(100));
+//! // Every other worker is untouched.
+//! assert!((0..4).filter(|&w| plan.worker_panic(w).is_some()).count() == 1);
+//! ```
+
+/// A deterministic schedule of faults to inject into a solving pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// `(worker index, conflict count)`: the worker panics once its solver
+    /// has spent this many conflicts.
+    worker_panic: Option<(usize, u64)>,
+    /// 1-based index of the first proof write that fails; all later writes
+    /// fail too (a full disk stays full).
+    proof_fail_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) carrying `seed` for derived choices.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules worker `worker` to panic after `after_conflicts`
+    /// conflicts.
+    pub fn with_worker_panic(mut self, worker: usize, after_conflicts: u64) -> Self {
+        self.worker_panic = Some((worker, after_conflicts));
+        self
+    }
+
+    /// Schedules a panic in a seed-chosen worker out of `num_workers`
+    /// after `after_conflicts` conflicts. The choice is a pure function of
+    /// the seed (SplitMix64), so a given seed always kills the same
+    /// worker.
+    pub fn with_seeded_worker_panic(self, num_workers: usize, after_conflicts: u64) -> Self {
+        assert!(num_workers > 0, "need at least one worker to kill");
+        let victim = (splitmix64(self.seed) % num_workers as u64) as usize;
+        self.with_worker_panic(victim, after_conflicts)
+    }
+
+    /// Schedules the `k`-th proof write (1-based) and every write after it
+    /// to fail.
+    pub fn with_proof_write_failure(mut self, k: u64) -> Self {
+        assert!(k > 0, "proof write indices are 1-based");
+        self.proof_fail_at = Some(k);
+        self
+    }
+
+    /// If worker `worker` is scheduled to die: the conflict count after
+    /// which it must panic.
+    pub fn worker_panic(&self, worker: usize) -> Option<u64> {
+        match self.worker_panic {
+            Some((w, n)) if w == worker => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The worker scheduled to panic, if any.
+    pub fn panicking_worker(&self) -> Option<usize> {
+        self.worker_panic.map(|(w, _)| w)
+    }
+
+    /// The 1-based index of the first failing proof write, if scheduled.
+    pub fn proof_write_failure(&self) -> Option<u64> {
+        self.proof_fail_at
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.worker_panic.is_none() && self.proof_fail_at.is_none()
+    }
+}
+
+/// SplitMix64 — the same cheap, well-mixed, dependency-free generator the
+/// portfolio uses for seed diversification.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        assert_eq!(plan.worker_panic(0), None);
+        assert_eq!(plan.proof_write_failure(), None);
+        assert_eq!(plan.panicking_worker(), None);
+        assert_eq!(plan.seed(), 7);
+    }
+
+    #[test]
+    fn worker_panic_targets_one_worker() {
+        let plan = FaultPlan::new(0).with_worker_panic(2, 50);
+        assert_eq!(plan.worker_panic(2), Some(50));
+        assert_eq!(plan.worker_panic(0), None);
+        assert_eq!(plan.worker_panic(3), None);
+        assert_eq!(plan.panicking_worker(), Some(2));
+    }
+
+    #[test]
+    fn seeded_choice_is_deterministic_and_in_range() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::new(seed).with_seeded_worker_panic(4, 10);
+            let b = FaultPlan::new(seed).with_seeded_worker_panic(4, 10);
+            assert_eq!(a, b, "same seed must pick the same victim");
+            assert!(a.panicking_worker().unwrap() < 4);
+        }
+        // Different seeds spread across workers (not all the same victim).
+        let victims: std::collections::HashSet<usize> = (0..32u64)
+            .map(|s| FaultPlan::new(s).with_seeded_worker_panic(4, 10).panicking_worker().unwrap())
+            .collect();
+        assert!(victims.len() > 1);
+    }
+
+    #[test]
+    fn proof_write_failure_round_trips() {
+        let plan = FaultPlan::new(0).with_proof_write_failure(3);
+        assert_eq!(plan.proof_write_failure(), Some(3));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zeroth_proof_write_rejected() {
+        let _ = FaultPlan::new(0).with_proof_write_failure(0);
+    }
+}

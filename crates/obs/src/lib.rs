@@ -23,6 +23,11 @@
 //!   `--report out.json`; the JSON schema is documented field-by-field in
 //!   `docs/OBSERVABILITY.md`.
 //!
+//! The crate also hosts [`FaultPlan`], the deterministic fault-injection
+//! schedule driving the chaos test suite (see `docs/ROBUSTNESS.md`) — it
+//! lives here because every layer that can fail already depends on
+//! `sbgc-obs` for telemetry.
+//!
 //! # Example
 //!
 //! ```
@@ -50,10 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod json;
 mod recorder;
 mod report;
 
+pub use fault::FaultPlan;
 pub use recorder::{
     Counter, Phase, Recorder, SearchCounters, SpanGuard, SpanRecord, WorkerTelemetry,
 };

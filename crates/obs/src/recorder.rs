@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The pipeline phases a [`Recorder`] can time.
@@ -205,6 +205,11 @@ pub struct WorkerTelemetry {
     pub cancel_latency: Option<Duration>,
     /// Total wall-clock time this worker ran.
     pub run_time: Duration,
+    /// `Some(message)` when the worker died mid-race (its solve panicked);
+    /// the message summarizes the panic payload. A failed worker never
+    /// wins, and its `search` counters are whatever was flushed before
+    /// death (possibly all zero).
+    pub failed: Option<String>,
 }
 
 struct Inner {
@@ -306,9 +311,13 @@ impl Recorder {
     }
 
     /// Records one portfolio worker's telemetry.
+    ///
+    /// Poison-tolerant: telemetry is recorded even if a previous worker
+    /// panicked while appending — a dead worker must not take the
+    /// survivors' records with it.
     pub fn record_worker(&self, worker: WorkerTelemetry) {
         if let Some(inner) = &self.inner {
-            inner.workers.lock().expect("worker log").push(worker);
+            inner.workers.lock().unwrap_or_else(PoisonError::into_inner).push(worker);
         }
     }
 
@@ -316,7 +325,7 @@ impl Recorder {
     /// therefore appear before their parents).
     pub fn spans(&self) -> Vec<SpanRecord> {
         match &self.inner {
-            Some(inner) => inner.spans.lock().expect("span log").clone(),
+            Some(inner) => inner.spans.lock().unwrap_or_else(PoisonError::into_inner).clone(),
             None => Vec::new(),
         }
     }
@@ -324,7 +333,7 @@ impl Recorder {
     /// All recorded worker telemetry, in recording order.
     pub fn workers(&self) -> Vec<WorkerTelemetry> {
         match &self.inner {
-            Some(inner) => inner.workers.lock().expect("worker log").clone(),
+            Some(inner) => inner.workers.lock().unwrap_or_else(PoisonError::into_inner).clone(),
             None => Vec::new(),
         }
     }
@@ -388,9 +397,7 @@ impl Drop for SpanGuard {
         // Decrement depth before taking the lock so a panicking thread
         // cannot leave the depth counter stuck if the mutex is poisoned.
         inner.depth.fetch_sub(1, Ordering::Relaxed);
-        if let Ok(mut spans) = inner.spans.lock() {
-            spans.push(record);
-        };
+        inner.spans.lock().unwrap_or_else(PoisonError::into_inner).push(record);
     }
 }
 

@@ -13,8 +13,10 @@ use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry}
 /// [`ReportFile::to_json`]. Incremented on any incompatible change.
 ///
 /// v2 added the optional `certificate` object (optimality-certificate
-/// status, proof size, and check time).
-pub const SCHEMA_VERSION: u32 = 2;
+/// status, proof size, and check time). v3 added `outcome.exhaust_reason`
+/// (which budget dimension stopped an undecided run) and the per-worker
+/// `failed` field (panic summary for workers that died mid-race).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -175,6 +177,10 @@ pub struct RunOutcome {
     pub colors: Option<usize>,
     /// Whether the run reached a definitive answer (not a timeout).
     pub decided: bool,
+    /// For undecided runs: which budget dimension ran out, as reported by
+    /// the solver (`"conflicts"`, `"time"`, `"memory"` or `"cancelled"`).
+    /// `None` for decided runs.
+    pub exhaust_reason: Option<String>,
 }
 
 impl RunOutcome {
@@ -186,6 +192,10 @@ impl RunOutcome {
             None => o.raw("colors", "null"),
         };
         o.bool("decided", self.decided);
+        match &self.exhaust_reason {
+            Some(r) => o.str("exhaust_reason", r),
+            None => o.raw("exhaust_reason", "null"),
+        };
         o.finish(indent)
     }
 }
@@ -321,6 +331,10 @@ fn worker_json(w: &WorkerTelemetry, indent: usize) -> String {
         None => o.raw("cancel_latency_seconds", "null"),
     };
     o.float("run_seconds", w.run_time.as_secs_f64());
+    match &w.failed {
+        Some(msg) => o.str("failed", msg),
+        None => o.raw("failed", "null"),
+    };
     o.finish(indent)
 }
 
@@ -396,11 +410,40 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"grid\\\"3x3\""));
         assert!(json.contains("\"colors\": 2"));
         assert!(json.contains("\"certificate\": null"));
+        assert!(json.contains("\"exhaust_reason\": null"));
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn undecided_outcome_carries_exhaust_reason() {
+        let mut report = RunReport::default();
+        report.outcome.kind = "timeout".to_string();
+        report.outcome.exhaust_reason = Some("memory".to_string());
+        let json = report.to_json(0);
+        assert!(json.contains("\"exhaust_reason\": \"memory\""));
+    }
+
+    #[test]
+    fn failed_worker_serializes_its_panic_summary() {
+        use crate::recorder::WorkerTelemetry;
+        use std::time::Duration;
+        let mut report = RunReport::default();
+        report.workers.push(WorkerTelemetry {
+            index: 1,
+            seed: 1,
+            config: "Galena (seed 1)".to_string(),
+            search: SearchCounters::default(),
+            won: false,
+            cancel_latency: None,
+            run_time: Duration::from_millis(3),
+            failed: Some("injected fault".to_string()),
+        });
+        let json = report.to_json(0);
+        assert!(json.contains("\"failed\": \"injected fault\""));
     }
 
     #[test]
@@ -418,8 +461,7 @@ mod tests {
             check_seconds: 0.01,
         };
         assert!(checked.is_verified());
-        let mut report = RunReport::default();
-        report.certificate = Some(checked);
+        let report = RunReport { certificate: Some(checked), ..RunReport::default() };
         let json = report.to_json(0);
         assert!(json.contains("\"status\": \"checked\""));
         assert!(json.contains("\"proof_steps\": 12"));

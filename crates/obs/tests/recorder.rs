@@ -74,6 +74,7 @@ fn counters_race_free_under_concurrent_workers() {
                     won: index == 0,
                     cancel_latency: (index != 0).then(|| Duration::from_millis(1)),
                     run_time: Duration::from_millis(5),
+                    failed: None,
                 });
             });
         }
@@ -132,6 +133,7 @@ fn disabled_recorder_adds_zero_events() {
         won: true,
         cancel_latency: None,
         run_time: Duration::from_secs(1),
+        failed: None,
     });
 
     assert!(rec.spans().is_empty());

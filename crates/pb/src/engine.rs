@@ -5,7 +5,7 @@ use crate::explain::FalseTerm;
 use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder, SearchCounters};
 use sbgc_proof::ProofLogger;
-use sbgc_sat::{Budget, Luby, SolveOutcome};
+use sbgc_sat::{Budget, ExhaustReason, Luby, SolveOutcome};
 use std::fmt;
 
 /// Search statistics of a [`PbEngine`] run.
@@ -32,6 +32,11 @@ pub struct PbStats {
     /// Number of dead clause slots physically reclaimed by arena
     /// compaction (see [`PbEngine::set_compaction`]).
     pub reclaimed: u64,
+    /// Why the most recent budgeted solve stopped early, if it did.
+    /// `None` after a definitive SAT/UNSAT answer (and before any solve).
+    /// Unlike the counters above this is a status, not a monotone count;
+    /// it is reset at the start of every solve call.
+    pub exhaust: Option<ExhaustReason>,
 }
 
 impl From<PbStats> for SearchCounters {
@@ -220,6 +225,10 @@ pub struct PbEngine {
     /// Physically reclaim tombstoned clauses after each reduce_db pass;
     /// disabled only by tests comparing against the lazy-deletion baseline.
     compact: bool,
+    /// Running estimate of the bytes held by the clause arena and the PB
+    /// store (slots + term buffers). Tombstoned clauses count until
+    /// compaction frees them; the PB store never shrinks.
+    arena_bytes: u64,
     stats: PbStats,
     recorder: Recorder,
     /// Stats snapshot already flushed to the recorder.
@@ -256,6 +265,7 @@ impl PbEngine {
             max_learnts: 0.0,
             ok: true,
             compact: true,
+            arena_bytes: 0,
             stats: PbStats::default(),
             recorder: Recorder::disabled(),
             flushed: PbStats::default(),
@@ -356,6 +366,21 @@ impl PbEngine {
     /// compaction enabled this tracks [`PbEngine::live_clauses`].
     pub fn arena_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Estimated bytes held by the clause arena and the PB store (slot
+    /// metadata plus literal/term buffers). Compared against
+    /// [`Budget::with_max_memory`] on the stride-64 budget path.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_bytes
+    }
+
+    fn clause_bytes(lits: &[Lit]) -> u64 {
+        (std::mem::size_of::<StoredClause>() + std::mem::size_of_val(lits)) as u64
+    }
+
+    fn pb_bytes(terms: &[(u64, Lit)]) -> u64 {
+        (std::mem::size_of::<StoredPb>() + std::mem::size_of_val(terms)) as u64
     }
 
     #[inline]
@@ -467,6 +492,7 @@ impl PbEngine {
                 slack -= a as i64;
             }
         }
+        self.arena_bytes += Self::pb_bytes(constraint.terms());
         self.pbs.push(StoredPb {
             terms: constraint.terms().to_vec(),
             rhs: constraint.rhs(),
@@ -501,6 +527,7 @@ impl PbEngine {
         let cref = self.clauses.len() as u32;
         self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
         self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
+        self.arena_bytes += Self::clause_bytes(&lits);
         self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
         cref
     }
@@ -865,6 +892,8 @@ impl PbEngine {
         }
         self.stats.reclaimed += dead as u64;
         self.clauses.retain(|c| !c.deleted);
+        self.arena_bytes = self.clauses.iter().map(|c| Self::clause_bytes(&c.lits)).sum::<u64>()
+            + self.pbs.iter().map(|p| Self::pb_bytes(&p.terms)).sum::<u64>();
         for ws in &mut self.watches {
             ws.retain_mut(|w| {
                 let m = remap[w.clause as usize];
@@ -999,6 +1028,7 @@ impl PbEngine {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        self.stats.exhaust = None;
         let out = self.search(assumptions, budget);
         if self.recorder.is_enabled() {
             self.flush_recorder();
@@ -1013,6 +1043,7 @@ impl PbEngine {
         if budget.cancelled() {
             // A lost portfolio race; easy solves must not sneak past the
             // stride-64 check below.
+            self.stats.exhaust = Some(ExhaustReason::Cancelled);
             return SolveOutcome::Unknown;
         }
         if !self.ok {
@@ -1064,7 +1095,10 @@ impl PbEngine {
                 budget_check += 1;
                 if budget_check >= 64 {
                     budget_check = 0;
-                    if budget.exhausted(self.stats.conflicts) {
+                    if let Some(reason) =
+                        budget.exhaust_reason(self.stats.conflicts, self.arena_bytes)
+                    {
+                        self.stats.exhaust = Some(reason);
                         return SolveOutcome::Unknown;
                     }
                     // Same stride as the budget check: live readers see
@@ -1073,6 +1107,7 @@ impl PbEngine {
                         self.flush_recorder();
                     }
                 } else if budget.conflicts_exhausted(self.stats.conflicts) {
+                    self.stats.exhaust = Some(ExhaustReason::Conflicts);
                     return SolveOutcome::Unknown;
                 }
             } else {
@@ -1305,6 +1340,32 @@ mod tests {
             assert!(count <= 3, "too many models");
         }
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn memory_budget_stops_with_reason() {
+        let holes = 6;
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(pigeons * holes);
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            f.add_exactly_one(&row);
+        }
+        for h in 0..holes {
+            let col: Vec<Lit> = (0..pigeons).map(|p| var(p, h).positive()).collect();
+            f.add_at_most_one(&col);
+        }
+        let mut e = default_engine(&f);
+        // A 1-byte cap trips at the first stride-64 check.
+        let b = Budget::unlimited().with_max_memory(1);
+        assert!(matches!(e.solve_with_budget(&b), SolveOutcome::Unknown));
+        assert_eq!(e.stats().exhaust, Some(ExhaustReason::Memory));
+        assert!(e.arena_bytes() > 1);
+        // A definitive follow-up answer clears the status.
+        assert!(e.solve().is_unsat());
+        assert_eq!(e.stats().exhaust, None);
     }
 
     #[test]

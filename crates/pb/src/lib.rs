@@ -51,12 +51,14 @@ pub use config::{EngineConfig, RestartPolicy, SolverKind};
 pub use engine::{PbEngine, PbStats};
 pub use explain::ExplainStrategy;
 pub use optimize::{
-    optimize, optimize_recorded, solve_decision, solve_decision_recorded, OptOutcome, Optimizer,
+    optimize, optimize_recorded, optimize_recorded_with_stats, solve_decision,
+    solve_decision_recorded, OptOutcome, Optimizer,
 };
 pub use portfolio::{
-    optimize_portfolio, optimize_portfolio_recorded, portfolio_configs, solve_portfolio,
-    solve_portfolio_recorded, PortfolioOptOutcome, PortfolioOutcome,
+    optimize_portfolio, optimize_portfolio_instrumented, optimize_portfolio_recorded,
+    portfolio_configs, solve_portfolio, solve_portfolio_instrumented, solve_portfolio_recorded,
+    PortfolioError, PortfolioOptOutcome, PortfolioOutcome,
 };
 
-pub use sbgc_obs::{Recorder, WorkerTelemetry};
-pub use sbgc_sat::{Budget, CancelToken, SolveOutcome};
+pub use sbgc_obs::{FaultPlan, Recorder, WorkerTelemetry};
+pub use sbgc_sat::{Budget, CancelToken, ExhaustReason, SolveOutcome};

@@ -175,16 +175,38 @@ pub fn optimize_recorded(
     budget: &Budget,
     recorder: &Recorder,
 ) -> OptOutcome {
+    optimize_recorded_with_stats(formula, kind, budget, recorder).0
+}
+
+/// [`optimize_recorded`] that also returns the engine statistics of the
+/// run — for the CDCL kinds the optimizer's own counters, for the
+/// portfolio the sum over all workers, and for the branch-and-bound
+/// baseline (which has no CDCL counters) the default all-zero stats.
+///
+/// The `exhaust` field of the returned stats is the budget-exhaustion
+/// reason when the run ended undecided, which is how callers distinguish
+/// "ran out of conflicts" from "ran out of memory" (see
+/// [`sbgc_sat::ExhaustReason`]).
+pub fn optimize_recorded_with_stats(
+    formula: &PbFormula,
+    kind: SolverKind,
+    budget: &Budget,
+    recorder: &Recorder,
+) -> (OptOutcome, crate::PbStats) {
     match kind {
-        SolverKind::Cplex => BnbSolver::new(formula).run(budget),
+        SolverKind::Cplex => (BnbSolver::new(formula).run(budget), crate::PbStats::default()),
         SolverKind::Portfolio => {
             let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
-            crate::optimize_portfolio_recorded(formula, &configs, budget, recorder).outcome
+            let race = crate::optimize_portfolio_recorded(formula, &configs, budget, recorder)
+                .unwrap_or_else(|e| panic!("{e}"));
+            (race.outcome, race.stats)
         }
         _ => {
             let mut opt = Optimizer::new(formula, kind);
             opt.set_recorder(recorder.clone());
-            opt.run(budget)
+            let outcome = opt.run(budget);
+            let stats = opt.stats();
+            (outcome, stats)
         }
     }
 }
@@ -212,7 +234,9 @@ pub fn solve_decision_recorded(
         }
         SolverKind::Portfolio => {
             let configs = crate::portfolio_configs(SolverKind::DEFAULT_PORTFOLIO_WORKERS);
-            crate::solve_portfolio_recorded(formula, &configs, budget, recorder).outcome
+            crate::solve_portfolio_recorded(formula, &configs, budget, recorder)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .outcome
         }
         _ => {
             let config = kind.engine_config().expect("CDCL kind");

@@ -1,4 +1,5 @@
-//! Parallel portfolio solving with cooperative cancellation.
+//! Parallel portfolio solving with cooperative cancellation and panic
+//! isolation.
 //!
 //! The paper observes that PBS II, Galena and Pueblo — three configurations
 //! of the same CDCL-PB framework — "exhibit the same performance trends"
@@ -19,16 +20,55 @@
 //!
 //! Everything is built on `std::thread::scope` — no dependencies beyond
 //! `std`.
+//!
+//! # Fault tolerance
+//!
+//! Each worker body runs under [`std::panic::catch_unwind`]: a panicking
+//! worker dies alone while the survivors keep racing, and the race still
+//! returns the first definitive answer. All shared state (winner slot,
+//! summed stats, cancel mark, incumbent) is locked poison-tolerantly, so
+//! a panic inside a critical section cannot wedge the surviving workers.
+//! Dead workers are counted in [`PortfolioOutcome::failed_workers`] and —
+//! with an enabled [`Recorder`] — recorded as [`WorkerTelemetry`] entries
+//! whose `failed` field summarizes the panic payload. The deterministic
+//! [`FaultPlan`] accepted by the `*_instrumented` entry points exists to
+//! test exactly this machinery (see `docs/ROBUSTNESS.md`).
 
 use crate::config::{EngineConfig, SolverKind};
 use crate::engine::{PbEngine, PbStats};
 use crate::optimize::OptOutcome;
 use sbgc_formula::{Assignment, PbConstraint, PbFormula};
-use sbgc_obs::{Recorder, WorkerTelemetry};
+use sbgc_obs::{FaultPlan, Recorder, SearchCounters, WorkerTelemetry};
 use sbgc_sat::{Budget, CancelToken, SolveOutcome};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Typed failure of a portfolio entry point — misuse conditions that were
+/// previously reported by panicking, surfaced as values so callers can
+/// degrade gracefully (see `docs/ROBUSTNESS.md`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortfolioError {
+    /// The `configs` slice was empty: there is no worker to race.
+    NoWorkers,
+    /// [`optimize_portfolio`] was called on a formula without an
+    /// objective; there is nothing to minimize.
+    MissingObjective,
+}
+
+impl std::fmt::Display for PortfolioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortfolioError::NoWorkers => write!(f, "portfolio needs at least one config"),
+            PortfolioError::MissingObjective => {
+                write!(f, "optimize_portfolio requires a formula with an objective")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortfolioError {}
 
 /// Result of a [`solve_portfolio`] race.
 #[derive(Clone, Debug)]
@@ -41,6 +81,10 @@ pub struct PortfolioOutcome {
     /// Engine statistics summed over *all* workers — the total work spent,
     /// not just the winner's share.
     pub stats: PbStats,
+    /// Number of workers that died (panicked) during the race. The race
+    /// result comes from the survivors; a non-zero count alongside a
+    /// definitive `outcome` means the portfolio degraded gracefully.
+    pub failed_workers: usize,
 }
 
 /// Result of an [`optimize_portfolio`] race.
@@ -54,6 +98,28 @@ pub struct PortfolioOptOutcome {
     pub winner: Option<(usize, EngineConfig)>,
     /// Engine statistics summed over all workers.
     pub stats: PbStats,
+    /// Number of workers that died (panicked) during the race.
+    pub failed_workers: usize,
+}
+
+/// Locks poison-tolerantly: a mutex poisoned by a panicking worker stays
+/// usable for the survivors. All the portfolio's shared state is plain
+/// data whose invariants hold between (not within) lock acquisitions, so
+/// recovering the inner value is always sound here.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a `catch_unwind` payload for telemetry; panic messages are
+/// almost always `&str` or `String`.
+fn panic_summary(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
 }
 
 fn add_stats(total: &mut PbStats, s: PbStats) {
@@ -65,6 +131,9 @@ fn add_stats(total: &mut PbStats, s: PbStats) {
     total.deleted += s.deleted;
     total.pb_conflicts += s.pb_conflicts;
     total.learned_literals += s.learned_literals;
+    // Keep the first exhaustion reason any worker reported; a decided race
+    // clears it at the end (the answer supersedes the losers' exhaustion).
+    total.exhaust = total.exhaust.or(s.exhaust);
 }
 
 /// Human-readable label of a worker configuration: the preset name when
@@ -92,13 +161,13 @@ impl CancelMark {
     }
 
     fn stamp(&self) {
-        *self.0.lock().expect("cancel mark") = Some(Instant::now());
+        *lock_tolerant(&self.0) = Some(Instant::now());
     }
 
     /// Latency from the stamp to `finish`; `None` if the race was never
     /// cancelled or this worker finished before the stamp.
     fn latency(&self, finish: Instant) -> Option<std::time::Duration> {
-        self.0.lock().expect("cancel mark").and_then(|t| finish.checked_duration_since(t))
+        lock_tolerant(&self.0).and_then(|t| finish.checked_duration_since(t))
     }
 }
 
@@ -130,14 +199,14 @@ pub fn portfolio_configs(n: usize) -> Vec<EngineConfig> {
 /// scoped thread). All workers share the caller's `budget` — its deadline
 /// is armed once, here, so setup and losing workers don't extend it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `configs` is empty.
+/// [`PortfolioError::NoWorkers`] if `configs` is empty.
 pub fn solve_portfolio(
     formula: &PbFormula,
     configs: &[EngineConfig],
     budget: &Budget,
-) -> PortfolioOutcome {
+) -> Result<PortfolioOutcome, PortfolioError> {
     solve_portfolio_recorded(formula, configs, budget, &Recorder::disabled())
 }
 
@@ -161,71 +230,127 @@ pub fn solve_portfolio(
 ///
 /// let recorder = Recorder::new();
 /// let out =
-///     solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &recorder);
+///     solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &recorder)
+///         .expect("non-empty portfolio");
 /// assert!(out.outcome.is_sat());
 /// let workers = recorder.workers();
 /// assert_eq!(workers.len(), 2);
 /// assert_eq!(workers.iter().filter(|w| w.won).count(), 1);
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `configs` is empty.
+/// [`PortfolioError::NoWorkers`] if `configs` is empty.
 pub fn solve_portfolio_recorded(
     formula: &PbFormula,
     configs: &[EngineConfig],
     budget: &Budget,
     recorder: &Recorder,
-) -> PortfolioOutcome {
-    assert!(!configs.is_empty(), "portfolio needs at least one config");
+) -> Result<PortfolioOutcome, PortfolioError> {
+    solve_portfolio_instrumented(formula, configs, budget, recorder, None)
+}
+
+/// [`solve_portfolio_recorded`] plus deterministic fault injection: when
+/// `fault` schedules a panic for a worker, that worker's solve is capped
+/// at the scheduled conflict count and then panics — exercising the
+/// panic-isolation path on purpose. Production callers pass `None`, which
+/// injects nothing.
+///
+/// # Errors
+///
+/// [`PortfolioError::NoWorkers`] if `configs` is empty.
+pub fn solve_portfolio_instrumented(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+    recorder: &Recorder,
+    fault: Option<&FaultPlan>,
+) -> Result<PortfolioOutcome, PortfolioError> {
+    if configs.is_empty() {
+        return Err(PortfolioError::NoWorkers);
+    }
     let budget = budget.started();
     let race = CancelToken::new();
     let cancel_mark = CancelMark::new();
     let winner: Mutex<Option<(usize, SolveOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
+    let failed = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
-            let (race, winner, stats, cancel_mark) = (&race, &winner, &stats, &cancel_mark);
+            let (race, winner, stats, cancel_mark, failed) =
+                (&race, &winner, &stats, &cancel_mark, &failed);
             s.spawn(move || {
                 let run_start = Instant::now();
-                let mut engine = PbEngine::from_formula(formula, config);
-                engine.set_recorder(recorder.clone());
-                let out = engine.solve_with_budget(&worker_budget);
-                let finish = Instant::now();
-                add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
-                let mut won = false;
-                if matches!(out, SolveOutcome::Sat(_) | SolveOutcome::Unsat) {
-                    let mut w = winner.lock().expect("winner lock");
-                    if w.is_none() {
-                        *w = Some((index, out));
-                        cancel_mark.stamp();
-                        race.cancel();
-                        won = true;
+                let injected = fault.and_then(|p| p.worker_panic(index));
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    let worker_budget = match injected {
+                        Some(n) => worker_budget.clone().with_max_conflicts(n),
+                        None => worker_budget,
+                    };
+                    let mut engine = PbEngine::from_formula(formula, config);
+                    engine.set_recorder(recorder.clone());
+                    let out = engine.solve_with_budget(&worker_budget);
+                    if let Some(n) = injected {
+                        panic!("injected fault: worker {index} panicked after {n} conflicts");
                     }
-                }
-                if recorder.is_enabled() {
-                    engine.flush_recorder();
-                    recorder.record_worker(WorkerTelemetry {
-                        index,
-                        seed: config.seed,
-                        config: config_label(&config),
-                        search: engine.stats().into(),
-                        won,
-                        cancel_latency: if won { None } else { cancel_mark.latency(finish) },
-                        run_time: finish.duration_since(run_start),
-                    });
+                    let finish = Instant::now();
+                    add_stats(&mut lock_tolerant(stats), engine.stats());
+                    let mut won = false;
+                    if matches!(out, SolveOutcome::Sat(_) | SolveOutcome::Unsat) {
+                        let mut w = lock_tolerant(winner);
+                        if w.is_none() {
+                            *w = Some((index, out));
+                            cancel_mark.stamp();
+                            race.cancel();
+                            won = true;
+                        }
+                    }
+                    if recorder.is_enabled() {
+                        engine.flush_recorder();
+                        recorder.record_worker(WorkerTelemetry {
+                            index,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: engine.stats().into(),
+                            won,
+                            cancel_latency: if won { None } else { cancel_mark.latency(finish) },
+                            run_time: finish.duration_since(run_start),
+                            failed: None,
+                        });
+                    }
+                }));
+                if let Err(payload) = body {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    if recorder.is_enabled() {
+                        recorder.record_worker(WorkerTelemetry {
+                            index,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: SearchCounters::default(),
+                            won: false,
+                            cancel_latency: None,
+                            run_time: run_start.elapsed(),
+                            failed: Some(panic_summary(payload.as_ref())),
+                        });
+                    }
                 }
             });
         }
     });
 
-    let (winner, outcome) = match winner.into_inner().expect("winner lock") {
+    let (winner, outcome) = match lock_tolerant(&winner).take() {
         Some((index, out)) => (Some((index, configs[index])), out),
         None => (None, SolveOutcome::Unknown),
     };
-    PortfolioOutcome { outcome, winner, stats: stats.into_inner().expect("stats lock") }
+    let mut stats = *lock_tolerant(&stats);
+    if !matches!(outcome, SolveOutcome::Unknown) {
+        // The race was decided; the losers' budget exhaustion is not the
+        // outcome's exhaustion.
+        stats.exhaust = None;
+    }
+    Ok(PortfolioOutcome { outcome, winner, stats, failed_workers: failed.load(Ordering::Relaxed) })
 }
 
 /// The shared incumbent of an optimization race: the best objective value
@@ -248,7 +373,7 @@ impl Incumbent {
     /// best bound after the update.
     fn offer(&self, value: u64, model: &Assignment) -> u64 {
         {
-            let mut m = self.model.lock().expect("incumbent lock");
+            let mut m = lock_tolerant(&self.model);
             if m.as_ref().is_none_or(|(b, _)| value < *b) {
                 *m = Some((value, model.clone()));
             }
@@ -262,11 +387,11 @@ impl Incumbent {
 
     /// Clones the current best (value, model) pair.
     fn snapshot(&self) -> Option<(u64, Assignment)> {
-        self.model.lock().expect("incumbent lock").clone()
+        lock_tolerant(&self.model).clone()
     }
 
     fn take(self) -> Option<(u64, Assignment)> {
-        self.model.into_inner().expect("incumbent lock")
+        self.model.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -301,14 +426,15 @@ fn strengthen(
 /// bound is ≤ `c + 1` when the cut exists; UNSAT proves no model of value
 /// ≤ `c` exists, so the shared bound is exactly `c + 1` and optimal.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `configs` is empty or the formula has no objective.
+/// [`PortfolioError::NoWorkers`] if `configs` is empty,
+/// [`PortfolioError::MissingObjective`] if the formula has no objective.
 pub fn optimize_portfolio(
     formula: &PbFormula,
     configs: &[EngineConfig],
     budget: &Budget,
-) -> PortfolioOptOutcome {
+) -> Result<PortfolioOptOutcome, PortfolioError> {
     optimize_portfolio_recorded(formula, configs, budget, &Recorder::disabled())
 }
 
@@ -316,109 +442,167 @@ pub fn optimize_portfolio(
 /// search counters into `recorder` and records a [`WorkerTelemetry`]
 /// entry on exit. A disabled recorder makes this identical to
 /// [`optimize_portfolio`].
+///
+/// # Errors
+///
+/// [`PortfolioError::NoWorkers`] if `configs` is empty,
+/// [`PortfolioError::MissingObjective`] if the formula has no objective.
 pub fn optimize_portfolio_recorded(
     formula: &PbFormula,
     configs: &[EngineConfig],
     budget: &Budget,
     recorder: &Recorder,
-) -> PortfolioOptOutcome {
-    assert!(!configs.is_empty(), "portfolio needs at least one config");
-    let objective = formula.objective().expect("formula must carry an objective").clone();
+) -> Result<PortfolioOptOutcome, PortfolioError> {
+    optimize_portfolio_instrumented(formula, configs, budget, recorder, None)
+}
+
+/// [`optimize_portfolio_recorded`] plus deterministic fault injection
+/// (see [`solve_portfolio_instrumented`]). Production callers pass `None`.
+///
+/// # Errors
+///
+/// [`PortfolioError::NoWorkers`] if `configs` is empty,
+/// [`PortfolioError::MissingObjective`] if the formula has no objective.
+pub fn optimize_portfolio_instrumented(
+    formula: &PbFormula,
+    configs: &[EngineConfig],
+    budget: &Budget,
+    recorder: &Recorder,
+    fault: Option<&FaultPlan>,
+) -> Result<PortfolioOptOutcome, PortfolioError> {
+    if configs.is_empty() {
+        return Err(PortfolioError::NoWorkers);
+    }
+    let objective = formula.objective().ok_or(PortfolioError::MissingObjective)?.clone();
     let budget = budget.started();
     let race = CancelToken::new();
     let cancel_mark = CancelMark::new();
     let incumbent = Incumbent::new();
     let winner: Mutex<Option<(usize, OptOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
+    let failed = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
-            let (race, winner, stats, incumbent, objective, cancel_mark) =
-                (&race, &winner, &stats, &incumbent, &objective, &cancel_mark);
+            let (race, winner, stats, incumbent, objective, cancel_mark, failed) =
+                (&race, &winner, &stats, &incumbent, &objective, &cancel_mark, &failed);
             s.spawn(move || {
                 let run_start = Instant::now();
-                let mut engine = PbEngine::from_formula(formula, config);
-                engine.set_recorder(recorder.clone());
-                // Tightest objective cut this worker's engine carries.
-                let mut local_cut: Option<u64> = None;
-                let decided = loop {
-                    // Adopt the shared incumbent before (re)solving.
-                    let shared = incumbent.bound();
-                    if shared == 0 {
-                        // A peer holds a zero-cost model: globally optimal,
-                        // that peer records the win.
-                        break None;
-                    }
-                    if shared != u64::MAX {
-                        strengthen(&mut engine, objective, &mut local_cut, shared - 1);
-                    }
-                    if worker_budget.exhausted(engine.stats().conflicts) {
-                        break None;
-                    }
-                    match engine.solve_with_budget(&worker_budget) {
-                        SolveOutcome::Sat(model) => {
-                            let value = objective.value(&model).expect("total model");
-                            incumbent.offer(value, &model);
-                            if value == 0 {
-                                break Some(OptOutcome::Optimal { value: 0, model });
-                            }
-                            strengthen(&mut engine, objective, &mut local_cut, value - 1);
+                let injected = fault.and_then(|p| p.worker_panic(index));
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    let worker_budget = match injected {
+                        Some(n) => worker_budget.clone().with_max_conflicts(n),
+                        None => worker_budget,
+                    };
+                    let mut engine = PbEngine::from_formula(formula, config);
+                    engine.set_recorder(recorder.clone());
+                    // Tightest objective cut this worker's engine carries.
+                    let mut local_cut: Option<u64> = None;
+                    let decided = loop {
+                        // Adopt the shared incumbent before (re)solving.
+                        let shared = incumbent.bound();
+                        if shared == 0 {
+                            // A peer holds a zero-cost model: globally optimal,
+                            // that peer records the win.
+                            break None;
                         }
-                        SolveOutcome::Unsat => {
-                            break Some(match local_cut {
-                                None => OptOutcome::Infeasible,
-                                Some(cut) => {
-                                    // No model of value ≤ cut exists, and a
-                                    // model of value cut + 1 is in the
-                                    // incumbent (see the update protocol).
-                                    let (value, model) =
-                                        incumbent.snapshot().expect("cut implies an incumbent");
-                                    debug_assert_eq!(value, cut + 1);
-                                    OptOutcome::Optimal { value, model }
+                        if shared != u64::MAX {
+                            strengthen(&mut engine, objective, &mut local_cut, shared - 1);
+                        }
+                        if worker_budget.exhausted(engine.stats().conflicts) {
+                            break None;
+                        }
+                        match engine.solve_with_budget(&worker_budget) {
+                            SolveOutcome::Sat(model) => {
+                                let value = objective.value(&model).expect("total model");
+                                incumbent.offer(value, &model);
+                                if value == 0 {
+                                    break Some(OptOutcome::Optimal { value: 0, model });
                                 }
-                            });
+                                strengthen(&mut engine, objective, &mut local_cut, value - 1);
+                            }
+                            SolveOutcome::Unsat => {
+                                break Some(match local_cut {
+                                    None => OptOutcome::Infeasible,
+                                    Some(cut) => {
+                                        // No model of value ≤ cut exists, and a
+                                        // model of value cut + 1 is in the
+                                        // incumbent (see the update protocol).
+                                        let (value, model) =
+                                            incumbent.snapshot().expect("cut implies an incumbent");
+                                        debug_assert_eq!(value, cut + 1);
+                                        OptOutcome::Optimal { value, model }
+                                    }
+                                });
+                            }
+                            SolveOutcome::Unknown => break None,
                         }
-                        SolveOutcome::Unknown => break None,
+                    };
+                    if let Some(n) = injected {
+                        panic!("injected fault: worker {index} panicked after {n} conflicts");
                     }
-                };
-                let finish = Instant::now();
-                add_stats(&mut stats.lock().expect("stats lock"), engine.stats());
-                let mut won = false;
-                if let Some(outcome) = decided {
-                    let mut w = winner.lock().expect("winner lock");
-                    if w.is_none() {
-                        *w = Some((index, outcome));
-                        cancel_mark.stamp();
-                        race.cancel();
-                        won = true;
+                    let finish = Instant::now();
+                    add_stats(&mut lock_tolerant(stats), engine.stats());
+                    let mut won = false;
+                    if let Some(outcome) = decided {
+                        let mut w = lock_tolerant(winner);
+                        if w.is_none() {
+                            *w = Some((index, outcome));
+                            cancel_mark.stamp();
+                            race.cancel();
+                            won = true;
+                        }
                     }
-                }
-                if recorder.is_enabled() {
-                    engine.flush_recorder();
-                    recorder.record_worker(WorkerTelemetry {
-                        index,
-                        seed: config.seed,
-                        config: config_label(&config),
-                        search: engine.stats().into(),
-                        won,
-                        cancel_latency: if won { None } else { cancel_mark.latency(finish) },
-                        run_time: finish.duration_since(run_start),
-                    });
+                    if recorder.is_enabled() {
+                        engine.flush_recorder();
+                        recorder.record_worker(WorkerTelemetry {
+                            index,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: engine.stats().into(),
+                            won,
+                            cancel_latency: if won { None } else { cancel_mark.latency(finish) },
+                            run_time: finish.duration_since(run_start),
+                            failed: None,
+                        });
+                    }
+                }));
+                if let Err(payload) = body {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    if recorder.is_enabled() {
+                        recorder.record_worker(WorkerTelemetry {
+                            index,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: SearchCounters::default(),
+                            won: false,
+                            cancel_latency: None,
+                            run_time: run_start.elapsed(),
+                            failed: Some(panic_summary(payload.as_ref())),
+                        });
+                    }
                 }
             });
         }
     });
 
-    let stats = stats.into_inner().expect("stats lock");
-    if let Some((index, outcome)) = winner.into_inner().expect("winner lock") {
-        return PortfolioOptOutcome { outcome, winner: Some((index, configs[index])), stats };
+    let mut stats = *lock_tolerant(&stats);
+    let failed_workers = failed.load(Ordering::Relaxed);
+    if let Some((index, outcome)) = lock_tolerant(&winner).take() {
+        stats.exhaust = None;
+        return Ok(PortfolioOptOutcome {
+            outcome,
+            winner: Some((index, configs[index])),
+            stats,
+            failed_workers,
+        });
     }
     let outcome = match incumbent.take() {
         Some((value, model)) => OptOutcome::Feasible { value, model },
         None => OptOutcome::Unknown,
     };
-    PortfolioOptOutcome { outcome, winner: None, stats }
+    Ok(PortfolioOptOutcome { outcome, winner: None, stats, failed_workers })
 }
 
 #[cfg(test)]
@@ -455,10 +639,12 @@ mod tests {
     fn decision_race_agrees_with_sequential() {
         let f = covering();
         for n in 1..=4 {
-            let out = solve_portfolio(&f, &portfolio_configs(n), &Budget::unlimited());
+            let out = solve_portfolio(&f, &portfolio_configs(n), &Budget::unlimited())
+                .expect("non-empty portfolio");
             assert!(matches!(out.outcome, SolveOutcome::Sat(_)), "n={n}");
             assert!(out.winner.is_some());
             assert!(out.stats.decisions > 0);
+            assert_eq!(out.failed_workers, 0);
         }
     }
 
@@ -466,7 +652,8 @@ mod tests {
     fn optimization_race_finds_the_optimum() {
         let f = covering();
         for n in 1..=4 {
-            let out = optimize_portfolio(&f, &portfolio_configs(n), &Budget::unlimited());
+            let out = optimize_portfolio(&f, &portfolio_configs(n), &Budget::unlimited())
+                .expect("non-empty portfolio");
             match out.outcome {
                 OptOutcome::Optimal { value, ref model } => {
                     assert_eq!(value, 2, "n={n}");
@@ -485,15 +672,39 @@ mod tests {
         f.add_unit(a);
         f.add_unit(!a);
         f.set_objective(Objective::minimize([(1, a)]));
-        let out = optimize_portfolio(&f, &portfolio_configs(3), &Budget::unlimited());
+        let out = optimize_portfolio(&f, &portfolio_configs(3), &Budget::unlimited())
+            .expect("non-empty portfolio");
         assert!(out.outcome.is_infeasible());
+    }
+
+    #[test]
+    fn empty_portfolio_is_a_typed_error() {
+        let f = covering();
+        assert_eq!(
+            solve_portfolio(&f, &[], &Budget::unlimited()).unwrap_err(),
+            PortfolioError::NoWorkers
+        );
+        assert_eq!(
+            optimize_portfolio(&f, &[], &Budget::unlimited()).unwrap_err(),
+            PortfolioError::NoWorkers
+        );
+    }
+
+    #[test]
+    fn missing_objective_is_a_typed_error() {
+        let mut f = PbFormula::new();
+        let a = f.new_var().positive();
+        f.add_unit(a);
+        let err = optimize_portfolio(&f, &portfolio_configs(2), &Budget::unlimited()).unwrap_err();
+        assert_eq!(err, PortfolioError::MissingObjective);
+        assert!(err.to_string().contains("objective"));
     }
 
     #[test]
     fn zero_budget_cancels_cleanly() {
         let f = covering();
         let b = Budget::unlimited().with_max_conflicts(0);
-        let out = optimize_portfolio(&f, &portfolio_configs(4), &b);
+        let out = optimize_portfolio(&f, &portfolio_configs(4), &b).expect("non-empty portfolio");
         assert!(!out.outcome.is_infeasible());
     }
 
@@ -502,7 +713,8 @@ mod tests {
         let f = covering();
         let rec = Recorder::new();
         let out =
-            optimize_portfolio_recorded(&f, &portfolio_configs(3), &Budget::unlimited(), &rec);
+            optimize_portfolio_recorded(&f, &portfolio_configs(3), &Budget::unlimited(), &rec)
+                .expect("non-empty portfolio");
         assert!(out.winner.is_some());
         let workers = rec.workers();
         assert_eq!(workers.len(), 3, "every worker records telemetry");
@@ -510,6 +722,7 @@ mod tests {
         for w in &workers {
             assert_eq!(w.seed, w.index as u64, "portfolio seeds are worker indices");
             assert!(!w.config.is_empty());
+            assert!(w.failed.is_none());
         }
         // The engines flushed their counters into the shared recorder.
         assert!(rec.counter(sbgc_obs::Counter::Decisions) > 0);
@@ -520,7 +733,8 @@ mod tests {
     fn disabled_recorder_keeps_portfolio_silent() {
         let f = covering();
         let rec = Recorder::disabled();
-        let out = solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &rec);
+        let out = solve_portfolio_recorded(&f, &portfolio_configs(2), &Budget::unlimited(), &rec)
+            .expect("non-empty portfolio");
         assert!(matches!(out.outcome, SolveOutcome::Sat(_)));
         assert!(rec.workers().is_empty());
         assert_eq!(rec.counter(sbgc_obs::Counter::Decisions), 0);
@@ -541,8 +755,72 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let b = Budget::unlimited().with_cancel_token(token);
-        let out = solve_portfolio(&f, &portfolio_configs(4), &b);
+        let out = solve_portfolio(&f, &portfolio_configs(4), &b).expect("non-empty portfolio");
         assert!(matches!(out.outcome, SolveOutcome::Unknown));
+        assert!(out.winner.is_none());
+    }
+
+    #[test]
+    fn injected_panic_leaves_survivors_winning() {
+        let f = covering();
+        let rec = Recorder::new();
+        // Kill worker 1 immediately; workers 0 and 2 survive and decide.
+        let plan = FaultPlan::new(0).with_worker_panic(1, 0);
+        let out = optimize_portfolio_instrumented(
+            &f,
+            &portfolio_configs(3),
+            &Budget::unlimited(),
+            &rec,
+            Some(&plan),
+        )
+        .expect("non-empty portfolio");
+        match out.outcome {
+            OptOutcome::Optimal { value, .. } => assert_eq!(value, 2),
+            ref other => panic!("survivors must decide, got {other:?}"),
+        }
+        assert_eq!(out.failed_workers, 1);
+        let (winner_index, _) = out.winner.expect("a survivor won");
+        assert_ne!(winner_index, 1, "the dead worker cannot win");
+        let workers = rec.workers();
+        assert_eq!(workers.len(), 3, "dead workers still record telemetry");
+        let dead: Vec<_> = workers.iter().filter(|w| w.failed.is_some()).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].index, 1);
+        assert!(dead[0].failed.as_deref().unwrap().contains("injected fault"));
+        assert!(!dead[0].won);
+    }
+
+    #[test]
+    fn injected_panic_in_decision_race_is_survivable() {
+        let f = covering();
+        let plan = FaultPlan::new(7).with_worker_panic(0, 0);
+        let out = solve_portfolio_instrumented(
+            &f,
+            &portfolio_configs(2),
+            &Budget::unlimited(),
+            &Recorder::disabled(),
+            Some(&plan),
+        )
+        .expect("non-empty portfolio");
+        assert!(matches!(out.outcome, SolveOutcome::Sat(_)));
+        assert_eq!(out.failed_workers, 1);
+        assert_eq!(out.winner.map(|(i, _)| i), Some(1));
+    }
+
+    #[test]
+    fn all_workers_dead_degrades_gracefully() {
+        let f = covering();
+        let plan = FaultPlan::new(0).with_worker_panic(0, 0);
+        let out = optimize_portfolio_instrumented(
+            &f,
+            &portfolio_configs(1),
+            &Budget::unlimited(),
+            &Recorder::disabled(),
+            Some(&plan),
+        )
+        .expect("non-empty portfolio");
+        assert!(matches!(out.outcome, OptOutcome::Unknown | OptOutcome::Feasible { .. }));
+        assert_eq!(out.failed_workers, 1);
         assert!(out.winner.is_none());
     }
 }

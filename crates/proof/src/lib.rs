@@ -42,4 +42,7 @@ mod checker;
 mod drat;
 
 pub use checker::{check_drat, CheckError, CheckStats};
-pub use drat::{dimacs_cnf, DratProof, FileProofLogger, ProofLogger, ProofStep, SharedProof};
+pub use drat::{
+    dimacs_cnf, DratProof, FileProofLogger, ProofErrorFlag, ProofLogger, ProofStep, SharedProof,
+    TeeProofLogger,
+};

@@ -35,6 +35,45 @@ impl CancelToken {
     }
 }
 
+/// Why a budgeted solve stopped before reaching a definitive answer.
+///
+/// Solvers record the first reason observed on the stride-64 budget path in
+/// their stats (`SolverStats::exhaust` / `PbStats::exhaust`), and the value
+/// flows up through portfolio telemetry and run reports so that a timeout,
+/// a memory cap and an external cancellation are distinguishable after the
+/// fact — the paper reports timeouts as *data*, and so do we.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExhaustReason {
+    /// The conflict cap ([`Budget::with_max_conflicts`]) was reached.
+    Conflicts,
+    /// The wall-clock deadline ([`Budget::with_timeout`]) passed.
+    Time,
+    /// The clause-arena memory cap ([`Budget::with_max_memory`]) was
+    /// exceeded.
+    Memory,
+    /// An attached [`CancelToken`] was tripped (e.g. a portfolio race was
+    /// won by another worker).
+    Cancelled,
+}
+
+impl ExhaustReason {
+    /// Stable lower-case label used in JSON reports and log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExhaustReason::Conflicts => "conflicts",
+            ExhaustReason::Time => "time",
+            ExhaustReason::Memory => "memory",
+            ExhaustReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A resource budget for a solver run.
 ///
 /// The paper runs every solver with a 1000-second timeout; our experiment
@@ -63,6 +102,7 @@ pub struct Budget {
     max_conflicts: Option<u64>,
     timeout: Option<Duration>,
     deadline: Option<Instant>,
+    max_memory: Option<u64>,
     cancel: Vec<CancelToken>,
 }
 
@@ -85,6 +125,20 @@ impl Budget {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
         self.deadline = None;
+        self
+    }
+
+    /// Caps the clause-arena footprint, in bytes.
+    ///
+    /// Both `SatSolver` and `PbEngine` keep a running estimate of the bytes
+    /// held by their constraint arenas and compare it against this cap on
+    /// the same stride-64 path as the other budget checks. Exceeding the
+    /// cap ends the solve with [`ExhaustReason::Memory`]; learned-clause
+    /// reductions and arena compaction can bring a solver back under the
+    /// cap before the next check, so the limit bounds the *steady-state*
+    /// footprint rather than aborting on a transient spike.
+    pub fn with_max_memory(mut self, bytes: u64) -> Self {
+        self.max_memory = Some(bytes);
         self
     }
 
@@ -122,6 +176,11 @@ impl Budget {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    /// Returns `true` once `bytes` exceeds the memory cap.
+    pub fn memory_exhausted(&self, bytes: u64) -> bool {
+        self.max_memory.is_some_and(|m| bytes > m)
+    }
+
     /// Returns `true` once any attached cancellation token is tripped.
     pub fn cancelled(&self) -> bool {
         self.cancel.iter().any(CancelToken::is_cancelled)
@@ -131,6 +190,27 @@ impl Budget {
     /// cancelled.
     pub fn exhausted(&self, conflicts: u64) -> bool {
         self.conflicts_exhausted(conflicts) || self.time_exhausted() || self.cancelled()
+    }
+
+    /// Like [`exhausted`](Budget::exhausted) but also checks the memory
+    /// cap against `arena_bytes` and reports *which* resource ran out.
+    ///
+    /// Checks are ordered by how actionable the reason is for a caller:
+    /// cancellation (another worker won — not this run's fault), then
+    /// memory, then time, then conflicts. Returns `None` while the budget
+    /// still has headroom.
+    pub fn exhaust_reason(&self, conflicts: u64, arena_bytes: u64) -> Option<ExhaustReason> {
+        if self.cancelled() {
+            Some(ExhaustReason::Cancelled)
+        } else if self.memory_exhausted(arena_bytes) {
+            Some(ExhaustReason::Memory)
+        } else if self.time_exhausted() {
+            Some(ExhaustReason::Time)
+        } else if self.conflicts_exhausted(conflicts) {
+            Some(ExhaustReason::Conflicts)
+        } else {
+            None
+        }
     }
 }
 
@@ -178,6 +258,37 @@ mod tests {
         token.cancel();
         assert!(b.exhausted(0));
         assert!(b.cancelled());
+    }
+
+    #[test]
+    fn memory_cap() {
+        let b = Budget::unlimited().with_max_memory(1024);
+        assert!(!b.memory_exhausted(1024));
+        assert!(b.memory_exhausted(1025));
+        assert_eq!(b.exhaust_reason(0, 2048), Some(ExhaustReason::Memory));
+        assert_eq!(b.exhaust_reason(0, 0), None);
+    }
+
+    #[test]
+    fn exhaust_reason_precedence() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited()
+            .with_max_conflicts(5)
+            .with_max_memory(100)
+            .with_cancel_token(token.clone());
+        assert_eq!(b.exhaust_reason(0, 0), None);
+        assert_eq!(b.exhaust_reason(5, 0), Some(ExhaustReason::Conflicts));
+        assert_eq!(b.exhaust_reason(5, 200), Some(ExhaustReason::Memory));
+        token.cancel();
+        assert_eq!(b.exhaust_reason(5, 200), Some(ExhaustReason::Cancelled));
+    }
+
+    #[test]
+    fn exhaust_reason_labels() {
+        assert_eq!(ExhaustReason::Conflicts.as_str(), "conflicts");
+        assert_eq!(ExhaustReason::Time.as_str(), "time");
+        assert_eq!(ExhaustReason::Memory.to_string(), "memory");
+        assert_eq!(ExhaustReason::Cancelled.as_str(), "cancelled");
     }
 
     #[test]

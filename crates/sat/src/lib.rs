@@ -46,6 +46,6 @@ mod luby;
 pub mod naive;
 mod solver;
 
-pub use budget::{Budget, CancelToken};
+pub use budget::{Budget, CancelToken, ExhaustReason};
 pub use luby::Luby;
 pub use solver::{SatSolver, SolveOutcome, SolverStats};

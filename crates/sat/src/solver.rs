@@ -1,6 +1,6 @@
 //! The CDCL search engine.
 
-use crate::budget::Budget;
+use crate::budget::{Budget, ExhaustReason};
 use crate::heap::ActivityHeap;
 use crate::luby::Luby;
 use sbgc_formula::{Assignment, Lit, PbFormula, Var};
@@ -69,6 +69,11 @@ pub struct SolverStats {
     /// Number of dead clause slots physically reclaimed by arena
     /// compaction (see [`SatSolver::set_compaction`]).
     pub reclaimed: u64,
+    /// Why the most recent budgeted solve stopped early, if it did.
+    /// `None` after a definitive SAT/UNSAT answer (and before any solve).
+    /// Unlike the counters above this is a status, not a monotone count;
+    /// it is reset at the start of every solve call.
+    pub exhaust: Option<ExhaustReason>,
 }
 
 impl SolverStats {
@@ -137,6 +142,9 @@ pub struct SatSolver {
     // Physically reclaim tombstoned clauses after each reduce_db pass;
     // disabled only by tests comparing against the lazy-deletion baseline.
     compact: bool,
+    // Running estimate of the bytes held by `clauses` (slots + literal
+    // buffers). Tombstoned clauses still count until compaction frees them.
+    arena_bytes: u64,
     stats: SolverStats,
     recorder: Recorder,
     // Stats snapshot already flushed to the recorder; deltas beyond this
@@ -168,6 +176,7 @@ impl SatSolver {
             max_learnts: 0.0,
             ok: true,
             compact: true,
+            arena_bytes: 0,
             stats: SolverStats::default(),
             recorder: Recorder::disabled(),
             flushed: SolverStats::default(),
@@ -276,6 +285,18 @@ impl SatSolver {
         self.clauses.iter().filter(|c| !c.deleted).count()
     }
 
+    /// Estimated bytes held by the clause arena (slot metadata plus
+    /// literal buffers). This is the figure compared against
+    /// [`Budget::with_max_memory`] on the stride-64 budget path.
+    /// Tombstoned clauses count until compaction physically frees them.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_bytes
+    }
+
+    fn clause_bytes(lits: &[Lit]) -> u64 {
+        (std::mem::size_of::<StoredClause>() + std::mem::size_of_val(lits)) as u64
+    }
+
     #[inline]
     fn proof_add(&mut self, lits: &[Lit]) {
         if let Some(p) = self.proof.as_mut() {
@@ -335,6 +356,7 @@ impl SatSolver {
         let cref = self.clauses.len() as u32;
         self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
         self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
+        self.arena_bytes += Self::clause_bytes(&lits);
         self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
         cref
     }
@@ -630,6 +652,7 @@ impl SatSolver {
         }
         self.stats.reclaimed += dead as u64;
         self.clauses.retain(|c| !c.deleted);
+        self.arena_bytes = self.clauses.iter().map(|c| Self::clause_bytes(&c.lits)).sum();
         for ws in &mut self.watches {
             ws.retain_mut(|w| {
                 let m = remap[w.clause as usize];
@@ -707,6 +730,7 @@ impl SatSolver {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        self.stats.exhaust = None;
         let out = self.search(assumptions, budget);
         if self.recorder.is_enabled() {
             self.flush_recorder();
@@ -718,6 +742,7 @@ impl SatSolver {
         // Arm the wall-clock countdown (no-op if the caller already did).
         let budget = budget.started();
         if budget.cancelled() {
+            self.stats.exhaust = Some(ExhaustReason::Cancelled);
             return SolveOutcome::Unknown;
         }
         if !self.ok {
@@ -771,7 +796,10 @@ impl SatSolver {
                 budget_check += 1;
                 if budget_check >= 64 {
                     budget_check = 0;
-                    if budget.exhausted(self.stats.conflicts) {
+                    if let Some(reason) =
+                        budget.exhaust_reason(self.stats.conflicts, self.arena_bytes)
+                    {
+                        self.stats.exhaust = Some(reason);
                         return SolveOutcome::Unknown;
                     }
                     // Same stride as the budget check: live readers see
@@ -780,6 +808,7 @@ impl SatSolver {
                         self.flush_recorder();
                     }
                 } else if budget.conflicts_exhausted(self.stats.conflicts) {
+                    self.stats.exhaust = Some(ExhaustReason::Conflicts);
                     return SolveOutcome::Unknown;
                 }
             } else {
@@ -975,6 +1004,48 @@ mod tests {
         let mut s = SatSolver::from_formula(&f).expect("pure CNF");
         let b = Budget::unlimited().with_max_conflicts(1);
         assert!(matches!(s.solve_with_budget(&b), SolveOutcome::Unknown));
+    }
+
+    #[test]
+    fn budget_exhaust_reason_conflicts() {
+        let f = pigeonhole(7);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        let b = Budget::unlimited().with_max_conflicts(1);
+        assert!(matches!(s.solve_with_budget(&b), SolveOutcome::Unknown));
+        assert_eq!(s.stats().exhaust, Some(crate::ExhaustReason::Conflicts));
+    }
+
+    #[test]
+    fn memory_budget_stops_with_reason() {
+        let f = pigeonhole(7);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        // A 1-byte cap trips at the first stride-64 check.
+        let b = Budget::unlimited().with_max_memory(1);
+        assert!(matches!(s.solve_with_budget(&b), SolveOutcome::Unknown));
+        assert_eq!(s.stats().exhaust, Some(crate::ExhaustReason::Memory));
+        assert!(s.arena_bytes() > 1);
+    }
+
+    #[test]
+    fn definitive_answer_clears_exhaust() {
+        let f = pigeonhole(4);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        let b = Budget::unlimited().with_max_conflicts(1);
+        let _ = s.solve_with_budget(&b);
+        assert!(s.stats().exhaust.is_some());
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.stats().exhaust, None);
+    }
+
+    #[test]
+    fn arena_bytes_tracks_additions_and_compaction() {
+        let mut s = SatSolver::new(3);
+        assert_eq!(s.arena_bytes(), 0);
+        s.add_clause([lit(0, false), lit(1, false)]);
+        let after_one = s.arena_bytes();
+        assert!(after_one > 0);
+        s.add_clause([lit(0, true), lit(2, false)]);
+        assert!(s.arena_bytes() > after_one);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Chaos suite: deterministic fault injection across the whole pipeline.
+//!
+//! Every fault here is scheduled by a seeded [`FaultPlan`] — no wall-clock
+//! or RNG state at trigger time — so a failing case replays identically.
+//! The suite exercises the robustness contracts end to end:
+//!
+//! * a portfolio worker that panics mid-race must not take the race down:
+//!   survivors decide, telemetry marks the corpse, no lock is poisoned;
+//! * a failing proof-archive stream must degrade the certificate honestly
+//!   (`Unchecked`, never a fabricated `Checked` or a spurious `Rejected`);
+//! * an exhausted budget must yield a proven bracket plus the *reason*
+//!   the search stopped, for every budget dimension including memory.
+
+use sbgc_core::{
+    certify_unsat_formula_streamed, chromatic_number_outcome, cnf_decision_formula,
+    ChromaticResult, ColoringEncoding, ProofStatus, SolveOptions,
+};
+use sbgc_formula::PbFormula;
+use sbgc_graph::gen::{mycielski, queens};
+use sbgc_graph::Graph;
+use sbgc_obs::{FaultPlan, Recorder};
+use sbgc_pb::{
+    optimize_portfolio_instrumented, portfolio_configs, solve_portfolio_instrumented, Budget,
+    ExhaustReason, OptOutcome, SolveOutcome,
+};
+use sbgc_proof::FileProofLogger;
+
+fn coloring_formula(graph: &Graph, k: usize) -> PbFormula {
+    ColoringEncoding::new(graph, k).formula().clone()
+}
+
+fn unsat_cnf(graph: &Graph, k: usize) -> PbFormula {
+    let (num_vars, clauses) = cnf_decision_formula(graph, k);
+    let mut f = PbFormula::with_vars(num_vars);
+    for c in &clauses {
+        f.add_clause(c.iter().copied());
+    }
+    f
+}
+
+#[test]
+fn mid_race_panic_yields_correct_answer_from_survivors() {
+    // Kill one of three workers the moment it starts; the other two must
+    // still prove χ(queen5_5) = 5 and the race must report the casualty.
+    let formula = coloring_formula(&queens(5, 5), 7);
+    let plan = FaultPlan::new(3).with_worker_panic(1, 0);
+    let rec = Recorder::new();
+    let out = optimize_portfolio_instrumented(
+        &formula,
+        &portfolio_configs(3),
+        &Budget::unlimited(),
+        &rec,
+        Some(&plan),
+    )
+    .expect("non-empty portfolio");
+
+    match out.outcome {
+        OptOutcome::Optimal { value, .. } => assert_eq!(value, 5),
+        ref other => panic!("survivors must still decide, got {other:?}"),
+    }
+    assert_eq!(out.failed_workers, 1);
+    let (winner, _) = out.winner.expect("a survivor won");
+    assert_ne!(winner, 1, "the dead worker cannot win");
+
+    // Telemetry: all three workers reported, exactly one marked failed.
+    let workers = rec.workers();
+    assert_eq!(workers.len(), 3);
+    let dead: Vec<_> = workers.iter().filter(|w| w.failed.is_some()).collect();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].index, 1);
+    assert!(dead[0].failed.as_deref().unwrap().contains("injected fault"));
+    assert!(!dead[0].won);
+}
+
+#[test]
+fn injected_faults_replay_deterministically() {
+    // The same plan against the same instance must kill the same worker
+    // and leave the same answer — chaos tests that fail must replay.
+    let formula = coloring_formula(&mycielski(3), 6);
+    let run = || {
+        let plan = FaultPlan::new(11).with_seeded_worker_panic(4, 0);
+        let rec = Recorder::new();
+        let out = optimize_portfolio_instrumented(
+            &formula,
+            &portfolio_configs(4),
+            &Budget::unlimited(),
+            &rec,
+            Some(&plan),
+        )
+        .expect("non-empty portfolio");
+        let dead: Vec<usize> =
+            rec.workers().iter().filter(|w| w.failed.is_some()).map(|w| w.index).collect();
+        (out.outcome.value(), out.failed_workers, dead)
+    };
+    let (value_a, failed_a, dead_a) = run();
+    let (value_b, failed_b, dead_b) = run();
+    assert_eq!(value_a, Some(4), "χ(myciel3) = 4");
+    assert_eq!((value_a, failed_a, &dead_a), (value_b, failed_b, &dead_b));
+    assert_eq!(dead_a.len(), 1);
+}
+
+#[test]
+fn panicked_race_leaves_shared_state_usable() {
+    // A recorder that lived through a worker panic must keep working: a
+    // poisoned telemetry lock would hang or crash the next race.
+    let formula = coloring_formula(&Graph::complete(4), 5);
+    let rec = Recorder::new();
+    let plan = FaultPlan::new(0).with_worker_panic(0, 0);
+    let first = solve_portfolio_instrumented(
+        &formula,
+        &portfolio_configs(2),
+        &Budget::unlimited(),
+        &rec,
+        Some(&plan),
+    )
+    .expect("non-empty portfolio");
+    assert!(matches!(first.outcome, SolveOutcome::Sat(_)));
+    assert_eq!(first.failed_workers, 1);
+
+    // Same recorder, no faults: the second race must behave normally.
+    let second = solve_portfolio_instrumented(
+        &formula,
+        &portfolio_configs(2),
+        &Budget::unlimited(),
+        &rec,
+        None,
+    )
+    .expect("non-empty portfolio");
+    assert!(matches!(second.outcome, SolveOutcome::Sat(_)));
+    assert_eq!(second.failed_workers, 0);
+    assert_eq!(rec.workers().len(), 4, "both races recorded telemetry");
+}
+
+#[test]
+fn killing_the_only_worker_degrades_to_unknown() {
+    let formula = coloring_formula(&queens(5, 5), 7);
+    let plan = FaultPlan::new(0).with_worker_panic(0, 0);
+    let out = optimize_portfolio_instrumented(
+        &formula,
+        &portfolio_configs(1),
+        &Budget::unlimited(),
+        &Recorder::disabled(),
+        Some(&plan),
+    )
+    .expect("non-empty portfolio");
+    assert!(!out.outcome.is_optimal(), "no survivor can have proven optimality");
+    assert!(out.winner.is_none());
+    assert_eq!(out.failed_workers, 1);
+}
+
+#[test]
+fn failed_proof_stream_degrades_certificate_honestly() {
+    // K4 is not 3-colorable, so the refutation certifies — unless the
+    // archive stream fails, in which case the status must drop to
+    // Unchecked with the stream error, never stay Checked.
+    let f = unsat_cnf(&Graph::complete(4), 3);
+    let plan = FaultPlan::new(9).with_proof_write_failure(1);
+    let logger = FileProofLogger::new(std::io::sink()).with_fault_plan(&plan);
+    let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+    match status {
+        ProofStatus::Unchecked { reason } => {
+            assert!(reason.contains("proof stream failed"), "{reason}");
+        }
+        other => panic!("a failing archive must degrade the status, got {other}"),
+    }
+    assert!(proof.is_some(), "the in-memory proof survives the archive failure");
+
+    // A later write failing (not the first) degrades just the same — the
+    // archive is incomplete either way.
+    let plan = FaultPlan::new(9).with_proof_write_failure(5);
+    let logger = FileProofLogger::new(std::io::sink()).with_fault_plan(&plan);
+    let (status, _) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+    assert!(matches!(status, ProofStatus::Unchecked { .. }), "{status}");
+}
+
+#[test]
+fn healthy_proof_stream_still_certifies() {
+    // Control for the degradation test: without injected faults the
+    // streamed path must certify exactly like the in-memory path.
+    let f = unsat_cnf(&Graph::complete(4), 3);
+    let logger = FileProofLogger::new(std::io::sink());
+    let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
+    assert!(matches!(status, ProofStatus::Checked { .. }), "{status}");
+    assert!(proof.is_some());
+}
+
+#[test]
+fn conflict_exhausted_search_reports_proven_bracket() {
+    // Mycielski-4: clique 2, χ = 5, DSATUR overshoots, so a real search is
+    // needed and a 1-conflict budget cannot finish it.
+    let g = mycielski(4);
+    let opts = SolveOptions::new(20).with_budget(Budget::unlimited().with_max_conflicts(1));
+    let out = chromatic_number_outcome(&g, &opts).expect("valid inputs");
+    match out.result {
+        ChromaticResult::Bounded { lower, upper, ref witness } => {
+            assert!(lower <= 5 && 5 <= upper, "bracket [{lower}, {upper}] must contain χ");
+            assert!(witness.is_proper(&g), "the upper bound stays witnessed");
+            assert_eq!(out.exhaust, Some(ExhaustReason::Conflicts));
+        }
+        ChromaticResult::Exact { chromatic_number, .. } => {
+            // A 1-conflict budget conceivably still decides; then there is
+            // no exhaustion to report.
+            assert_eq!(chromatic_number, 5);
+            assert_eq!(out.exhaust, None);
+        }
+    }
+}
+
+#[test]
+fn memory_exhausted_search_reports_memory_reason() {
+    // A one-byte arena cap trips the memory check at the first stride-64
+    // budget check; queen6_6 at K = 7 needs far more than 64 conflicts.
+    let g = queens(6, 6);
+    let opts = SolveOptions::new(7).with_budget(Budget::unlimited().with_max_memory(1));
+    let out = chromatic_number_outcome(&g, &opts).expect("valid inputs");
+    match out.result {
+        ChromaticResult::Bounded { lower, upper, ref witness } => {
+            assert!(lower <= 7 && 7 <= upper, "bracket [{lower}, {upper}] must contain χ");
+            assert!(witness.is_proper(&g));
+            assert_eq!(out.exhaust, Some(ExhaustReason::Memory));
+        }
+        ChromaticResult::Exact { .. } => {
+            panic!("a one-byte memory budget cannot complete the queen6_6 search")
+        }
+    }
+}

@@ -40,7 +40,8 @@ fn optimization_agrees_for_one_to_four_workers() {
         assert_eq!(sequential.value(), Some(chi as u64), "{name}: sequential");
         for workers in 1..=4 {
             let out =
-                optimize_portfolio(&formula, &portfolio_configs(workers), &Budget::unlimited());
+                optimize_portfolio(&formula, &portfolio_configs(workers), &Budget::unlimited())
+                    .expect("non-empty portfolio with objective");
             assert!(out.outcome.is_optimal(), "{name} with {workers} workers: not optimal");
             assert_eq!(
                 out.outcome.value(),
@@ -62,7 +63,8 @@ fn decision_agrees_for_one_to_four_workers() {
             assert_eq!(sequential.is_sat(), expect_sat, "{name} K={k}: sequential");
             for workers in 1..=4 {
                 let out =
-                    solve_portfolio(&formula, &portfolio_configs(workers), &Budget::unlimited());
+                    solve_portfolio(&formula, &portfolio_configs(workers), &Budget::unlimited())
+                        .expect("non-empty portfolio");
                 match (expect_sat, &out.outcome) {
                     (true, SolveOutcome::Sat(model)) => {
                         assert!(formula.is_satisfied_by(model), "{name} K={k} w={workers}");
@@ -97,13 +99,15 @@ fn cancelled_workers_terminate_cleanly() {
     let token = CancelToken::new();
     token.cancel();
     let budget = Budget::unlimited().with_cancel_token(token);
-    let out = solve_portfolio(&formula, &portfolio_configs(4), &budget);
+    let out =
+        solve_portfolio(&formula, &portfolio_configs(4), &budget).expect("non-empty portfolio");
     assert!(matches!(out.outcome, SolveOutcome::Unknown));
     assert!(out.winner.is_none());
 
     // And a race that is won cancels the losers without poisoning stats:
     // total conflicts must be finite and the answer definitive.
-    let out = solve_portfolio(&formula, &portfolio_configs(4), &Budget::unlimited());
+    let out = solve_portfolio(&formula, &portfolio_configs(4), &Budget::unlimited())
+        .expect("non-empty portfolio");
     assert!(matches!(out.outcome, SolveOutcome::Sat(_)));
 }
 
@@ -116,6 +120,7 @@ fn portfolio_respects_conflict_budgets() {
         &formula,
         &portfolio_configs(4),
         &Budget::unlimited().with_max_conflicts(0),
-    );
+    )
+    .expect("non-empty portfolio with objective");
     assert!(!out.outcome.is_decided());
 }
