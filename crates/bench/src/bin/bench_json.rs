@@ -1,20 +1,26 @@
 //! Machine-readable sequential-vs-portfolio benchmark.
 //!
 //! Runs every configured instance × SBP mode twice — once with the
-//! sequential PBS II optimizer, once with the parallel portfolio (worker
-//! count from `--jobs`, default 4) — and writes `BENCH_portfolio.json`
-//! with per-run wall time, conflict counts, the winning configuration and
-//! the resulting color count, so later changes can track the speedup
-//! curve over time.
+//! sequential PBS II optimizer, once with the parallel clause-sharing
+//! portfolio (worker count from `--jobs`, default 4) — and writes
+//! `BENCH_portfolio.json` with per-run wall time, conflict counts, the
+//! winning configuration, the resulting color count and per-worker
+//! sharing telemetry (clauses exported/imported, mean learned-clause
+//! LBD), so later changes can track the speedup curve over time.
 //!
 //! The default instance set is the Table 3 queens subset (`queen5_5`,
 //! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
+//! With `--min-speedup X` the binary exits non-zero when the overall
+//! speedup falls below `X` — the CI perf-smoke gate.
 //!
 //! `cargo run --release -p sbgc-bench --bin bench_json -- --timeout 2 --jobs 4`
 
 use sbgc_bench::{HarnessConfig, QUICK_INSTANCES};
 use sbgc_core::{PreparedColoring, SbpMode, SolveOptions};
-use sbgc_pb::{optimize_portfolio, portfolio_configs, OptOutcome, Optimizer, SolverKind};
+use sbgc_pb::{
+    optimize_portfolio_recorded, portfolio_configs, OptOutcome, Optimizer, Recorder, SolverKind,
+    WorkerTelemetry,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -38,6 +44,25 @@ struct RunRecord {
     decided: bool,
     colors: Option<u64>,
     winner: Option<String>,
+    /// One entry per portfolio worker (decided or not); empty for the
+    /// sequential run.
+    workers: Vec<String>,
+}
+
+/// Renders one worker's telemetry: which configuration it ran, its share
+/// of the clause traffic, the mean LBD of what it learned, and whether it
+/// produced the winning answer.
+fn worker_json(w: &WorkerTelemetry) -> String {
+    format!(
+        "{{\"index\": {}, \"config\": \"{}\", \"exported\": {}, \"imported\": {}, \
+         \"lbd_mean\": {}, \"won\": {}}}",
+        w.index,
+        json_escape(&w.config),
+        w.search.exported,
+        w.search.imported,
+        w.search.mean_lbd().map_or("null".to_string(), |m| format!("{m:.3}")),
+        w.won,
+    )
 }
 
 impl RunRecord {
@@ -53,6 +78,9 @@ impl RunRecord {
         );
         if let Some(w) = &self.winner {
             let _ = write!(s, ", \"winning_config\": \"{}\"", json_escape(w));
+        }
+        if !self.workers.is_empty() {
+            let _ = write!(s, ", \"workers\": [{}]", self.workers.join(", "));
         }
         s.push('}');
         s
@@ -97,20 +125,27 @@ fn main() {
                 decided: seq_out.is_decided(),
                 colors: seq_out.value(),
                 winner: None,
+                workers: Vec::new(),
             };
 
             let configs = portfolio_configs(workers);
+            let rec = Recorder::new();
             let start = Instant::now();
-            let par_out = optimize_portfolio(formula, &configs, &config.budget())
+            let par_out = optimize_portfolio_recorded(formula, &configs, &config.budget(), &rec)
                 .expect("portfolio_configs is non-empty and the formula has an objective");
+            let elapsed = start.elapsed();
+            let mut telemetry = rec.workers();
+            telemetry.sort_by_key(|w| w.index);
             let portfolio = RunRecord {
-                time: start.elapsed(),
+                time: elapsed,
                 conflicts: par_out.stats.conflicts,
                 decided: par_out.outcome.is_decided(),
                 colors: par_out.outcome.value(),
-                winner: par_out
-                    .winner
-                    .map(|(i, c)| format!("worker {i}: {:?} seed {}", c.explain, c.seed)),
+                winner: telemetry
+                    .iter()
+                    .find(|w| w.won)
+                    .map(|w| format!("worker {}: {}", w.index, w.config)),
+                workers: telemetry.iter().map(worker_json).collect(),
             };
 
             seq_total += sequential.time;
@@ -183,4 +218,12 @@ fn main() {
 
     sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "bench_json");
+
+    if let Some(min) = config.min_speedup {
+        if speedup < min {
+            eprintln!("perf-smoke gate FAILED: speedup {speedup:.2}x < required {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("perf-smoke gate passed: speedup {speedup:.2}x >= {min:.2}x");
+    }
 }

@@ -34,9 +34,9 @@
 #![warn(missing_docs)]
 
 use sbgc_core::{
-    certify_result, chromatic_number_certified, solve_coloring, ChromaticResult, ColoringOutcome,
-    OptimalityCertificate, PreparedColoring, ProofStatus, Recorder, SbpMode, SolveOptions,
-    SolverKind, SymmetryHandling,
+    certify_result_parallel, chromatic_number_certified, solve_coloring, ChromaticResult,
+    ColoringOutcome, OptimalityCertificate, PreparedColoring, ProofStatus, Recorder, SbpMode,
+    SolveOptions, SolverKind, SymmetryHandling,
 };
 use sbgc_graph::suite::{self, Instance};
 use sbgc_obs::{
@@ -84,6 +84,10 @@ pub struct HarnessConfig {
     /// `DIR/<instance>.drat` (implies nothing by itself; only used when
     /// `certify` is set).
     pub proof_dir: Option<String>,
+    /// With `--min-speedup X`, binaries that measure a sequential-vs-
+    /// portfolio speedup (currently `bench_json`) exit non-zero when the
+    /// overall speedup falls below `X` — the CI perf-smoke gate.
+    pub min_speedup: Option<f64>,
 }
 
 /// The quick default subset: small and medium instances from five of the
@@ -104,6 +108,7 @@ impl HarnessConfig {
             report: None,
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -147,6 +152,14 @@ impl HarnessConfig {
                     config.report = Some(path.clone());
                 }
                 "--certify" => config.certify = true,
+                "--min-speedup" => {
+                    i += 1;
+                    let min: f64 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--min-speedup needs a number"));
+                    config.min_speedup = Some(min);
+                }
                 "--proof" => {
                     i += 1;
                     let dir = args.get(i).unwrap_or_else(|| usage("--proof needs a directory"));
@@ -174,7 +187,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
-         [--jobs N] [--report PATH] [--certify] [--proof DIR]"
+         [--jobs N] [--report PATH] [--certify] [--proof DIR] [--min-speedup X]"
     );
     std::process::exit(2)
 }
@@ -405,9 +418,13 @@ pub fn run_certification(config: &HarnessConfig) {
     let mut failures = 0usize;
     for inst in config.build_instances() {
         // NU+SC speeds up the (untrusted) chi search; the certificate
-        // re-derives optimality on an SBP-free formula regardless.
-        let opts =
-            SolveOptions::new(config.k).with_sbp_mode(SbpMode::NuSc).with_budget(config.budget());
+        // re-derives optimality on an SBP-free formula regardless. With
+        // --jobs N (N > 1) both the search and the refutation race that
+        // many clause-sharing workers.
+        let opts = SolveOptions::new(config.k)
+            .with_sbp_mode(SbpMode::NuSc)
+            .with_budget(config.budget())
+            .with_parallelism(config.jobs);
         let (result, cert) = chromatic_number_certified(&inst.graph, &opts);
         let Some(cert) = cert else {
             let (lower, upper) = match result {
@@ -535,9 +552,10 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
         if let ColoringOutcome::Optimal { coloring, colors } = &solved.outcome {
             let claim =
                 ChromaticResult::Exact { chromatic_number: *colors, witness: coloring.clone() };
-            report.certificate = certify_result(&inst.graph, &claim, &config.budget())
-                .as_ref()
-                .map(certificate_stats);
+            report.certificate =
+                certify_result_parallel(&inst.graph, &claim, &config.budget(), config.jobs)
+                    .as_ref()
+                    .map(certificate_stats);
         }
     }
     report
@@ -629,6 +647,7 @@ pub fn write_report(config: &HarnessConfig, generator: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbgc_core::certify_result;
 
     #[test]
     fn quick_instances_exist_in_suite() {
@@ -669,6 +688,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -698,6 +718,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -716,6 +737,7 @@ mod tests {
             report: None,
             certify: true,
             proof_dir: None,
+            min_speedup: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -745,6 +767,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let inst = suite::build("queen6_6");
         let report = collect_run_report(&inst, &config);
@@ -766,6 +789,7 @@ mod tests {
             report: Some(path_str.clone()),
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let result = std::panic::catch_unwind(|| {
             let mut guard = ReportGuard::new(&path_str, "chaos", &config);
@@ -794,6 +818,7 @@ mod tests {
             report: Some(path_str.clone()),
             certify: false,
             proof_dir: None,
+            min_speedup: None,
         };
         let mut guard = ReportGuard::new(&path_str, "table9", &config);
         guard.push(RunReport::default());

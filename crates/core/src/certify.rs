@@ -23,9 +23,12 @@ use sbgc_formula::{Lit, PbFormula};
 use sbgc_graph::{Coloring, Graph};
 use sbgc_pb::Budget;
 use sbgc_proof::{
-    check_drat, DratProof, FileProofLogger, ProofLogger, SharedProof, TeeProofLogger,
+    check_drat, AddsOnlyProofLogger, DratProof, FileProofLogger, ProofLogger, SharedProof,
+    TeeProofLogger,
 };
-use sbgc_sat::{SatSolver, SolveOutcome};
+use sbgc_sat::{
+    CancelToken, RestartPolicy, SatSolver, SharedClausePool, SharingConfig, SolveOutcome,
+};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -127,6 +130,24 @@ pub fn certify_unsat_formula(
     formula: &PbFormula,
     budget: &Budget,
 ) -> (ProofStatus, Option<DratProof>) {
+    certify_unsat_formula_parallel(formula, budget, 1)
+}
+
+/// [`certify_unsat_formula`] racing `workers` diversified CDCL solvers
+/// with learned-clause sharing; the first definitive answer cancels the
+/// rest.
+///
+/// All workers log clause additions into one shared DRAT log through
+/// adds-only loggers, so the combined log stays checkable whichever
+/// worker wins — deletions are suppressed because one worker's deletion
+/// could strip a clause a peer's later addition resolves on, and RUP
+/// checking is monotone in the clause database. `workers ≤ 1` is
+/// exactly the sequential [`certify_unsat_formula`].
+pub fn certify_unsat_formula_parallel(
+    formula: &PbFormula,
+    budget: &Budget,
+    workers: usize,
+) -> (ProofStatus, Option<DratProof>) {
     if !formula.is_pure_cnf() {
         let status = ProofStatus::Unchecked {
             reason: format!(
@@ -138,7 +159,7 @@ pub fn certify_unsat_formula(
     }
     let clauses: Vec<Vec<Lit>> =
         formula.clauses().iter().map(|c| c.iter().copied().collect()).collect();
-    refute_and_check(formula.num_vars(), &clauses, budget)
+    refute_and_check(formula.num_vars(), &clauses, budget, workers)
 }
 
 /// Owns the archive logger behind a shared slot so it can be reclaimed
@@ -247,21 +268,67 @@ pub fn certify_unsat_formula_streamed<W: std::io::Write + Send + 'static>(
     (status, proof)
 }
 
+/// Applies the modern-CDCL diversification ladder to a certifying worker:
+/// worker 0 is the stock solver, further workers enable adaptive-LBD
+/// restarts, chronological backtracking, rephasing and tiered clause
+/// reduction in distinct combinations (the same ladder as
+/// [`sbgc_pb::portfolio_configs`]).
+fn diversify_certifier(solver: &mut SatSolver, index: usize) {
+    match index {
+        0 => {}
+        1 => {
+            solver.set_restart_policy(RestartPolicy::AdaptiveLbd { min_interval: 100 });
+            solver.set_chrono(true);
+            solver.set_rephase(true);
+            solver.set_tiered_reduce(true);
+        }
+        2 => {
+            solver.set_rephase(true);
+            solver.set_tiered_reduce(true);
+        }
+        3 => {
+            solver.set_restart_policy(RestartPolicy::AdaptiveLbd { min_interval: 50 });
+            solver.set_chrono(true);
+            solver.set_tiered_reduce(true);
+        }
+        _ => {
+            solver.set_restart_policy(RestartPolicy::Luby { base: 50 << ((index / 4).min(10)) });
+            solver.set_tiered_reduce(true);
+        }
+    }
+}
+
 /// Solves `clauses` expecting UNSAT, then replays the logged proof through
 /// the independent checker.
+///
+/// With `workers > 1` this races that many diversified solvers that share
+/// learned clauses through a [`SharedClausePool`]; the first definitive
+/// answer cancels the rest. The combined DRAT log stays checkable because
+/// every worker appends *additions only* (deletions are suppressed by
+/// [`AddsOnlyProofLogger`] — one worker's deletion could strip a clause a
+/// peer's later addition resolves on) into the same [`SharedProof`], an
+/// exporter logs its clause before publishing it to the pool, and an
+/// importer re-logs what it attaches: every addition is RUP with respect
+/// to the log prefix it lands after, whichever interleaving the race
+/// produces, and the checker stops at the first derived empty clause.
 fn refute_and_check(
     num_vars: usize,
     clauses: &[Vec<Lit>],
     budget: &Budget,
+    workers: usize,
 ) -> (ProofStatus, Option<DratProof>) {
     let shared = SharedProof::new();
-    let mut solver = SatSolver::new(num_vars);
-    solver.set_proof_logger(Box::new(shared.clone()));
-    for c in clauses {
-        solver.add_clause(c.iter().copied());
-    }
     let solve_start = Instant::now();
-    let outcome = solver.solve_with_budget(budget);
+    let outcome = if workers <= 1 {
+        let mut solver = SatSolver::new(num_vars);
+        solver.set_proof_logger(Box::new(shared.clone()));
+        for c in clauses {
+            solver.add_clause(c.iter().copied());
+        }
+        solver.solve_with_budget(budget)
+    } else {
+        race_refutation(num_vars, clauses, budget, workers, &shared)
+    };
     let solve_seconds = solve_start.elapsed().as_secs_f64();
     let proof = shared.take();
     match outcome {
@@ -294,6 +361,47 @@ fn refute_and_check(
     }
 }
 
+/// The racing half of [`refute_and_check`]: `workers` diversified solvers,
+/// one clause pool, adds-only proof logging into `shared`.
+fn race_refutation(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    budget: &Budget,
+    workers: usize,
+    shared: &SharedProof,
+) -> SolveOutcome {
+    let budget = budget.started();
+    let race = CancelToken::new();
+    let pool = SharedClausePool::new();
+    let first: Mutex<Option<SolveOutcome>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for index in 0..workers {
+            let worker_budget = budget.clone().with_cancel_token(race.clone());
+            let handle = pool.handle(index, SharingConfig::default());
+            let logger = AddsOnlyProofLogger::new(shared.clone());
+            let (race, first) = (&race, &first);
+            s.spawn(move || {
+                let mut solver = SatSolver::new(num_vars);
+                solver.set_proof_logger(Box::new(logger));
+                solver.set_sharing(handle);
+                diversify_certifier(&mut solver, index);
+                for c in clauses {
+                    solver.add_clause(c.iter().copied());
+                }
+                let out = solver.solve_with_budget(&worker_budget);
+                if matches!(out, SolveOutcome::Sat(_) | SolveOutcome::Unsat) {
+                    let mut w = first.lock().unwrap_or_else(PoisonError::into_inner);
+                    if w.is_none() {
+                        *w = Some(out);
+                        race.cancel();
+                    }
+                }
+            });
+        }
+    });
+    first.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or(SolveOutcome::Unknown)
+}
+
 /// Certifies an exact chromatic-number result.
 ///
 /// Returns `None` when `result` is only a bound (there is no optimum to
@@ -310,6 +418,18 @@ pub fn certify_result(
     result: &ChromaticResult,
     budget: &Budget,
 ) -> Option<OptimalityCertificate> {
+    certify_result_parallel(graph, result, budget, 1)
+}
+
+/// [`certify_result`] with the refutation raced across `workers`
+/// clause-sharing CDCL solvers (see [`certify_unsat_formula_parallel`]).
+/// `workers ≤ 1` is exactly the sequential [`certify_result`].
+pub fn certify_result_parallel(
+    graph: &Graph,
+    result: &ChromaticResult,
+    budget: &Budget,
+    workers: usize,
+) -> Option<OptimalityCertificate> {
     let (chi, witness) = match result {
         ChromaticResult::Exact { chromatic_number, witness } => (*chromatic_number, witness),
         ChromaticResult::Bounded { .. } => return None,
@@ -322,7 +442,7 @@ pub fn certify_result(
         (status, None)
     } else {
         let (num_vars, clauses) = cnf_decision_formula(graph, chi - 1);
-        match refute_and_check(num_vars, &clauses, budget) {
+        match refute_and_check(num_vars, &clauses, budget, workers) {
             (ProofStatus::Unchecked { reason }, p) if reason == "formula is satisfiable" => {
                 let error =
                     format!("graph is ({})-colorable — claimed χ = {chi} is not optimal", chi - 1);
@@ -343,7 +463,9 @@ pub fn certify_result(
 /// Computes the chromatic number and certifies it in one call.
 ///
 /// Runs [`chromatic_number`] with `options`, then [`certify_result`] under
-/// the same budget. The certificate is `None` exactly when the search only
+/// the same budget — raced across [`SolveOptions::portfolio_workers`]
+/// clause-sharing solvers when the options ask for a portfolio, sequential
+/// otherwise. The certificate is `None` exactly when the search only
 /// bounded χ.
 ///
 /// # Panics
@@ -355,7 +477,8 @@ pub fn chromatic_number_certified(
     options: &SolveOptions,
 ) -> (ChromaticResult, Option<OptimalityCertificate>) {
     let result = chromatic_number(graph, options);
-    let certificate = certify_result(graph, &result, &options.budget);
+    let workers = options.portfolio_workers().unwrap_or(1);
+    let certificate = certify_result_parallel(graph, &result, &options.budget, workers);
     (result, certificate)
 }
 
@@ -542,6 +665,57 @@ mod tests {
         let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
         assert!(matches!(status, ProofStatus::Unchecked { .. }), "{status}");
         assert!(proof.is_none());
+    }
+
+    #[test]
+    fn racing_certificate_checks_with_sharing() {
+        // Four diversified, clause-sharing workers append into one
+        // adds-only DRAT log; the interleaved proof must still replay
+        // through the independent checker, whichever worker won.
+        let f = unsat_cnf(&queens(5, 5), 4);
+        let (status, proof) = certify_unsat_formula_parallel(&f, &Budget::unlimited(), 4);
+        match status {
+            ProofStatus::Checked { adds, .. } => {
+                assert!(adds > 0, "a nontrivial refutation must contain lemmas");
+            }
+            other => panic!("expected Checked, got {other}"),
+        }
+        let proof = proof.expect("refutation");
+        assert_eq!(proof.num_deletes(), 0, "racing proofs are adds-only");
+    }
+
+    #[test]
+    fn racing_certificate_agrees_with_sequential() {
+        let f = unsat_cnf(&mycielski(3), 3);
+        for workers in [1, 2, 3] {
+            let (status, _) = certify_unsat_formula_parallel(&f, &Budget::unlimited(), workers);
+            assert!(matches!(status, ProofStatus::Checked { .. }), "workers={workers}: {status}");
+        }
+    }
+
+    #[test]
+    fn racing_sat_formula_stays_unchecked() {
+        // A satisfiable formula must come back "satisfiable", not a bogus
+        // refutation, no matter how many workers race it.
+        let f = unsat_cnf(&Graph::cycle(6), 3); // even cycle IS 3-colorable
+        let (status, proof) = certify_unsat_formula_parallel(&f, &Budget::unlimited(), 3);
+        match status {
+            ProofStatus::Unchecked { reason } => assert!(reason.contains("satisfiable")),
+            other => panic!("expected Unchecked, got {other}"),
+        }
+        assert!(proof.is_none());
+    }
+
+    #[test]
+    fn portfolio_options_race_the_certificate() {
+        // chromatic_number_certified with parallelism > 1 must route the
+        // refutation through the racing path and still certify.
+        let g = mycielski(3);
+        let opts = SolveOptions::new(6).with_parallelism(3);
+        let (result, cert) = chromatic_number_certified(&g, &opts);
+        assert_eq!(result.exact(), Some(4));
+        let cert = cert.expect("certificate");
+        assert!(cert.is_certified(), "{}", cert.unsat);
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub mod flow;
 pub mod sbp;
 
 pub use certify::{
-    certify_result, certify_unsat_formula, certify_unsat_formula_streamed,
-    chromatic_number_certified, OptimalityCertificate, ProofStatus,
+    certify_result, certify_result_parallel, certify_unsat_formula, certify_unsat_formula_parallel,
+    certify_unsat_formula_streamed, chromatic_number_certified, OptimalityCertificate, ProofStatus,
 };
 pub use chromatic::{
     chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,

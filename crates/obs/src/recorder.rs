@@ -72,11 +72,18 @@ pub enum Counter {
     /// Total literals across all learned clauses (divide by
     /// [`Counter::Learned`] for the mean learned-clause size).
     LearnedLiterals,
+    /// Sum of LBD (glue) values across all learned clauses (divide by
+    /// [`Counter::Learned`] for the mean glue).
+    LbdSum,
+    /// Learned clauses exported into the portfolio's shared clause pool.
+    Exported,
+    /// Clauses imported from the portfolio's shared clause pool.
+    Imported,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::Decisions,
         Counter::Conflicts,
         Counter::Propagations,
@@ -85,6 +92,9 @@ impl Counter {
         Counter::Deleted,
         Counter::PbConflicts,
         Counter::LearnedLiterals,
+        Counter::LbdSum,
+        Counter::Exported,
+        Counter::Imported,
     ];
 
     /// The snake_case name used in JSON reports.
@@ -98,6 +108,9 @@ impl Counter {
             Counter::Deleted => "deleted",
             Counter::PbConflicts => "pb_conflicts",
             Counter::LearnedLiterals => "learned_literals",
+            Counter::LbdSum => "lbd_sum",
+            Counter::Exported => "exported",
+            Counter::Imported => "imported",
         }
     }
 
@@ -111,6 +124,9 @@ impl Counter {
             Counter::Deleted => 5,
             Counter::PbConflicts => 6,
             Counter::LearnedLiterals => 7,
+            Counter::LbdSum => 8,
+            Counter::Exported => 9,
+            Counter::Imported => 10,
         }
     }
 }
@@ -122,7 +138,7 @@ impl fmt::Display for Counter {
 }
 
 /// A plain-data snapshot of the search counters (one solver run or one
-/// portfolio worker). The same eight quantities as [`Counter`], as struct
+/// portfolio worker). The same quantities as [`Counter`], as struct
 /// fields so they can be embedded in reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchCounters {
@@ -142,6 +158,12 @@ pub struct SearchCounters {
     pub pb_conflicts: u64,
     /// Total literals across all learned clauses.
     pub learned_literals: u64,
+    /// Sum of LBD (glue) values across all learned clauses.
+    pub lbd_sum: u64,
+    /// Learned clauses exported into the shared clause pool.
+    pub exported: u64,
+    /// Clauses imported from the shared clause pool.
+    pub imported: u64,
 }
 
 impl SearchCounters {
@@ -149,6 +171,12 @@ impl SearchCounters {
     /// clause.
     pub fn mean_learned_len(&self) -> Option<f64> {
         (self.learned > 0).then(|| self.learned_literals as f64 / self.learned as f64)
+    }
+
+    /// Mean LBD (glue) of learned clauses, or `None` before the first
+    /// learned clause.
+    pub fn mean_lbd(&self) -> Option<f64> {
+        (self.learned > 0).then(|| self.lbd_sum as f64 / self.learned as f64)
     }
 
     /// Reads the field corresponding to a [`Counter`].
@@ -162,6 +190,9 @@ impl SearchCounters {
             Counter::Deleted => self.deleted,
             Counter::PbConflicts => self.pb_conflicts,
             Counter::LearnedLiterals => self.learned_literals,
+            Counter::LbdSum => self.lbd_sum,
+            Counter::Exported => self.exported,
+            Counter::Imported => self.imported,
         }
     }
 }
@@ -307,6 +338,9 @@ impl Recorder {
             deleted: self.counter(Counter::Deleted),
             pb_conflicts: self.counter(Counter::PbConflicts),
             learned_literals: self.counter(Counter::LearnedLiterals),
+            lbd_sum: self.counter(Counter::LbdSum),
+            exported: self.counter(Counter::Exported),
+            imported: self.counter(Counter::Imported),
         }
     }
 

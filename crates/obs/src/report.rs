@@ -15,8 +15,11 @@ use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry}
 /// v2 added the optional `certificate` object (optimality-certificate
 /// status, proof size, and check time). v3 added `outcome.exhaust_reason`
 /// (which budget dimension stopped an undecided run) and the per-worker
-/// `failed` field (panic summary for workers that died mid-race).
-pub const SCHEMA_VERSION: u32 = 3;
+/// `failed` field (panic summary for workers that died mid-race). v4 added
+/// the clause-sharing counters `lbd_sum`, `exported` and `imported` plus
+/// the derived `mean_lbd` to every `search` object (run-level and
+/// per-worker).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -316,6 +319,10 @@ fn search_counters_json(s: &SearchCounters, indent: usize) -> String {
         Some(len) => o.float("mean_learned_len", len),
         None => o.raw("mean_learned_len", "null"),
     };
+    match s.mean_lbd() {
+        Some(lbd) => o.float("mean_lbd", lbd),
+        None => o.raw("mean_lbd", "null"),
+    };
     o.finish(indent)
 }
 
@@ -410,7 +417,9 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"exported\": 0"));
+        assert!(json.contains("\"mean_lbd\": null"));
         assert!(json.contains("\"grid\\\"3x3\""));
         assert!(json.contains("\"colors\": 2"));
         assert!(json.contains("\"certificate\": null"));

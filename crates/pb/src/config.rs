@@ -2,28 +2,17 @@
 
 use crate::explain::ExplainStrategy;
 
-/// Restart schedule for the CDCL-PB engine.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum RestartPolicy {
-    /// Luby sequence scaled by a base conflict count (modern default).
-    Luby {
-        /// Conflicts per Luby unit.
-        base: u64,
-    },
-    /// Geometric schedule: `first`, then `×factor` after each restart
-    /// (the scheme of early Chaff-era solvers).
-    Geometric {
-        /// Conflicts before the first restart.
-        first: u64,
-        /// Growth factor applied after each restart.
-        factor: f64,
-    },
-}
+// The restart schedule moved to `sbgc-sat` so both CDCL cores share the
+// same policy type; re-exported here so existing imports keep working.
+pub use sbgc_sat::RestartPolicy;
 
 /// Tunable parameters of the CDCL-PB engine.
 ///
 /// The named constructors reproduce the solver line-up of the paper's
-/// Tables 3–5; see [`SolverKind`].
+/// Tables 3–5; see [`SolverKind`]. The modern-CDCL knobs (`chrono`,
+/// `rephase`, `tiered_reduce`, adaptive restarts) all default *off* so the
+/// presets keep reproducing the paper's solvers; the portfolio turns them
+/// on per worker for diversification (see [`crate::portfolio_configs`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
     /// How PB conflicts/propagations are explained as clauses.
@@ -40,6 +29,16 @@ pub struct EngineConfig {
     /// breaks VSIDS ties differently, so portfolio workers running the same
     /// preset explore different parts of the search tree.
     pub seed: u64,
+    /// Chronological backtracking: after a conflict whose backjump would
+    /// discard more than a threshold of decision levels, step back just one
+    /// level instead (CaDiCaL-style).
+    pub chrono: bool,
+    /// Periodic rephasing of saved polarities (splr-style stabilization
+    /// schedule).
+    pub rephase: bool,
+    /// LBD-tiered learned-clause reduction: glue clauses (LBD ≤ 2) are
+    /// kept forever; the rest are ranked by (LBD, activity).
+    pub tiered_reduce: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +49,9 @@ impl Default for EngineConfig {
             restart: RestartPolicy::Luby { base: 100 },
             var_decay: 0.95,
             seed: 0,
+            chrono: false,
+            rephase: false,
+            tiered_reduce: false,
         }
     }
 }
@@ -135,8 +137,7 @@ impl SolverKind {
                 explain: ExplainStrategy::AllFalse,
                 phase_saving: false,
                 restart: RestartPolicy::Geometric { first: 100, factor: 1.5 },
-                var_decay: 0.95,
-                seed: 0,
+                ..EngineConfig::default()
             }),
             SolverKind::Cplex | SolverKind::Portfolio => None,
         }

@@ -5,8 +5,17 @@ use crate::explain::FalseTerm;
 use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder, SearchCounters};
 use sbgc_proof::ProofLogger;
-use sbgc_sat::{Budget, ExhaustReason, Luby, SolveOutcome};
+use sbgc_sat::{Budget, ExhaustReason, GlueEma, Luby, SharingHandle, SolveOutcome};
 use std::fmt;
+
+/// Backjumps discarding more than this many decision levels are replaced
+/// by a single chronological step when `EngineConfig::chrono` is on.
+const CHRONO_THRESHOLD: u32 = 100;
+/// Conflicts before the first rephase; the interval widens linearly.
+const REPHASE_BASE: u64 = 1000;
+/// Learned clauses at or below this LBD are never deleted by tiered
+/// reduction (the "core" tier).
+const CORE_LBD: u32 = 2;
 
 /// Search statistics of a [`PbEngine`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,6 +36,12 @@ pub struct PbStats {
     pub pb_conflicts: u64,
     /// Total literals across all learned clauses (after minimization).
     pub learned_literals: u64,
+    /// Sum of LBD (glue) values across all learned clauses.
+    pub lbd_sum: u64,
+    /// Learned clauses exported into the portfolio's shared clause pool.
+    pub exported: u64,
+    /// Clauses imported from the portfolio's shared clause pool.
+    pub imported: u64,
     /// Number of database-reduction (`reduce_db`) passes.
     pub reductions: u64,
     /// Number of dead clause slots physically reclaimed by arena
@@ -50,6 +65,9 @@ impl From<PbStats> for SearchCounters {
             deleted: s.deleted,
             pb_conflicts: s.pb_conflicts,
             learned_literals: s.learned_literals,
+            lbd_sum: s.lbd_sum,
+            exported: s.exported,
+            imported: s.imported,
         }
     }
 }
@@ -66,6 +84,9 @@ impl PbStats {
         recorder.add(Counter::Deleted, self.deleted - prev.deleted);
         recorder.add(Counter::PbConflicts, self.pb_conflicts - prev.pb_conflicts);
         recorder.add(Counter::LearnedLiterals, self.learned_literals - prev.learned_literals);
+        recorder.add(Counter::LbdSum, self.lbd_sum - prev.lbd_sum);
+        recorder.add(Counter::Exported, self.exported - prev.exported);
+        recorder.add(Counter::Imported, self.imported - prev.imported);
         self
     }
 }
@@ -92,6 +113,8 @@ struct StoredClause {
     learned: bool,
     deleted: bool,
     activity: f64,
+    /// LBD at learn/import time; 0 for original clauses.
+    lbd: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -237,6 +260,16 @@ pub struct PbEngine {
     seen: Vec<bool>,
     /// Assumption core of the last assumption-relative UNSAT answer.
     final_core: Vec<Lit>,
+    /// LBD trend tracker for `RestartPolicy::AdaptiveLbd`.
+    glue: GlueEma,
+    /// Portfolio clause-sharing handle; `None` for sequential solving.
+    sharing: Option<SharingHandle>,
+    /// Generation-stamped scratch for `compute_lbd` (indexed by level).
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
+    /// Conflict count at which the next rephase fires.
+    next_rephase: u64,
+    rephase_count: u64,
 }
 
 impl PbEngine {
@@ -272,6 +305,12 @@ impl PbEngine {
             proof: None,
             seen: vec![false; num_vars],
             final_core: Vec::new(),
+            glue: GlueEma::default(),
+            sharing: None,
+            lbd_stamp: vec![0; num_vars + 1],
+            lbd_gen: 0,
+            next_rephase: REPHASE_BASE,
+            rephase_count: 0,
         };
         engine.diversify();
         engine
@@ -353,6 +392,20 @@ impl PbEngine {
     /// historical tombstone-only behavior.
     pub fn set_compaction(&mut self, compact: bool) {
         self.compact = compact;
+    }
+
+    /// Attaches a portfolio clause-sharing handle. Good learned clauses
+    /// are exported through it and peer clauses are imported at solve
+    /// start and at every restart (root level only — the hot loop never
+    /// touches the pool's lock).
+    ///
+    /// Imported clauses are re-logged through the attached [`ProofLogger`]
+    /// as DRAT additions. That is sound when every worker in the race logs
+    /// into the *same* shared, adds-only log: the exporter's addition
+    /// precedes the importer's re-log (the pool mutex orders them), so the
+    /// duplicate add is trivially RUP.
+    pub fn set_sharing(&mut self, handle: SharingHandle) {
+        self.sharing = Some(handle);
     }
 
     /// Overrides the learned-clause limit that triggers database
@@ -528,8 +581,24 @@ impl PbEngine {
         self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
         self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
         self.arena_bytes += Self::clause_bytes(&lits);
-        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
+        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0, lbd: 0 });
         cref
+    }
+
+    /// LBD ("literals block distance", glue): the number of distinct
+    /// nonzero decision levels among the clause's literals. Computed with
+    /// a generation-stamped scratch array, O(len) per clause.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if lvl != 0 && self.lbd_stamp[lvl] != self.lbd_gen {
+                self.lbd_stamp[lvl] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        lbd.max(1)
     }
 
     fn enqueue(&mut self, l: Lit, reason: Reason) {
@@ -745,16 +814,20 @@ impl PbEngine {
 
     /// First-UIP conflict analysis; returns the learned clause (asserting
     /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: Reason) -> (Vec<Lit>, u32) {
+    ///
+    /// Takes the conflict's literals already materialized (see
+    /// [`PbEngine::reason_lits`]) — the caller must build them *before*
+    /// any chronological pre-backtrack, because PB explanations are
+    /// computed from the assignment at conflict time.
+    fn analyze(&mut self, conflict_lits: Vec<Lit>) -> (Vec<Lit>, u32) {
         let current = self.decision_level();
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)];
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut reason = conflict;
+        let mut lits = conflict_lits;
 
         loop {
-            let lits = self.reason_lits(reason, p);
             for &q in &lits {
                 if p == Some(q) {
                     continue;
@@ -784,7 +857,7 @@ impl PbEngine {
             if counter == 0 {
                 break;
             }
-            reason = self.reason[v];
+            lits = self.reason_lits(self.reason[v], p);
         }
         learnt[0] = !p.expect("asserting literal");
 
@@ -833,18 +906,31 @@ impl PbEngine {
     }
 
     fn reduce_db(&mut self) {
+        // Tiered mode protects the "core" tier (glue clauses, LBD ≤ 2)
+        // from deletion entirely and ranks the rest worst-first by
+        // (LBD desc, activity asc); classic mode is pure activity.
+        let tiered = self.config.tiered_reduce;
         let mut candidates: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| {
                 let c = &self.clauses[i];
-                c.learned && !c.deleted && c.lits.len() > 2
+                c.learned && !c.deleted && c.lits.len() > 2 && !(tiered && c.lbd <= CORE_LBD)
             })
             .collect();
-        candidates.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        if tiered {
+            candidates.sort_by(|&a, &b| {
+                let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+                cb.lbd.cmp(&ca.lbd).then(
+                    ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+        } else {
+            candidates.sort_by(|&a, &b| {
+                self.clauses[a]
+                    .activity
+                    .partial_cmp(&self.clauses[b].activity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
         let locked: std::collections::HashSet<u32> = self
             .trail
             .iter()
@@ -939,6 +1025,80 @@ impl PbEngine {
         }
     }
 
+    /// Drains the shared pool at a root-level boundary (solve start or
+    /// restart), attaching every peer clause. No-op without a sharing
+    /// handle or when the generation stamp shows nothing new.
+    ///
+    /// Sound for mixed CNF+PB inputs because every worker in a race solves
+    /// the *identical* formula: a peer's learned clause is entailed by
+    /// that formula even when its derivation resolved on PB explanations.
+    fn import_shared(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let batch = match self.sharing.as_mut() {
+            Some(h) if h.has_new() => h.take_new(),
+            _ => return,
+        };
+        for (lits, lbd) in batch {
+            if !self.ok {
+                return;
+            }
+            self.import_clause(lits, lbd);
+        }
+    }
+
+    /// Attaches one imported clause at the root level: satisfied clauses
+    /// are skipped, root-falsified literals stripped, units enqueued and
+    /// propagated. The (possibly strengthened) clause is logged as a DRAT
+    /// addition — see [`PbEngine::set_sharing`] for why that is sound.
+    fn import_clause(&mut self, mut lits: Vec<Lit>, lbd: u32) {
+        if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
+            return;
+        }
+        lits.retain(|&l| self.lit_value(l) != VarValue::False);
+        self.stats.imported += 1;
+        self.proof_add(&lits);
+        match lits.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(lits[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.proof_add(&[]);
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(lits, true);
+                self.clauses[cref as usize].lbd = lbd;
+            }
+        }
+    }
+
+    /// Rephasing schedule (splr/CaDiCaL style): at widening conflict
+    /// intervals, rotate through inverting all saved phases, resetting
+    /// them to the default polarity, and leaving them untouched (a
+    /// stabilization window). Runs at restarts, where flipping phases is
+    /// free.
+    fn maybe_rephase(&mut self) {
+        if !self.config.rephase || self.stats.conflicts < self.next_rephase {
+            return;
+        }
+        self.rephase_count += 1;
+        self.next_rephase = self.stats.conflicts + REPHASE_BASE * self.rephase_count;
+        match self.rephase_count % 3 {
+            1 => {
+                for p in &mut self.saved_phase {
+                    *p = !*p;
+                }
+            }
+            2 => {
+                for p in &mut self.saved_phase {
+                    *p = false;
+                }
+            }
+            _ => {} // stabilize: keep the phases the search settled on
+        }
+    }
+
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.heap.pop_max(&self.activity) {
             if self.values[v] == VarValue::Undef {
@@ -950,21 +1110,7 @@ impl PbEngine {
     }
 
     fn next_restart_limit(&self, restarts: u64, luby: &mut Luby) -> u64 {
-        match self.config.restart {
-            RestartPolicy::Luby { base } => luby.next().unwrap_or(1) * base,
-            RestartPolicy::Geometric { first, factor } => {
-                // The geometric limit overflows f64→u64 range after a few
-                // hundred restarts; clamp explicitly to u64::MAX (and clamp
-                // the exponent, which would wrap the i32 cast long before).
-                let exponent = restarts.min(i32::MAX as u64) as i32;
-                let limit = first as f64 * factor.powi(exponent);
-                if limit.is_finite() && limit < u64::MAX as f64 {
-                    limit as u64
-                } else {
-                    u64::MAX
-                }
-            }
-        }
+        self.config.restart.next_limit(restarts, luby)
     }
 
     /// Runs the search under `budget` and unit *assumptions*: the
@@ -1055,6 +1201,11 @@ impl PbEngine {
             self.ok = false;
             return SolveOutcome::Unsat;
         }
+        // Pick up everything peers learned before this solve began.
+        self.import_shared();
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
         for v in 0..self.num_vars {
             if self.values[v] == VarValue::Undef {
                 self.heap.insert(v, &self.activity);
@@ -1076,8 +1227,48 @@ impl PbEngine {
                     self.ok = false;
                     return SolveOutcome::Unsat;
                 }
-                let (learnt, bt) = self.analyze(confl);
+                // Materialize the conflict's literals *before* any
+                // chronological pre-backtrack: PB conflict explanations
+                // are computed from the assignment at conflict time.
+                let confl_lits = self.reason_lits(confl, None);
+                if self.config.chrono {
+                    // Guard for out-of-order trails: if the conflict has
+                    // no literal at the current level, undo the levels
+                    // above its maximum before analyzing.
+                    let maxl =
+                        confl_lits.iter().map(|l| self.level[l.var().index()]).max().unwrap_or(0);
+                    if maxl == 0 {
+                        self.proof_add(&[]);
+                        self.ok = false;
+                        return SolveOutcome::Unsat;
+                    }
+                    if maxl < self.decision_level() {
+                        self.backtrack_to(maxl);
+                    }
+                }
+                let (learnt, bt) = self.analyze(confl_lits);
+                let lbd = self.compute_lbd(&learnt);
+                self.glue.observe(lbd);
+                self.stats.lbd_sum += lbd as u64;
                 self.proof_add(&learnt);
+                if let Some(h) = self.sharing.as_ref() {
+                    if h.export(&learnt, lbd) {
+                        self.stats.exported += 1;
+                    }
+                }
+                // Chronological backtracking: a deep backjump discards a
+                // still-consistent partial assignment; step back a single
+                // level instead and keep it (the learned clause is unit
+                // there too — its asserting literal was the only one at
+                // the conflict level).
+                let bt = if self.config.chrono
+                    && learnt.len() > 1
+                    && self.decision_level() - bt > CHRONO_THRESHOLD
+                {
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
                 self.stats.learned_literals += learnt.len() as u64;
@@ -1086,6 +1277,7 @@ impl PbEngine {
                 } else {
                     let asserting = learnt[0];
                     let cref = self.attach_clause(learnt, true);
+                    self.clauses[cref as usize].lbd = lbd;
                     self.bump_clause(cref as usize);
                     self.enqueue(asserting, Reason::Clause(cref));
                 }
@@ -1112,10 +1304,27 @@ impl PbEngine {
                 }
             } else {
                 if conflicts_until_restart == 0 {
-                    self.stats.restarts += 1;
-                    conflicts_until_restart =
-                        self.next_restart_limit(self.stats.restarts, &mut luby);
-                    self.backtrack_to(0);
+                    // Adaptive mode restarts only when the glue trend says
+                    // the search degraded; fixed schedules always restart.
+                    let fire = match self.config.restart {
+                        RestartPolicy::AdaptiveLbd { .. } => self.glue.restart_indicated(),
+                        _ => true,
+                    };
+                    if fire {
+                        self.stats.restarts += 1;
+                        conflicts_until_restart =
+                            self.next_restart_limit(self.stats.restarts, &mut luby);
+                        self.backtrack_to(0);
+                        self.glue.restarted();
+                        self.import_shared();
+                        self.maybe_rephase();
+                        if !self.ok {
+                            return SolveOutcome::Unsat;
+                        }
+                    } else {
+                        // Re-check the trend after a short stride.
+                        conflicts_until_restart = 8;
+                    }
                 }
                 let live = (self.stats.learned - self.stats.deleted) as f64;
                 if live >= self.max_learnts {
@@ -1431,6 +1640,110 @@ mod tests {
         let proof = shared.take();
         assert!(proof.num_adds() > 0);
         sbgc_proof::check_drat(n, &clauses, &proof).expect("engine proof must check");
+    }
+
+    /// Mixed CNF+PB pigeonhole (UNSAT), the engine's hardest small case.
+    fn mixed_pigeonhole(holes: usize) -> PbFormula {
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(pigeons * holes);
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            f.add_exactly_one(&row);
+        }
+        for h in 0..holes {
+            let col: Vec<Lit> = (0..pigeons).map(|p| var(p, h).positive()).collect();
+            f.add_at_most_one(&col);
+        }
+        f
+    }
+
+    #[test]
+    fn modern_knobs_preserve_answers() {
+        let unsat = mixed_pigeonhole(4);
+        let mut sat = PbFormula::new();
+        let lits: Vec<Lit> = sat.new_vars(6).into_iter().map(Var::positive).collect();
+        sat.add_pb(PbConstraint::at_least(
+            [(2, lits[0]), (3, lits[1]), (1, lits[2]), (2, lits[3])],
+            4,
+        ));
+        sat.add_at_most_one(&[lits[0], lits[4]]);
+        sat.add_clause([!lits[1], lits[5]]);
+        let policies = [
+            RestartPolicy::Luby { base: 8 },
+            RestartPolicy::Geometric { first: 8, factor: 1.5 },
+            RestartPolicy::AdaptiveLbd { min_interval: 16 },
+        ];
+        for &restart in &policies {
+            for &(chrono, rephase, tiered) in
+                &[(true, false, false), (false, true, true), (true, true, true)]
+            {
+                let config = EngineConfig {
+                    restart,
+                    chrono,
+                    rephase,
+                    tiered_reduce: tiered,
+                    ..EngineConfig::default()
+                };
+                let mut e = PbEngine::from_formula(&unsat, config);
+                e.set_max_learnts(20.0);
+                assert!(e.solve().is_unsat(), "{restart:?} chrono={chrono} tiered={tiered}");
+                e.check_invariants();
+                let mut e = PbEngine::from_formula(&sat, config);
+                match e.solve() {
+                    SolveOutcome::Sat(m) => assert!(sat.is_satisfied_by(&m), "{restart:?}"),
+                    other => panic!("expected SAT with {restart:?}, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_relays_clauses_between_engines() {
+        use sbgc_sat::{SharedClausePool, SharingConfig};
+        let f = mixed_pigeonhole(4);
+        let pool = SharedClausePool::new();
+        let mut a = PbEngine::from_formula(&f, EngineConfig::default());
+        a.set_sharing(pool.handle(0, SharingConfig::default()));
+        assert!(a.solve().is_unsat());
+        assert!(a.stats().exported > 0, "refutation must export glue clauses");
+        assert_eq!(a.stats().imported, 0, "nothing to import from an empty pool");
+        // A second engine starting later sees A's full history at solve
+        // start and must still reach the same answer.
+        let mut b = PbEngine::from_formula(&f, EngineConfig::default());
+        b.set_sharing(pool.handle(1, SharingConfig::default()));
+        assert!(b.solve().is_unsat());
+        assert!(b.stats().imported > 0, "peer clauses must be imported");
+        b.check_invariants();
+    }
+
+    #[test]
+    fn imported_clauses_are_drat_logged_and_check() {
+        use sbgc_proof::{AddsOnlyProofLogger, SharedProof};
+        use sbgc_sat::{SharedClausePool, SharingConfig};
+        let (n, clauses) = clausal_pigeonhole(4);
+        let pool = SharedClausePool::new();
+        let shared = SharedProof::new();
+        // Worker A refutes and exports; worker B imports A's clauses and
+        // re-logs them. Both log additions into ONE shared log (deletions
+        // suppressed), so the combined proof must check.
+        for source in 0..2 {
+            let mut e = PbEngine::new(n, EngineConfig::default());
+            e.set_proof_logger(Box::new(AddsOnlyProofLogger::new(shared.clone())));
+            e.set_sharing(pool.handle(source, SharingConfig::default()));
+            for c in &clauses {
+                e.add_clause(c.iter().copied());
+            }
+            assert!(e.solve().is_unsat());
+            if source == 1 {
+                assert!(e.stats().imported > 0, "second worker must import");
+            }
+        }
+        let proof = shared.take();
+        assert_eq!(proof.num_deletes(), 0);
+        sbgc_proof::check_drat(n, &clauses, &proof)
+            .expect("proof with imported clauses must check");
     }
 
     #[test]

@@ -61,4 +61,7 @@ pub use portfolio::{
 };
 
 pub use sbgc_obs::{FaultPlan, Recorder, WorkerTelemetry};
-pub use sbgc_sat::{Budget, CancelToken, ExhaustReason, SolveOutcome};
+pub use sbgc_sat::{
+    Budget, CancelToken, ExhaustReason, SharedClausePool, SharingConfig, SharingHandle,
+    SolveOutcome,
+};

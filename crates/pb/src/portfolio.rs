@@ -21,6 +21,18 @@
 //! Everything is built on `std::thread::scope` — no dependencies beyond
 //! `std`.
 //!
+//! # Learned-clause sharing
+//!
+//! Workers in one race cooperate, not just compete: every race creates a
+//! [`SharedClausePool`] and hands each worker a [`SharingHandle`], so
+//! learned clauses that pass the glue filter (low LBD, short — see
+//! [`SharingConfig`]) are exported to the pool and imported by every peer
+//! at its next restart. Import happens only at restart boundaries, where
+//! the trail is at the root level anyway, which keeps the propagation hot
+//! loop free of locks (see `docs/DESIGN.md` §4f). The `*_instrumented`
+//! entry points accept `Option<SharingConfig>` so tests can race with
+//! sharing disabled; the production wrappers always share.
+//!
 //! # Fault tolerance
 //!
 //! Each worker body runs under [`std::panic::catch_unwind`]: a panicking
@@ -34,12 +46,12 @@
 //! [`FaultPlan`] accepted by the `*_instrumented` entry points exists to
 //! test exactly this machinery (see `docs/ROBUSTNESS.md`).
 
-use crate::config::{EngineConfig, SolverKind};
+use crate::config::{EngineConfig, RestartPolicy, SolverKind};
 use crate::engine::{PbEngine, PbStats};
 use crate::optimize::OptOutcome;
 use sbgc_formula::{Assignment, PbConstraint, PbFormula};
 use sbgc_obs::{FaultPlan, Recorder, SearchCounters, WorkerTelemetry};
-use sbgc_sat::{Budget, CancelToken, SolveOutcome};
+use sbgc_sat::{Budget, CancelToken, SharedClausePool, SharingConfig, SolveOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -131,20 +143,47 @@ fn add_stats(total: &mut PbStats, s: PbStats) {
     total.deleted += s.deleted;
     total.pb_conflicts += s.pb_conflicts;
     total.learned_literals += s.learned_literals;
+    total.lbd_sum += s.lbd_sum;
+    total.exported += s.exported;
+    total.imported += s.imported;
     // Keep the first exhaustion reason any worker reported; a decided race
     // clears it at the end (the answer supersedes the losers' exhaustion).
     total.exhaust = total.exhaust.or(s.exhaust);
 }
 
 /// Human-readable label of a worker configuration: the preset name when
-/// the config matches one of the named [`SolverKind`]s, plus the seed.
+/// the config matches one of the named [`SolverKind`]s, plus suffixes for
+/// the modern-CDCL knobs layered on top of it, plus the seed — e.g.
+/// `"Galena +adaptive-restarts +chrono +tiered (seed 1)"`.
 fn config_label(config: &EngineConfig) -> String {
     const NAMED: [SolverKind; 4] =
         [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy];
-    let base = config.with_seed(0);
     for kind in NAMED {
-        if kind.engine_config() == Some(base) {
-            return format!("{} (seed {})", kind.display_name(), config.seed);
+        let preset = kind.engine_config().expect("named kinds are CDCL");
+        let mut probe = config.with_seed(0);
+        let mut flags = String::new();
+        if probe.restart != preset.restart {
+            match probe.restart {
+                RestartPolicy::Luby { base } => flags.push_str(&format!(" +luby{base}")),
+                RestartPolicy::Geometric { first, .. } => flags.push_str(&format!(" +geo{first}")),
+                RestartPolicy::AdaptiveLbd { .. } => flags.push_str(" +adaptive-restarts"),
+            }
+            probe.restart = preset.restart;
+        }
+        if probe.chrono {
+            flags.push_str(" +chrono");
+            probe.chrono = false;
+        }
+        if probe.rephase {
+            flags.push_str(" +rephase");
+            probe.rephase = false;
+        }
+        if probe.tiered_reduce {
+            flags.push_str(" +tiered");
+            probe.tiered_reduce = false;
+        }
+        if probe == preset {
+            return format!("{}{} (seed {})", kind.display_name(), flags, config.seed);
         }
     }
     format!("{config:?}")
@@ -175,19 +214,53 @@ impl CancelMark {
 ///
 /// Worker 0 is the plain PBS II preset with seed 0 — *identical* to the
 /// sequential default — so a 1-worker portfolio explores exactly the
-/// sequential search tree. Further workers cycle through the Galena,
-/// Pueblo and legacy-PBS presets (three explanation strategies × two
-/// restart/phase policies) and carry their worker index as the
-/// diversification seed, which deterministically perturbs initial phases
-/// and VSIDS tie-breaking. No wall-clock randomness anywhere: the same
-/// `n` always yields the same portfolio.
+/// sequential search tree. Further workers cycle through the legacy-PBS,
+/// Pueblo and Galena presets (three explanation strategies) and layer
+/// modern-CDCL knobs on top for diversification: adaptive-LBD restarts,
+/// chronological backtracking, rephasing and tiered clause-database
+/// reduction, in distinct combinations per worker. The ladder is ordered
+/// by distance from worker 0's plain PBS II — worker 1 is the *most*
+/// different (legacy-PBS explanations, no phase saving, every modern
+/// knob on), so a narrow 2-worker portfolio on a small host already
+/// spans the extremes of the configuration space. Workers past the
+/// first cycle vary the Luby restart base instead, doubling it every
+/// lap. Every worker carries its index as the diversification seed,
+/// which deterministically perturbs initial phases and VSIDS
+/// tie-breaking. No wall-clock randomness anywhere: the same `n` always
+/// yields the same portfolio.
 pub fn portfolio_configs(n: usize) -> Vec<EngineConfig> {
     const CYCLE: [SolverKind; 4] =
-        [SolverKind::PbsII, SolverKind::Galena, SolverKind::Pueblo, SolverKind::PbsLegacy];
+        [SolverKind::PbsII, SolverKind::PbsLegacy, SolverKind::Pueblo, SolverKind::Galena];
     (0..n.max(1))
         .map(|i| {
             let kind = CYCLE[i % CYCLE.len()];
-            kind.engine_config().expect("CDCL kind").with_seed(i as u64)
+            let mut c = kind.engine_config().expect("CDCL kind").with_seed(i as u64);
+            match i {
+                // The sequential twin stays byte-identical to the preset.
+                0 => {}
+                1 => {
+                    c.restart = RestartPolicy::AdaptiveLbd { min_interval: 100 };
+                    c.chrono = true;
+                    c.rephase = true;
+                    c.tiered_reduce = true;
+                }
+                2 => {
+                    c.rephase = true;
+                    c.tiered_reduce = true;
+                }
+                3 => {
+                    c.restart = RestartPolicy::AdaptiveLbd { min_interval: 50 };
+                    c.chrono = true;
+                    c.tiered_reduce = true;
+                }
+                _ => {
+                    // Later laps re-run the preset cycle with a doubled Luby
+                    // base per lap and the tiered clause database.
+                    c.restart = RestartPolicy::Luby { base: 50 << ((i / 4).min(10)) };
+                    c.tiered_reduce = true;
+                }
+            }
+            c
         })
         .collect()
 }
@@ -247,14 +320,23 @@ pub fn solve_portfolio_recorded(
     budget: &Budget,
     recorder: &Recorder,
 ) -> Result<PortfolioOutcome, PortfolioError> {
-    solve_portfolio_instrumented(formula, configs, budget, recorder, None)
+    solve_portfolio_instrumented(
+        formula,
+        configs,
+        budget,
+        recorder,
+        None,
+        Some(SharingConfig::default()),
+    )
 }
 
-/// [`solve_portfolio_recorded`] plus deterministic fault injection: when
-/// `fault` schedules a panic for a worker, that worker's solve is capped
-/// at the scheduled conflict count and then panics — exercising the
-/// panic-isolation path on purpose. Production callers pass `None`, which
-/// injects nothing.
+/// [`solve_portfolio_recorded`] plus deterministic fault injection and a
+/// sharing override: when `fault` schedules a panic for a worker, that
+/// worker's solve is capped at the scheduled conflict count and then
+/// panics — exercising the panic-isolation path on purpose. `sharing`
+/// selects the learned-clause export filter (`None` disables clause
+/// sharing entirely, for A/B tests). Production callers pass `None` for
+/// `fault` and `Some(SharingConfig::default())` for `sharing`.
 ///
 /// # Errors
 ///
@@ -265,6 +347,7 @@ pub fn solve_portfolio_instrumented(
     budget: &Budget,
     recorder: &Recorder,
     fault: Option<&FaultPlan>,
+    sharing: Option<SharingConfig>,
 ) -> Result<PortfolioOutcome, PortfolioError> {
     if configs.is_empty() {
         return Err(PortfolioError::NoWorkers);
@@ -272,6 +355,7 @@ pub fn solve_portfolio_instrumented(
     let budget = budget.started();
     let race = CancelToken::new();
     let cancel_mark = CancelMark::new();
+    let pool = SharedClausePool::new();
     let winner: Mutex<Option<(usize, SolveOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
     let failed = AtomicUsize::new(0);
@@ -279,6 +363,7 @@ pub fn solve_portfolio_instrumented(
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
+            let sharing_handle = sharing.map(|cfg| pool.handle(index, cfg));
             let (race, winner, stats, cancel_mark, failed) =
                 (&race, &winner, &stats, &cancel_mark, &failed);
             s.spawn(move || {
@@ -291,6 +376,9 @@ pub fn solve_portfolio_instrumented(
                     };
                     let mut engine = PbEngine::from_formula(formula, config);
                     engine.set_recorder(recorder.clone());
+                    if let Some(handle) = sharing_handle {
+                        engine.set_sharing(handle);
+                    }
                     let out = engine.solve_with_budget(&worker_budget);
                     if let Some(n) = injected {
                         panic!("injected fault: worker {index} panicked after {n} conflicts");
@@ -421,10 +509,13 @@ fn strengthen(
 /// (UNSAT with no cut) cancels the rest. If the budget runs out first, the
 /// best shared incumbent is returned as `Feasible`.
 ///
-/// Soundness of the UNSAT-under-cut case: every cut `obj ≤ c` is derived
-/// from a genuine model of value `c + 1` (local or shared), so the shared
-/// bound is ≤ `c + 1` when the cut exists; UNSAT proves no model of value
-/// ≤ `c` exists, so the shared bound is exactly `c + 1` and optimal.
+/// Soundness of the UNSAT case: every clause in every worker's database —
+/// including clauses imported from peers via the shared pool — is entailed
+/// by the formula plus the tightest objective cut any worker ever held,
+/// and every cut is backed by a genuine incumbent model. A refutation
+/// therefore proves the shared incumbent optimal; with no incumbent it
+/// proves the formula infeasible (see
+/// [`optimize_portfolio_instrumented`] for the full argument).
 ///
 /// # Errors
 ///
@@ -453,11 +544,31 @@ pub fn optimize_portfolio_recorded(
     budget: &Budget,
     recorder: &Recorder,
 ) -> Result<PortfolioOptOutcome, PortfolioError> {
-    optimize_portfolio_instrumented(formula, configs, budget, recorder, None)
+    optimize_portfolio_instrumented(
+        formula,
+        configs,
+        budget,
+        recorder,
+        None,
+        Some(SharingConfig::default()),
+    )
 }
 
-/// [`optimize_portfolio_recorded`] plus deterministic fault injection
-/// (see [`solve_portfolio_instrumented`]). Production callers pass `None`.
+/// [`optimize_portfolio_recorded`] plus deterministic fault injection and
+/// a sharing override (see [`solve_portfolio_instrumented`]). Production
+/// callers pass `None` for `fault` and `Some(SharingConfig::default())`
+/// for `sharing`.
+///
+/// Clause sharing stays sound across the iterated-strengthening loop even
+/// though workers transiently carry *different* objective cuts. Every cut
+/// anywhere is `obj ≤ b − 1` for some published incumbent bound `b`, and
+/// the bound only decreases, so every clause in every database is entailed
+/// by `formula ∧ (obj ≤ bound − 1)` for the *current* shared bound. A
+/// refutation therefore proves the incumbent optimal — and is read that
+/// way (the UNSAT branch consults the incumbent, not just the local cut).
+/// Only when no incumbent was ever published (hence no cut ever existed
+/// and all shared clauses are formula-entailed) does UNSAT mean
+/// infeasible.
 ///
 /// # Errors
 ///
@@ -469,6 +580,7 @@ pub fn optimize_portfolio_instrumented(
     budget: &Budget,
     recorder: &Recorder,
     fault: Option<&FaultPlan>,
+    sharing: Option<SharingConfig>,
 ) -> Result<PortfolioOptOutcome, PortfolioError> {
     if configs.is_empty() {
         return Err(PortfolioError::NoWorkers);
@@ -478,6 +590,7 @@ pub fn optimize_portfolio_instrumented(
     let race = CancelToken::new();
     let cancel_mark = CancelMark::new();
     let incumbent = Incumbent::new();
+    let pool = SharedClausePool::new();
     let winner: Mutex<Option<(usize, OptOutcome)>> = Mutex::new(None);
     let stats: Mutex<PbStats> = Mutex::new(PbStats::default());
     let failed = AtomicUsize::new(0);
@@ -485,6 +598,7 @@ pub fn optimize_portfolio_instrumented(
     std::thread::scope(|s| {
         for (index, &config) in configs.iter().enumerate() {
             let worker_budget = budget.clone().with_cancel_token(race.clone());
+            let sharing_handle = sharing.map(|cfg| pool.handle(index, cfg));
             let (race, winner, stats, incumbent, objective, cancel_mark, failed) =
                 (&race, &winner, &stats, &incumbent, &objective, &cancel_mark, &failed);
             s.spawn(move || {
@@ -497,6 +611,9 @@ pub fn optimize_portfolio_instrumented(
                     };
                     let mut engine = PbEngine::from_formula(formula, config);
                     engine.set_recorder(recorder.clone());
+                    if let Some(handle) = sharing_handle {
+                        engine.set_sharing(handle);
+                    }
                     // Tightest objective cut this worker's engine carries.
                     let mut local_cut: Option<u64> = None;
                     let decided = loop {
@@ -523,15 +640,20 @@ pub fn optimize_portfolio_instrumented(
                                 strengthen(&mut engine, objective, &mut local_cut, value - 1);
                             }
                             SolveOutcome::Unsat => {
-                                break Some(match local_cut {
+                                // Consult the incumbent *at refutation time*:
+                                // imported clauses are entailed by the formula
+                                // plus the tightest cut any peer ever held
+                                // (obj ≤ bound − 1), so this refutation proves
+                                // no model of value ≤ bound − 1 exists — the
+                                // incumbent (value = bound) is optimal. With
+                                // no incumbent anywhere, no cut ever existed,
+                                // every clause in every database is entailed
+                                // by the formula alone, and the formula is
+                                // genuinely infeasible.
+                                break Some(match incumbent.snapshot() {
                                     None => OptOutcome::Infeasible,
-                                    Some(cut) => {
-                                        // No model of value ≤ cut exists, and a
-                                        // model of value cut + 1 is in the
-                                        // incumbent (see the update protocol).
-                                        let (value, model) =
-                                            incumbent.snapshot().expect("cut implies an incumbent");
-                                        debug_assert_eq!(value, cut + 1);
+                                    Some((value, model)) => {
+                                        debug_assert!(local_cut.is_none_or(|c| value <= c + 1));
                                         OptOutcome::Optimal { value, model }
                                     }
                                 });
@@ -741,12 +863,20 @@ mod tests {
     }
 
     #[test]
-    fn config_labels_name_the_presets() {
-        let labels: Vec<String> = portfolio_configs(4).iter().map(config_label).collect();
+    fn config_labels_name_the_presets_and_knobs() {
+        let labels: Vec<String> = portfolio_configs(6).iter().map(config_label).collect();
         assert_eq!(labels[0], "PBS II (seed 0)");
-        assert_eq!(labels[1], "Galena (seed 1)");
-        assert_eq!(labels[2], "Pueblo (seed 2)");
-        assert_eq!(labels[3], "PBS (seed 3)");
+        assert_eq!(labels[1], "PBS +adaptive-restarts +chrono +rephase +tiered (seed 1)");
+        assert_eq!(labels[2], "Pueblo +rephase +tiered (seed 2)");
+        assert_eq!(labels[3], "Galena +adaptive-restarts +chrono +tiered (seed 3)");
+        // Lap 2: preset cycle again, Luby base doubled, tiered reduction.
+        assert_eq!(labels[4], "PBS II +tiered (seed 4)");
+        assert_eq!(labels[5], "PBS +luby100 +tiered (seed 5)");
+        // Plain presets keep their plain labels.
+        assert_eq!(
+            config_label(&SolverKind::Pueblo.engine_config().expect("cdcl").with_seed(7)),
+            "Pueblo (seed 7)"
+        );
     }
 
     #[test]
@@ -772,6 +902,7 @@ mod tests {
             &Budget::unlimited(),
             &rec,
             Some(&plan),
+            Some(SharingConfig::default()),
         )
         .expect("non-empty portfolio");
         match out.outcome {
@@ -800,6 +931,7 @@ mod tests {
             &Budget::unlimited(),
             &Recorder::disabled(),
             Some(&plan),
+            Some(SharingConfig::default()),
         )
         .expect("non-empty portfolio");
         assert!(matches!(out.outcome, SolveOutcome::Sat(_)));
@@ -817,10 +949,123 @@ mod tests {
             &Budget::unlimited(),
             &Recorder::disabled(),
             Some(&plan),
+            Some(SharingConfig::default()),
         )
         .expect("non-empty portfolio");
         assert!(matches!(out.outcome, OptOutcome::Unknown | OptOutcome::Feasible { .. }));
         assert_eq!(out.failed_workers, 1);
         assert!(out.winner.is_none());
+    }
+
+    /// Clausal pigeonhole PHP(holes + 1, holes): UNSAT, with enough
+    /// conflicts for workers to actually learn and exchange clauses.
+    fn pigeonhole(holes: usize) -> PbFormula {
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let x: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| f.new_vars(holes).into_iter().map(Var::positive).collect())
+            .collect();
+        for p in &x {
+            f.add_clause(p.iter().copied());
+        }
+        for p in 0..pigeons {
+            for q in p + 1..pigeons {
+                for (&ph, &qh) in x[p].iter().zip(&x[q]) {
+                    f.add_clause([!ph, !qh]);
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn sharing_on_and_off_agree() {
+        // Same race, sharing enabled vs disabled, must reach the same
+        // answers — clause exchange is an accelerator, never a semantics
+        // change. One UNSAT and one SAT decision instance, plus the
+        // optimization race.
+        let unsat = pigeonhole(4);
+        let sat = covering();
+        for sharing in [None, Some(SharingConfig::default())] {
+            let out = solve_portfolio_instrumented(
+                &unsat,
+                &portfolio_configs(3),
+                &Budget::unlimited(),
+                &Recorder::disabled(),
+                None,
+                sharing,
+            )
+            .expect("non-empty portfolio");
+            assert!(matches!(out.outcome, SolveOutcome::Unsat), "sharing={sharing:?}");
+            if sharing.is_none() {
+                assert_eq!(out.stats.exported, 0, "disabled sharing must not export");
+                assert_eq!(out.stats.imported, 0, "disabled sharing must not import");
+            }
+
+            let out = solve_portfolio_instrumented(
+                &sat,
+                &portfolio_configs(3),
+                &Budget::unlimited(),
+                &Recorder::disabled(),
+                None,
+                sharing,
+            )
+            .expect("non-empty portfolio");
+            assert!(matches!(out.outcome, SolveOutcome::Sat(_)), "sharing={sharing:?}");
+
+            let out = optimize_portfolio_instrumented(
+                &sat,
+                &portfolio_configs(3),
+                &Budget::unlimited(),
+                &Recorder::disabled(),
+                None,
+                sharing,
+            )
+            .expect("non-empty portfolio");
+            match out.outcome {
+                OptOutcome::Optimal { value, .. } => assert_eq!(value, 2, "sharing={sharing:?}"),
+                ref other => panic!("sharing={sharing:?}: expected optimal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_race_exchanges_clauses() {
+        // On a conflict-rich UNSAT instance the race must actually use the
+        // pool: someone exports, someone imports, and the summed stats
+        // surface both so telemetry can report sharing traffic.
+        let f = pigeonhole(5);
+        let rec = Recorder::new();
+        let out = solve_portfolio_recorded(&f, &portfolio_configs(4), &Budget::unlimited(), &rec)
+            .expect("non-empty portfolio");
+        assert!(matches!(out.outcome, SolveOutcome::Unsat));
+        assert!(out.stats.exported > 0, "no worker exported a glue clause");
+        // Imports are likely but racy (the winner may finish before peers
+        // restart); the counters must at least be plumbed through.
+        assert_eq!(rec.counter(sbgc_obs::Counter::Exported), out.stats.exported);
+        assert_eq!(rec.counter(sbgc_obs::Counter::Imported), out.stats.imported);
+    }
+
+    #[test]
+    fn worker_panic_does_not_poison_the_shared_pool() {
+        // Kill one worker after a handful of conflicts — after it has had
+        // the chance to export — with sharing enabled: the pool must stay
+        // usable and the survivors must still refute the instance.
+        let f = pigeonhole(4);
+        let rec = Recorder::new();
+        let plan = FaultPlan::new(3).with_worker_panic(1, 5);
+        let out = solve_portfolio_instrumented(
+            &f,
+            &portfolio_configs(3),
+            &Budget::unlimited(),
+            &rec,
+            Some(&plan),
+            Some(SharingConfig::default()),
+        )
+        .expect("non-empty portfolio");
+        assert!(matches!(out.outcome, SolveOutcome::Unsat), "survivors must refute");
+        assert_eq!(out.failed_workers, 1);
+        let (winner_index, _) = out.winner.expect("a survivor won");
+        assert_ne!(winner_index, 1, "the dead worker cannot win");
     }
 }

@@ -277,6 +277,39 @@ impl<A: ProofLogger, B: ProofLogger> ProofLogger for TeeProofLogger<A, B> {
     }
 }
 
+/// Forwards clause additions and *suppresses deletions* — the logging
+/// discipline for clause-sharing portfolio races.
+///
+/// When several workers log into one shared proof, additions compose
+/// soundly: RUP is monotone in the clause database, so a clause derivable
+/// from one worker's database is derivable from the union the checker
+/// replays, and an importer's re-log of an exporter's clause is a
+/// duplicate addition (trivially RUP — the pool mutex orders the
+/// exporter's add before the importer's). Deletions do **not** compose: a
+/// worker deleting a clause from *its* database would strip a clause that
+/// a peer's later addition still resolves on, making a sound run fail the
+/// check (or trip the checker's missing-deletion error for clauses the
+/// log never saw added by *this* worker). Dropping deletions keeps the
+/// merged log a valid, if larger, DRAT proof.
+pub struct AddsOnlyProofLogger<L: ProofLogger> {
+    inner: L,
+}
+
+impl<L: ProofLogger> AddsOnlyProofLogger<L> {
+    /// Wraps a sink; only `log_add` calls reach it.
+    pub fn new(inner: L) -> Self {
+        AddsOnlyProofLogger { inner }
+    }
+}
+
+impl<L: ProofLogger> ProofLogger for AddsOnlyProofLogger<L> {
+    fn log_add(&mut self, lits: &[Lit]) {
+        self.inner.log_add(lits);
+    }
+
+    fn log_delete(&mut self, _lits: &[Lit]) {}
+}
+
 /// A file-backed logger streaming textual DRAT to any writer; pair with
 /// [`DratProof::from_dimacs`] to re-load.
 ///
@@ -493,6 +526,18 @@ mod tests {
         let bytes = logger.into_inner();
         assert_eq!(String::from_utf8(bytes).unwrap(), "1 0\n");
         assert!(flag.get().unwrap().contains("injected"));
+    }
+
+    #[test]
+    fn adds_only_logger_drops_deletions() {
+        let shared = SharedProof::new();
+        let mut sink = AddsOnlyProofLogger::new(shared.clone());
+        sink.log_add(&[lit(0, false), lit(1, true)]);
+        sink.log_delete(&[lit(0, false), lit(1, true)]);
+        sink.log_add(&[]);
+        let proof = shared.take();
+        assert_eq!(proof.num_adds(), 2);
+        assert_eq!(proof.num_deletes(), 0);
     }
 
     #[test]

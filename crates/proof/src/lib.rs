@@ -43,6 +43,6 @@ mod drat;
 
 pub use checker::{check_drat, CheckError, CheckStats};
 pub use drat::{
-    dimacs_cnf, DratProof, FileProofLogger, ProofErrorFlag, ProofLogger, ProofStep, SharedProof,
-    TeeProofLogger,
+    dimacs_cnf, AddsOnlyProofLogger, DratProof, FileProofLogger, ProofErrorFlag, ProofLogger,
+    ProofStep, SharedProof, TeeProofLogger,
 };

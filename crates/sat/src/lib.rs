@@ -6,11 +6,17 @@
 //!
 //! * two-watched-literal Boolean constraint propagation,
 //! * first-UIP conflict analysis with clause learning and non-chronological
-//!   backjumping,
+//!   backjumping (optionally chronological for deep jumps, à la recent
+//!   CDCL solvers),
 //! * VSIDS (variable state independent decaying sum) decision heuristic,
-//! * phase saving,
-//! * Luby-sequence restarts, and
-//! * activity-based learned-clause database reduction.
+//! * phase saving with an optional rephasing schedule,
+//! * configurable restarts (Luby, geometric, or LBD-adaptive — see
+//!   [`RestartPolicy`]), and
+//! * learned-clause database reduction, by activity or by LBD tiering.
+//!
+//! For parallel portfolios the solver can exchange learned clauses with
+//! peers through a [`SharedClausePool`] (see the [`sharing`] module docs
+//! for the locking discipline).
 //!
 //! It solves pure-CNF decision problems; the mixed CNF+PB optimization
 //! engine lives in `sbgc-pb` and shares the same architecture.
@@ -44,8 +50,12 @@ mod budget;
 mod heap;
 mod luby;
 pub mod naive;
+mod restart;
+pub mod sharing;
 mod solver;
 
 pub use budget::{Budget, CancelToken, ExhaustReason};
 pub use luby::Luby;
+pub use restart::{GlueEma, RestartPolicy};
+pub use sharing::{SharedClausePool, SharingConfig, SharingHandle};
 pub use solver::{SatSolver, SolveOutcome, SolverStats};

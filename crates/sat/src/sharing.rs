@@ -1,0 +1,252 @@
+//! Lock-minimal learned-clause exchange between portfolio workers.
+//!
+//! Workers racing on the same formula export their best learned clauses
+//! (filtered by LBD and length) into a [`SharedClausePool`] and import
+//! everything their peers published since the last look. The design keeps
+//! locking entirely out of the propagation loop:
+//!
+//! * the pool is an append-only `Vec` behind one mutex, plus an atomic
+//!   *generation stamp* — the number of clauses published so far;
+//! * exporting takes the lock once per exported clause (a rare event:
+//!   exports are filtered to glue clauses, a small fraction of conflicts);
+//! * importing happens only at restart boundaries and at solve start,
+//!   where the trail is at the root level anyway. Between restarts a
+//!   worker's only interaction with the pool is the lock-free
+//!   [`SharingHandle::has_new`] stamp read;
+//! * each [`SharingHandle`] remembers its cursor into the append-only log
+//!   and its own source index, so it never re-imports its own exports and
+//!   never sees a clause twice.
+//!
+//! Poisoning: a worker that panics while holding the pool lock (fault
+//! injection does exactly this) must not take the race down with it, so
+//! every lock acquisition recovers the guard from a `PoisonError` — the
+//! pool's state is an append-only list plus a stamp that is updated while
+//! the lock is held, so a half-completed export is at worst a published
+//! clause with a stale stamp, which the next export republishes.
+
+use sbgc_formula::Lit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Export filter: which learned clauses are worth telling peers about.
+///
+/// Glucose-family sharing keeps only *glue* clauses — low LBD, short —
+/// because import costs every peer propagation work forever after.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharingConfig {
+    /// Maximum LBD (number of distinct decision levels) of an exported
+    /// clause.
+    pub max_lbd: u32,
+    /// Maximum length of an exported clause.
+    pub max_len: usize,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        SharingConfig { max_lbd: 6, max_len: 30 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SharedClause {
+    lits: Arc<[Lit]>,
+    lbd: u32,
+    source: usize,
+}
+
+/// The shared clause store of one portfolio race.
+///
+/// Create one per race with [`SharedClausePool::new`], then hand each
+/// worker a [`SharingHandle`] via [`SharedClausePool::handle`].
+#[derive(Debug, Default)]
+pub struct SharedClausePool {
+    clauses: Mutex<Vec<SharedClause>>,
+    /// Number of clauses published, updated under the lock and read
+    /// without it: `Release` store / `Acquire` load pairs make the clause
+    /// data visible to any reader that observed the new count.
+    published: AtomicUsize,
+    exported: AtomicU64,
+    imported: AtomicU64,
+}
+
+fn lock_tolerant<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedClausePool {
+    /// A fresh, empty pool behind an [`Arc`] (handles keep it alive).
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedClausePool::default())
+    }
+
+    /// A worker handle. `source` must be unique per worker in the race —
+    /// it is how a worker's own exports are skipped on import.
+    pub fn handle(self: &Arc<Self>, source: usize, config: SharingConfig) -> SharingHandle {
+        SharingHandle { pool: Arc::clone(self), config, source, cursor: 0 }
+    }
+
+    /// Number of clauses published so far (all workers).
+    pub fn len(&self) -> usize {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// `true` when nothing has been exported yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total clauses exported into the pool.
+    pub fn total_exported(&self) -> u64 {
+        self.exported.load(Ordering::Relaxed)
+    }
+
+    /// Total clause imports served (one per clause per importing worker).
+    pub fn total_imported(&self) -> u64 {
+        self.imported.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's view of a [`SharedClausePool`].
+#[derive(Debug)]
+pub struct SharingHandle {
+    pool: Arc<SharedClausePool>,
+    config: SharingConfig,
+    source: usize,
+    cursor: usize,
+}
+
+impl SharingHandle {
+    /// Offers a learned clause to peers. Returns `true` if it passed the
+    /// export filter and was published.
+    pub fn export(&self, lits: &[Lit], lbd: u32) -> bool {
+        if lits.is_empty() || lits.len() > self.config.max_len || lbd > self.config.max_lbd {
+            return false;
+        }
+        {
+            let mut pool = lock_tolerant(&self.pool.clauses);
+            pool.push(SharedClause { lits: lits.into(), lbd, source: self.source });
+            self.pool.published.store(pool.len(), Ordering::Release);
+        }
+        self.pool.exported.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Lock-free check for unseen clauses — the only pool interaction a
+    /// worker performs outside restart boundaries.
+    pub fn has_new(&self) -> bool {
+        self.pool.published.load(Ordering::Acquire) > self.cursor
+    }
+
+    /// Drains every clause published since the last call, skipping this
+    /// worker's own exports. The lock is held only to clone `Arc` handles;
+    /// literal buffers are materialized outside it.
+    pub fn take_new(&mut self) -> Vec<(Vec<Lit>, u32)> {
+        let batch: Vec<SharedClause> = {
+            let pool = lock_tolerant(&self.pool.clauses);
+            let from = self.cursor.min(pool.len());
+            self.cursor = pool.len();
+            pool[from..].iter().filter(|c| c.source != self.source).cloned().collect()
+        };
+        self.pool.imported.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        batch.into_iter().map(|c| (c.lits.to_vec(), c.lbd)).collect()
+    }
+
+    /// The export filter this handle applies.
+    pub fn config(&self) -> SharingConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_formula::Var;
+
+    fn lit(i: usize, neg: bool) -> Lit {
+        Var::from_index(i).lit(neg)
+    }
+
+    #[test]
+    fn export_then_import_roundtrip() {
+        let pool = SharedClausePool::new();
+        let a = pool.handle(0, SharingConfig::default());
+        let mut b = pool.handle(1, SharingConfig::default());
+        assert!(!b.has_new());
+        let clause = vec![lit(0, false), lit(1, true)];
+        assert!(a.export(&clause, 2));
+        assert!(b.has_new());
+        let got = b.take_new();
+        assert_eq!(got, vec![(clause, 2)]);
+        assert!(!b.has_new(), "a clause is served once");
+        assert_eq!(pool.total_exported(), 1);
+        assert_eq!(pool.total_imported(), 1);
+    }
+
+    #[test]
+    fn own_exports_are_skipped() {
+        let pool = SharedClausePool::new();
+        let mut a = pool.handle(0, SharingConfig::default());
+        assert!(a.export(&[lit(0, false)], 1));
+        // The stamp moved, so has_new fires, but the drain yields nothing.
+        assert!(a.has_new());
+        assert!(a.take_new().is_empty());
+        assert!(!a.has_new());
+    }
+
+    #[test]
+    fn filter_rejects_fat_and_high_glue_clauses() {
+        let pool = SharedClausePool::new();
+        let h = pool.handle(0, SharingConfig { max_lbd: 3, max_len: 2 });
+        assert!(!h.export(&[lit(0, false), lit(1, false), lit(2, false)], 2), "too long");
+        assert!(!h.export(&[lit(0, false), lit(1, false)], 4), "glue too high");
+        assert!(!h.export(&[], 0), "empty clauses are never shared");
+        assert!(h.export(&[lit(0, false), lit(1, false)], 3));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn late_joiner_sees_full_history() {
+        let pool = SharedClausePool::new();
+        let a = pool.handle(0, SharingConfig::default());
+        for i in 0..5 {
+            assert!(a.export(&[lit(i, false)], 1));
+        }
+        let mut b = pool.handle(1, SharingConfig::default());
+        assert_eq!(b.take_new().len(), 5);
+    }
+
+    #[test]
+    fn poisoned_pool_stays_usable() {
+        let pool = SharedClausePool::new();
+        let poisoner = Arc::clone(&pool);
+        // Panic while holding the pool lock, poisoning the mutex.
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.clauses.lock().unwrap();
+            panic!("injected panic mid-export");
+        })
+        .join();
+        assert!(pool.clauses.is_poisoned());
+        let a = pool.handle(0, SharingConfig::default());
+        let mut b = pool.handle(1, SharingConfig::default());
+        assert!(a.export(&[lit(0, false), lit(1, false)], 2), "export must survive poison");
+        assert_eq!(b.take_new().len(), 1, "import must survive poison");
+    }
+
+    #[test]
+    fn concurrent_exports_are_all_delivered() {
+        let pool = SharedClausePool::new();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let h = pool.handle(w, SharingConfig::default());
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        assert!(h.export(&[lit(i % 8, false), lit((i + 1) % 8, true)], 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 400);
+        let mut reader = pool.handle(9, SharingConfig::default());
+        assert_eq!(reader.take_new().len(), 400);
+    }
+}

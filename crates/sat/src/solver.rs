@@ -3,6 +3,8 @@
 use crate::budget::{Budget, ExhaustReason};
 use crate::heap::ActivityHeap;
 use crate::luby::Luby;
+use crate::restart::{GlueEma, RestartPolicy};
+use crate::sharing::SharingHandle;
 use sbgc_formula::{Assignment, Lit, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder};
 use sbgc_proof::ProofLogger;
@@ -69,6 +71,14 @@ pub struct SolverStats {
     /// Number of dead clause slots physically reclaimed by arena
     /// compaction (see [`SatSolver::set_compaction`]).
     pub reclaimed: u64,
+    /// Sum of LBD (glue) values over all learned clauses; divide by
+    /// [`learned`](SolverStats::learned) for the mean glue.
+    pub lbd_sum: u64,
+    /// Learned clauses published to the shared pool (after the LBD/length
+    /// export filter). Zero without [`SatSolver::set_sharing`].
+    pub exported: u64,
+    /// Clauses imported from portfolio peers and attached to the database.
+    pub imported: u64,
     /// Why the most recent budgeted solve stopped early, if it did.
     /// `None` after a definitive SAT/UNSAT answer (and before any solve).
     /// Unlike the counters above this is a status, not a monotone count;
@@ -88,11 +98,26 @@ impl SolverStats {
         recorder.add(Counter::Learned, self.learned - prev.learned);
         recorder.add(Counter::Deleted, self.deleted - prev.deleted);
         recorder.add(Counter::LearnedLiterals, self.learned_literals - prev.learned_literals);
+        recorder.add(Counter::LbdSum, self.lbd_sum - prev.lbd_sum);
+        recorder.add(Counter::Exported, self.exported - prev.exported);
+        recorder.add(Counter::Imported, self.imported - prev.imported);
         self
     }
 }
 
 const NO_REASON: u32 = u32::MAX;
+
+/// Deep backjumps beyond this many levels are replaced by a single-level
+/// chronological step when [`SatSolver::set_chrono`] is on (the threshold
+/// CaDiCaL ships with).
+const CHRONO_THRESHOLD: u32 = 100;
+
+/// Conflicts before the first rephasing; the gap grows linearly after.
+const REPHASE_BASE: u64 = 1000;
+
+/// Learned clauses with LBD at or below this are "core" under tiered
+/// reduction and never deleted.
+const CORE_LBD: u32 = 2;
 
 #[derive(Clone, Debug)]
 struct StoredClause {
@@ -100,6 +125,8 @@ struct StoredClause {
     learned: bool,
     deleted: bool,
     activity: f64,
+    /// LBD at learn/import time; 0 for original clauses.
+    lbd: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +180,19 @@ pub struct SatSolver {
     proof: Option<Box<dyn ProofLogger>>,
     // scratch for analyze
     seen: Vec<bool>,
+    restart: RestartPolicy,
+    chrono: bool,
+    rephase: bool,
+    tiered_reduce: bool,
+    glue: GlueEma,
+    sharing: Option<SharingHandle>,
+    // Level-stamping scratch for LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
+    // Conflict count that triggers the next rephasing, and how many have
+    // happened (drives the invert/reset/stabilize rotation).
+    next_rephase: u64,
+    rephase_count: u64,
 }
 
 impl SatSolver {
@@ -182,6 +222,16 @@ impl SatSolver {
             flushed: SolverStats::default(),
             proof: None,
             seen: vec![false; num_vars],
+            restart: RestartPolicy::Luby { base: 100 },
+            chrono: false,
+            rephase: false,
+            tiered_reduce: false,
+            glue: GlueEma::default(),
+            sharing: None,
+            lbd_stamp: vec![0; num_vars + 1],
+            lbd_gen: 0,
+            next_rephase: REPHASE_BASE,
+            rephase_count: 0,
         }
     }
 
@@ -274,6 +324,50 @@ impl SatSolver {
         self.max_learnts = max_learnts;
     }
 
+    /// Sets the restart schedule (default: `Luby { base: 100 }`). The
+    /// portfolio diversifies workers by handing each a different policy.
+    pub fn set_restart_policy(&mut self, policy: RestartPolicy) {
+        self.restart = policy;
+    }
+
+    /// Enables chronological backtracking: conflicts whose analysis would
+    /// jump back more than a threshold number of levels instead step back
+    /// a single level, keeping the (still consistent) partial assignment
+    /// below. Off by default.
+    pub fn set_chrono(&mut self, on: bool) {
+        self.chrono = on;
+    }
+
+    /// Enables the rephasing schedule: at widening conflict intervals the
+    /// saved phases are inverted, reset to the default polarity, or left
+    /// alone for a stabilization window. Off by default.
+    pub fn set_rephase(&mut self, on: bool) {
+        self.rephase = on;
+    }
+
+    /// Switches database reduction from pure activity ranking to LBD
+    /// tiering: clauses with LBD ≤ 2 are core and never deleted, the rest
+    /// are ranked worst-first by (LBD, activity). Off by default.
+    pub fn set_tiered_reduce(&mut self, on: bool) {
+        self.tiered_reduce = on;
+    }
+
+    /// Attaches a handle to a portfolio clause pool. Learned clauses that
+    /// pass the handle's export filter are published; peer clauses are
+    /// imported at solve start and at every restart (the trail is at the
+    /// root level there, so imports attach without propagation-loop
+    /// locking).
+    ///
+    /// When a [`ProofLogger`] is also attached, imported clauses are
+    /// logged as DRAT additions. That is sound only when every worker in
+    /// the race logs additions into the *same* shared log (each import
+    /// then duplicates an addition already present, which is trivially
+    /// RUP) — the arrangement `sbgc-core`'s certificate layer sets up with
+    /// adds-only loggers over one `SharedProof`.
+    pub fn set_sharing(&mut self, handle: SharingHandle) {
+        self.sharing = Some(handle);
+    }
+
     /// Total `StoredClause` slots in the arena, live or tombstoned.
     /// With compaction enabled this tracks [`SatSolver::live_clauses`].
     pub fn arena_clauses(&self) -> usize {
@@ -357,8 +451,24 @@ impl SatSolver {
         self.watches[lits[0].code()].push(Watcher { clause: cref, blocker: lits[1] });
         self.watches[lits[1].code()].push(Watcher { clause: cref, blocker: lits[0] });
         self.arena_bytes += Self::clause_bytes(&lits);
-        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0 });
+        self.clauses.push(StoredClause { lits, learned, deleted: false, activity: 0.0, lbd: 0 });
         cref
+    }
+
+    /// LBD ("literals block distance", glue): the number of distinct
+    /// nonzero decision levels among the clause's literals. Computed with
+    /// a generation-stamped scratch array, O(len) per clause.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if lvl != 0 && self.lbd_stamp[lvl] != self.lbd_gen {
+                self.lbd_stamp[lvl] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        lbd.max(1)
     }
 
     #[inline]
@@ -596,19 +706,33 @@ impl SatSolver {
     }
 
     fn reduce_db(&mut self) {
-        // Collect learned, non-reason clauses sorted by activity.
+        // Collect learned, non-reason deletion candidates. Under tiered
+        // reduction, core clauses (LBD ≤ 2) are exempt: a glue-2 clause
+        // links two decision levels and stays useful for the whole run.
+        let tiered = self.tiered_reduce;
         let mut candidates: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| {
                 let c = &self.clauses[i];
-                c.learned && !c.deleted && c.lits.len() > 2
+                c.learned && !c.deleted && c.lits.len() > 2 && !(tiered && c.lbd <= CORE_LBD)
             })
             .collect();
-        candidates.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        if tiered {
+            // Worst first: highest LBD, ties broken by lowest activity.
+            candidates.sort_by(|&a, &b| {
+                let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+                cb.lbd.cmp(&ca.lbd).then(
+                    ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+        } else {
+            // Classic MiniSat ranking: lowest activity first.
+            candidates.sort_by(|&a, &b| {
+                self.clauses[a]
+                    .activity
+                    .partial_cmp(&self.clauses[b].activity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
         let locked: std::collections::HashSet<u32> = self
             .trail
             .iter()
@@ -701,6 +825,76 @@ impl SatSolver {
         }
     }
 
+    /// Drains the shared pool at a root-level boundary (solve start or
+    /// restart), attaching every peer clause. No-op without a sharing
+    /// handle or when the generation stamp shows nothing new.
+    fn import_shared(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let batch = match self.sharing.as_mut() {
+            Some(h) if h.has_new() => h.take_new(),
+            _ => return,
+        };
+        for (lits, lbd) in batch {
+            if !self.ok {
+                return;
+            }
+            self.import_clause(lits, lbd);
+        }
+    }
+
+    /// Attaches one imported clause at the root level: satisfied clauses
+    /// are skipped, root-falsified literals stripped, units enqueued and
+    /// propagated. The (possibly strengthened) clause is logged as a DRAT
+    /// addition — see [`SatSolver::set_sharing`] for why that is sound.
+    fn import_clause(&mut self, mut lits: Vec<Lit>, lbd: u32) {
+        if lits.iter().any(|&l| self.lit_value(l) == VarValue::True) {
+            return;
+        }
+        lits.retain(|&l| self.lit_value(l) != VarValue::False);
+        self.stats.imported += 1;
+        self.proof_add(&lits);
+        match lits.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(lits[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.proof_add(&[]);
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(lits, true);
+                self.clauses[cref as usize].lbd = lbd;
+            }
+        }
+    }
+
+    /// Rephasing schedule (splr/CaDiCaL style): at widening conflict
+    /// intervals, rotate through inverting all saved phases, resetting
+    /// them to the default polarity, and leaving them untouched (a
+    /// stabilization window). Runs at restarts, where flipping phases is
+    /// free.
+    fn maybe_rephase(&mut self) {
+        if !self.rephase || self.stats.conflicts < self.next_rephase {
+            return;
+        }
+        self.rephase_count += 1;
+        self.next_rephase = self.stats.conflicts + REPHASE_BASE * self.rephase_count;
+        match self.rephase_count % 3 {
+            1 => {
+                for p in &mut self.saved_phase {
+                    *p = !*p;
+                }
+            }
+            2 => {
+                for p in &mut self.saved_phase {
+                    *p = false;
+                }
+            }
+            _ => {} // stabilize: keep the phases the search settled on
+        }
+    }
+
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.heap.pop_max(&self.activity) {
             if self.values[v] == VarValue::Undef {
@@ -754,6 +948,11 @@ impl SatSolver {
             self.ok = false;
             return SolveOutcome::Unsat;
         }
+        // Pick up everything peers learned before this solve began.
+        self.import_shared();
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
         // (Re)fill the order heap.
         for v in 0..self.num_vars {
             if self.values[v] == VarValue::Undef {
@@ -764,8 +963,8 @@ impl SatSolver {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
         }
         let mut luby = Luby::new();
-        let restart_base: u64 = 100;
-        let mut conflicts_until_restart = luby.next().unwrap_or(1) * restart_base;
+        let policy = self.restart;
+        let mut conflicts_until_restart = policy.next_limit(0, &mut luby);
         let mut budget_check = 0u32;
 
         loop {
@@ -777,8 +976,48 @@ impl SatSolver {
                     self.ok = false;
                     return SolveOutcome::Unsat;
                 }
+                if self.chrono {
+                    // Guard for out-of-order trails: if the conflict clause
+                    // has no literal at the current level, undo the levels
+                    // above its maximum before analyzing.
+                    let maxl = self.clauses[confl as usize]
+                        .lits
+                        .iter()
+                        .map(|l| self.level[l.var().index()])
+                        .max()
+                        .unwrap_or(0);
+                    if maxl == 0 {
+                        self.proof_add(&[]);
+                        self.ok = false;
+                        return SolveOutcome::Unsat;
+                    }
+                    if maxl < self.decision_level() {
+                        self.backtrack_to(maxl);
+                    }
+                }
                 let (learnt, bt) = self.analyze(confl);
+                let lbd = self.compute_lbd(&learnt);
+                self.glue.observe(lbd);
+                self.stats.lbd_sum += lbd as u64;
                 self.proof_add(&learnt);
+                if let Some(h) = self.sharing.as_ref() {
+                    if h.export(&learnt, lbd) {
+                        self.stats.exported += 1;
+                    }
+                }
+                // Chronological backtracking: a deep backjump discards a
+                // still-consistent partial assignment; step back a single
+                // level instead and keep it (the learned clause is unit
+                // there too — its asserting literal was the only one at
+                // the conflict level).
+                let bt = if self.chrono
+                    && learnt.len() > 1
+                    && self.decision_level() - bt > CHRONO_THRESHOLD
+                {
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
                 self.backtrack_to(bt);
                 self.stats.learned += 1;
                 self.stats.learned_literals += learnt.len() as u64;
@@ -787,6 +1026,7 @@ impl SatSolver {
                 } else {
                     let asserting = learnt[0];
                     let cref = self.attach_clause(learnt, true);
+                    self.clauses[cref as usize].lbd = lbd;
                     self.bump_clause(cref as usize);
                     self.enqueue(asserting, cref);
                 }
@@ -813,9 +1053,26 @@ impl SatSolver {
                 }
             } else {
                 if conflicts_until_restart == 0 {
-                    self.stats.restarts += 1;
-                    conflicts_until_restart = luby.next().unwrap_or(1) * restart_base;
-                    self.backtrack_to(0);
+                    // Adaptive mode restarts only when the glue trend says
+                    // the search degraded; fixed schedules always restart.
+                    let fire = match policy {
+                        RestartPolicy::AdaptiveLbd { .. } => self.glue.restart_indicated(),
+                        _ => true,
+                    };
+                    if fire {
+                        self.stats.restarts += 1;
+                        conflicts_until_restart = policy.next_limit(self.stats.restarts, &mut luby);
+                        self.backtrack_to(0);
+                        self.glue.restarted();
+                        self.import_shared();
+                        self.maybe_rephase();
+                        if !self.ok {
+                            return SolveOutcome::Unsat;
+                        }
+                    } else {
+                        // Re-check the trend after a short stride.
+                        conflicts_until_restart = 8;
+                    }
                 }
                 let learned_live = (self.stats.learned - self.stats.deleted) as f64;
                 if learned_live >= self.max_learnts {
@@ -1092,5 +1349,128 @@ mod tests {
         let st = s.stats();
         assert!(st.conflicts > 0);
         assert!(st.propagations > 0);
+    }
+
+    #[test]
+    fn lbd_is_tracked_for_learned_clauses() {
+        let f = pigeonhole(5);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        assert!(s.solve().is_unsat());
+        let st = s.stats();
+        assert!(st.learned > 0);
+        assert!(st.lbd_sum >= st.learned, "every learned clause has LBD >= 1");
+        assert!(st.lbd_sum <= st.learned_literals, "LBD never exceeds clause length");
+    }
+
+    #[test]
+    fn modern_knobs_preserve_answers() {
+        // Every combination of the modern machinery must agree with the
+        // baseline on both polarities.
+        let configs = [(false, false, false), (true, false, false), (true, true, true)];
+        for (chrono, rephase, tiered) in configs {
+            for policy in [
+                RestartPolicy::Luby { base: 32 },
+                RestartPolicy::Geometric { first: 50, factor: 1.3 },
+                RestartPolicy::AdaptiveLbd { min_interval: 16 },
+            ] {
+                let f = pigeonhole(5);
+                let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+                s.set_chrono(chrono);
+                s.set_rephase(rephase);
+                s.set_tiered_reduce(tiered);
+                s.set_restart_policy(policy);
+                assert!(s.solve().is_unsat(), "{policy:?} chrono={chrono}");
+                s.check_invariants();
+
+                let mut sat = SatSolver::new(4);
+                sat.set_chrono(chrono);
+                sat.set_rephase(rephase);
+                sat.set_tiered_reduce(tiered);
+                sat.set_restart_policy(policy);
+                sat.add_clause([lit(0, false), lit(1, false)]);
+                sat.add_clause([lit(0, true), lit(2, false)]);
+                sat.add_clause([lit(1, true), lit(3, false)]);
+                match sat.solve() {
+                    SolveOutcome::Sat(_) => {}
+                    other => panic!("expected SAT, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chrono_backjumps_stay_correct_with_tiny_threshold() {
+        // The shipped threshold is high; the machinery itself is exercised
+        // by forcing frequent reductions + restarts on a larger instance.
+        let f = pigeonhole(6);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        s.set_chrono(true);
+        s.set_max_learnts(20.0);
+        s.set_restart_policy(RestartPolicy::Luby { base: 8 });
+        assert!(s.solve().is_unsat());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn tiered_reduction_protects_core_clauses() {
+        let f = pigeonhole(6);
+        let mut s = SatSolver::from_formula(&f).expect("pure CNF");
+        s.set_tiered_reduce(true);
+        s.set_max_learnts(20.0);
+        assert!(s.solve().is_unsat());
+        let st = s.stats();
+        assert!(st.reductions > 0, "reduction must have run");
+        // Surviving learned clauses with LBD <= 2 prove the exemption: no
+        // core clause was ever tombstoned.
+        s.check_invariants();
+    }
+
+    #[test]
+    fn sharing_relays_clauses_between_solvers() {
+        use crate::sharing::{SharedClausePool, SharingConfig};
+        let pool = SharedClausePool::new();
+        let f = pigeonhole(5);
+
+        let mut a = SatSolver::from_formula(&f).expect("pure CNF");
+        a.set_sharing(pool.handle(0, SharingConfig::default()));
+        assert!(a.solve().is_unsat());
+        assert!(a.stats().exported > 0, "refuting PHP(6,5) must export glue clauses");
+        assert_eq!(a.stats().imported, 0, "own exports are never re-imported");
+
+        let mut b = SatSolver::from_formula(&f).expect("pure CNF");
+        b.set_sharing(pool.handle(1, SharingConfig::default()));
+        assert!(b.solve().is_unsat());
+        assert!(b.stats().imported > 0, "peer clauses must be imported at solve start");
+        b.check_invariants();
+    }
+
+    #[test]
+    fn sharing_preserves_sat_answers() {
+        use crate::sharing::{SharedClausePool, SharingConfig};
+        // PHP(n, n) — one pigeon fewer — is satisfiable but conflict-rich,
+        // so workers exchange clauses and must still produce real models.
+        let holes = 5;
+        let mut f = PbFormula::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let _ = f.new_vars(holes * holes);
+        for p in 0..holes {
+            f.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in p1 + 1..holes {
+                    f.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let pool = SharedClausePool::new();
+        let mut a = SatSolver::from_formula(&f).expect("pure CNF");
+        a.set_sharing(pool.handle(0, SharingConfig::default()));
+        let model_a = a.solve();
+        assert!(f.is_satisfied_by(model_a.model().expect("SAT")));
+        let mut b = SatSolver::from_formula(&f).expect("pure CNF");
+        b.set_sharing(pool.handle(1, SharingConfig::default()));
+        let model_b = b.solve();
+        assert!(f.is_satisfied_by(model_b.model().expect("SAT")));
     }
 }

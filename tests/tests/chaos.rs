@@ -21,7 +21,7 @@ use sbgc_graph::Graph;
 use sbgc_obs::{FaultPlan, Recorder};
 use sbgc_pb::{
     optimize_portfolio_instrumented, portfolio_configs, solve_portfolio_instrumented, Budget,
-    ExhaustReason, OptOutcome, SolveOutcome,
+    ExhaustReason, OptOutcome, SharingConfig, SolveOutcome,
 };
 use sbgc_proof::FileProofLogger;
 
@@ -51,6 +51,7 @@ fn mid_race_panic_yields_correct_answer_from_survivors() {
         &Budget::unlimited(),
         &rec,
         Some(&plan),
+        Some(SharingConfig::default()),
     )
     .expect("non-empty portfolio");
 
@@ -86,6 +87,7 @@ fn injected_faults_replay_deterministically() {
             &Budget::unlimited(),
             &rec,
             Some(&plan),
+            Some(SharingConfig::default()),
         )
         .expect("non-empty portfolio");
         let dead: Vec<usize> =
@@ -112,6 +114,7 @@ fn panicked_race_leaves_shared_state_usable() {
         &Budget::unlimited(),
         &rec,
         Some(&plan),
+        Some(SharingConfig::default()),
     )
     .expect("non-empty portfolio");
     assert!(matches!(first.outcome, SolveOutcome::Sat(_)));
@@ -124,11 +127,45 @@ fn panicked_race_leaves_shared_state_usable() {
         &Budget::unlimited(),
         &rec,
         None,
+        Some(SharingConfig::default()),
     )
     .expect("non-empty portfolio");
     assert!(matches!(second.outcome, SolveOutcome::Sat(_)));
     assert_eq!(second.failed_workers, 0);
     assert_eq!(rec.workers().len(), 4, "both races recorded telemetry");
+}
+
+#[test]
+fn mid_export_panic_leaves_the_clause_pool_usable() {
+    // Kill a worker a few conflicts in — after it has had the chance to
+    // export learned clauses into the shared pool. The pool must not be
+    // poisoned for the survivors, who keep importing and still prove
+    // χ(myciel3) = 4; the dead worker's published clauses stay valid
+    // (they are formula-entailed regardless of who learned them).
+    let formula = coloring_formula(&mycielski(3), 6);
+    let rec = Recorder::new();
+    let plan = FaultPlan::new(5).with_worker_panic(2, 8);
+    let out = optimize_portfolio_instrumented(
+        &formula,
+        &portfolio_configs(4),
+        &Budget::unlimited(),
+        &rec,
+        Some(&plan),
+        Some(SharingConfig::default()),
+    )
+    .expect("non-empty portfolio");
+    match out.outcome {
+        OptOutcome::Optimal { value, .. } => assert_eq!(value, 4, "χ(myciel3) = 4"),
+        ref other => panic!("survivors must still decide, got {other:?}"),
+    }
+    assert_eq!(out.failed_workers, 1);
+    let (winner_index, _) = out.winner.expect("a survivor won");
+    assert_ne!(winner_index, 2, "the dead worker cannot win");
+    // The sharing counters flowed through telemetry despite the casualty.
+    // The recorder may hold *more* than the summed stats: the dead worker
+    // flushed partial counts mid-solve but never reached the final sum.
+    assert!(rec.counter(sbgc_obs::Counter::Exported) >= out.stats.exported);
+    assert!(rec.counter(sbgc_obs::Counter::Imported) >= out.stats.imported);
 }
 
 #[test]
@@ -141,6 +178,7 @@ fn killing_the_only_worker_degrades_to_unknown() {
         &Budget::unlimited(),
         &Recorder::disabled(),
         Some(&plan),
+        Some(SharingConfig::default()),
     )
     .expect("non-empty portfolio");
     assert!(!out.outcome.is_optimal(), "no survivor can have proven optimality");
