@@ -8,15 +8,31 @@
 //! sharing telemetry (clauses exported/imported, mean learned-clause
 //! LBD), so later changes can track the speedup curve over time.
 //!
+//! A second section, `ladder`, compares the *persistent incremental
+//! session* (one encoding, suffix-assumption ladder, clauses retained
+//! across steps) against per-k re-encoding on the chromatic-number
+//! search, recording per-instance times, ladder step counts and total
+//! retained clauses. The workload is the configured instances plus one
+//! synthetic random graph (`gnm_32_248`) whose DSATUR overshoot makes a
+//! multi-step ladder; the recorded `ladder.summary.speedup` is the
+//! geometric mean of per-instance speedups over decided instances taking
+//! ≥ 5 ms (totals are recorded alongside for transparency).
+//!
 //! The default instance set is the Table 3 queens subset (`queen5_5`,
 //! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
 //! With `--min-speedup X` the binary exits non-zero when the overall
-//! speedup falls below `X` — the CI perf-smoke gate.
+//! portfolio speedup — or the ladder's incremental-vs-reencode speedup on
+//! instances decided by both sides — falls below `X`; this is the CI
+//! perf-smoke gate.
 //!
 //! `cargo run --release -p sbgc-bench --bin bench_json -- --timeout 2 --jobs 4`
 
 use sbgc_bench::{HarnessConfig, QUICK_INSTANCES};
-use sbgc_core::{PreparedColoring, SbpMode, SolveOptions};
+use sbgc_core::{
+    chromatic_number_by_decision, chromatic_number_incremental, PreparedColoring, SbpMode,
+    SearchStrategy, SolveOptions,
+};
+use sbgc_graph::{gen, Graph};
 use sbgc_pb::{
     optimize_portfolio_recorded, portfolio_configs, OptOutcome, Optimizer, Recorder, SolverKind,
     WorkerTelemetry,
@@ -184,6 +200,94 @@ fn main() {
         }
     }
 
+    // Chromatic-ladder comparison: the persistent incremental session
+    // (encode once, suffix assumptions, clauses retained across steps)
+    // against per-k re-encoding (linear decision search builds a fresh
+    // formula and engine for every color count). Only instances both
+    // sides decide within budget count toward the speedup, so a shared
+    // timeout cannot fake a ratio.
+    println!("\nchromatic ladder: incremental session vs per-k re-encoding");
+    let mut ladder_runs = Vec::new();
+    let mut ladder_reencode_total = Duration::ZERO;
+    let mut ladder_incremental_total = Duration::ZERO;
+    let mut ladder_ratios: Vec<f64> = Vec::new();
+    let mut ladder_decided = 0usize;
+    let mut ladder_agree = true;
+    // The suite instances, plus a synthetic random graph whose DSATUR
+    // bound overshoots χ: its multi-step ladder is the workload clause
+    // retention exists for (the queens ladders are one cheap SAT query
+    // plus one hard UNSAT, which no amount of reuse can speed up).
+    let ladder_workload: Vec<(String, Graph)> = instances
+        .iter()
+        .map(|inst| (inst.meta.name.to_string(), inst.graph.clone()))
+        .chain([("gnm_32_248".to_string(), gen::gnm(32, 248, 14))])
+        .collect();
+    for (name, graph) in &ladder_workload {
+        let opts =
+            SolveOptions::new(config.k).with_sbp_mode(SbpMode::Nu).with_budget(config.budget());
+        let start = Instant::now();
+        let reencode = chromatic_number_by_decision(graph, &opts, SearchStrategy::Linear);
+        let reencode_time = start.elapsed();
+
+        let rec = Recorder::new();
+        let inc_opts = opts.clone().with_recorder(rec.clone());
+        let start = Instant::now();
+        let incremental = chromatic_number_incremental(graph, &inc_opts);
+        let incremental_time = start.elapsed();
+        let steps = rec.ladder_steps();
+        let retained: u64 = steps.iter().map(|s| s.retained_clauses).sum();
+
+        let decided = reencode.exact().is_some() && incremental.exact().is_some();
+        if decided {
+            ladder_reencode_total += reencode_time;
+            ladder_incremental_total += incremental_time;
+            ladder_decided += 1;
+            // Sub-5ms instances are pure timer noise; they stay in the
+            // totals but not in the gated per-instance geomean.
+            if reencode_time + incremental_time >= Duration::from_millis(5) {
+                ladder_ratios.push(reencode_time.as_secs_f64() / incremental_time.as_secs_f64());
+            }
+            if reencode.exact() != incremental.exact() {
+                ladder_agree = false;
+                eprintln!(
+                    "LADDER DISAGREEMENT on {name}: re-encode {:?} vs incremental {:?}",
+                    reencode.exact(),
+                    incremental.exact()
+                );
+            }
+        }
+        println!(
+            "  {:<10} re-encode {:>8.3}s  incremental {:>8.3}s  ({} steps, {} clauses retained)",
+            name,
+            reencode_time.as_secs_f64(),
+            incremental_time.as_secs_f64(),
+            steps.len(),
+            retained
+        );
+        ladder_runs.push(format!(
+            "      {{\"instance\": \"{}\", \"reencode_s\": {:.6}, \"incremental_s\": {:.6}, \
+             \"decided\": {}, \"chi\": {}, \"steps\": {}, \"retained_clauses\": {}}}",
+            json_escape(name),
+            reencode_time.as_secs_f64(),
+            incremental_time.as_secs_f64(),
+            decided,
+            incremental.exact().map_or("null".to_string(), |c| c.to_string()),
+            steps.len(),
+            retained
+        ));
+    }
+    // Gate on the geometric mean of per-instance speedups (the standard
+    // suite metric): a totals ratio would let one instance whose ladder
+    // is a single hard UNSAT query — a structural tie — drown out every
+    // instance where clause retention actually pays.
+    let ladder_speedup = if ladder_ratios.is_empty() {
+        None
+    } else {
+        let geomean =
+            (ladder_ratios.iter().map(|r| r.ln()).sum::<f64>() / ladder_ratios.len() as f64).exp();
+        Some(geomean)
+    };
+
     let speedup = if par_total.as_secs_f64() > 0.0 {
         seq_total.as_secs_f64() / par_total.as_secs_f64()
     } else {
@@ -191,12 +295,22 @@ fn main() {
     };
     let json = format!(
         "{{\n  \"k\": {},\n  \"timeout_s\": {:.3},\n  \"workers\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"ladder\": {{\n    \"runs\": [\n{}\n    ],\n    \"summary\": {{\"reencode_total_s\": \
+         {:.6}, \"incremental_total_s\": {:.6}, \"speedup\": {}, \
+         \"speedup_basis\": \"geomean of decided instances >= 5ms\", \"decided_instances\": {}, \
+         \"chi_agree\": {}}}\n  }},\n  \
          \"summary\": {{\"sequential_total_s\": {:.6}, \"portfolio_total_s\": {:.6}, \
          \"speedup\": {:.4}, \"optimal_color_counts_agree\": {}}}\n}}\n",
         config.k,
         config.timeout.as_secs_f64(),
         workers,
         runs.join(",\n"),
+        ladder_runs.join(",\n"),
+        ladder_reencode_total.as_secs_f64(),
+        ladder_incremental_total.as_secs_f64(),
+        ladder_speedup.map_or("null".to_string(), |s| format!("{s:.4}")),
+        ladder_decided,
+        ladder_agree,
         seq_total.as_secs_f64(),
         par_total.as_secs_f64(),
         speedup,
@@ -225,5 +339,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf-smoke gate passed: speedup {speedup:.2}x >= {min:.2}x");
+        // The same threshold gates the chromatic ladder: the persistent
+        // session must not lose to per-k re-encoding on decided instances.
+        match ladder_speedup {
+            Some(ls) if ls < min => {
+                eprintln!("ladder gate FAILED: incremental speedup {ls:.2}x < required {min:.2}x");
+                std::process::exit(1);
+            }
+            Some(ls) => println!("ladder gate passed: incremental speedup {ls:.2}x >= {min:.2}x"),
+            None => println!("ladder gate skipped: no instance decided by both sides"),
+        }
     }
 }

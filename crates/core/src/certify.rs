@@ -15,6 +15,14 @@
 //! solved formula cannot be proof-checked (it carries PB constraints, e.g.
 //! the CA construction's cardinality chain), the certificate says
 //! [`ProofStatus::Unchecked`] with a reason rather than pretending.
+//!
+//! The incremental ladder changes nothing here, deliberately. A ladder
+//! step's UNSAT is *assumption-relative* (the formula refutes
+//! `¬y[target..K]`, not `⊥`) and is solved against an SBP-augmented,
+//! possibly unit-committed formula — none of which a DRAT refutation of
+//! the original instance may rely on. So certification ignores the
+//! session's clause database entirely and re-derives the χ−1 refutation
+//! from scratch on the SBP-free pure-CNF encoding below.
 
 use crate::chromatic::{chromatic_number, ChromaticResult};
 use crate::encode::cnf_decision_formula;

@@ -1,7 +1,18 @@
 //! Exact chromatic numbers via the paper's K-selection procedure.
+//!
+//! Since the persistent-session refactor, the default path for every
+//! CDCL-backed configuration (including the portfolio) is the
+//! *incremental ladder*: encode once at `K = min(options.k, DSATUR)`,
+//! then walk the upper bound down with assumption queries against
+//! long-lived solver state ([`crate::session::ColoringSession`]). Learned
+//! clauses survive from one ladder step to the next instead of being
+//! re-derived per K. The one-shot optimization run remains for the CPLEX
+//! baseline and for instance-dependent (Shatter) SBPs, which the session
+//! cannot drive soundly (see `DESIGN.md` §4g).
 
 use crate::error::SolveError;
 use crate::flow::{try_solve_coloring, ColoringOutcome, SolveOptions};
+use crate::session::{ColoringSession, SessionAnswer};
 use sbgc_graph::{algo, Coloring, Graph};
 use sbgc_pb::ExhaustReason;
 
@@ -110,11 +121,15 @@ impl ChromaticOutcome {
 
 /// Computes the chromatic number exactly, following the paper's procedure:
 /// take the DSATUR upper bound as K (clamped by `options.k` if smaller),
-/// then run the exact optimizer. The clique bound can certify optimality
-/// without search.
+/// then search. For every CDCL-backed configuration the search is the
+/// incremental ladder of [`chromatic_number_incremental`] (encode once,
+/// reuse learned clauses across queries); the CPLEX baseline and
+/// instance-dependent SBPs use one exact-optimization run. The clique
+/// bound can certify optimality without search.
 ///
 /// `options.k` acts as a cap (like the paper's K = 20 application bound);
-/// the effective K is `min(options.k, DSATUR bound)`.
+/// the effective K is `min(options.k, DSATUR bound − 1)` — the
+/// largest color count any ladder query can ask for.
 ///
 /// # Panics
 ///
@@ -148,6 +163,20 @@ pub fn chromatic_number_outcome(
             exhaust: None,
         });
     }
+    if ColoringSession::supports(options) {
+        return chromatic_ladder(graph, options, b);
+    }
+    chromatic_number_via_optimization(graph, options, b)
+}
+
+/// The pre-session path: one `try_solve_coloring` optimization run at
+/// `K = min(options.k, DSATUR)`. Still the only option for the CPLEX
+/// baseline and for instance-dependent SBPs.
+fn chromatic_number_via_optimization(
+    graph: &Graph,
+    options: &SolveOptions,
+    b: ChromaticBounds,
+) -> Result<ChromaticOutcome, SolveError> {
     let k = b.upper.min(options.k);
     // When the cap is below the known-feasible bound, the search below can
     // still determine χ exactly if χ ≤ k.
@@ -185,6 +214,86 @@ pub fn chromatic_number_outcome(
     // An exact answer supersedes any limit hit along the way.
     let exhaust = if result.exact().is_some() { None } else { exhaust };
     Ok(ChromaticOutcome { result, exhaust })
+}
+
+/// The incremental ladder: one [`ColoringSession`] answers every
+/// decision query `[lower, upper)` needs, against persistent solver
+/// state. Records one [`sbgc_obs::LadderStepTelemetry`] entry per query
+/// when the options carry an enabled recorder.
+///
+/// Callers guarantee `graph` is nonempty, `options.k >= 1`,
+/// `b.lower < b.upper`, and [`ColoringSession::supports`]`(options)`.
+fn chromatic_ladder(
+    graph: &Graph,
+    options: &SolveOptions,
+    b: ChromaticBounds,
+) -> Result<ChromaticOutcome, SolveError> {
+    use sbgc_obs::LadderStepTelemetry;
+    use std::time::Instant;
+
+    let mut session = ColoringSession::new(graph, options)?;
+    let k = session.k();
+    // One wall-clock for the whole ladder: arming the deadline here (it
+    // arms once) makes every step share it. Conflict caps need no special
+    // handling — persistent engines count cumulatively, so a cap bounds
+    // the session's *total* work.
+    let budget = options.budget.started();
+    let recorder = &options.recorder;
+    let mut lower = b.lower;
+    let mut upper = b.upper;
+    let mut witness = b.witness;
+    let mut step: u64 = 0;
+    while lower < upper {
+        let target = (upper - 1).min(k);
+        let started = Instant::now();
+        let s = session.query(target, &budget);
+        recorder.record_ladder_step(LadderStepTelemetry {
+            step,
+            target,
+            outcome: match &s.answer {
+                SessionAnswer::Colorable(_) => "sat",
+                SessionAnswer::NotColorable { .. } => "unsat",
+                SessionAnswer::Unknown => "unknown",
+            }
+            .to_string(),
+            seconds: started.elapsed().as_secs_f64(),
+            retained_clauses: s.retained_clauses,
+            workers: s.workers,
+        });
+        step += 1;
+        match s.answer {
+            SessionAnswer::Colorable(c) => {
+                upper = c.num_colors().min(target);
+                witness = c;
+                // The bound is monotone; retire the colors above it as
+                // permanent units so later queries run on a formula as
+                // tight as a fresh encoding at their own width.
+                session.commit_upper_bound(upper);
+            }
+            SessionAnswer::NotColorable { .. } => {
+                lower = (target + 1).max(lower);
+                if target == k && lower < upper {
+                    // The encoding cannot express more than k colors; the
+                    // remaining gap to the DSATUR witness is a final
+                    // K-cap bracket, not budget exhaustion.
+                    return Ok(ChromaticOutcome {
+                        result: ChromaticResult::Bounded { lower, upper, witness },
+                        exhaust: None,
+                    });
+                }
+            }
+            SessionAnswer::Unknown => {
+                return Ok(ChromaticOutcome {
+                    result: ChromaticResult::Bounded { lower, upper, witness },
+                    exhaust: s.exhaust,
+                });
+            }
+        }
+    }
+    Ok(ChromaticOutcome {
+        result: ChromaticResult::Exact { chromatic_number: upper, witness },
+        exhaust: None,
+    })
 }
 
 /// How [`chromatic_number_by_decision`] walks the K range — the two
@@ -302,7 +411,7 @@ pub fn chromatic_number_by_decision(
 }
 
 /// Computes the chromatic number *incrementally*: one solver instance is
-/// built at `K = min(options.k, DSATUR bound)` and the color budget is
+/// built at `K = min(options.k, DSATUR bound − 1)` and the color budget is
 /// tightened by **assuming** the usage indicators `y[target..K]` false,
 /// one step at a time — so clauses learned while proving "not
 /// (target)-colorable-with-these-assumptions" are reused by every later
@@ -310,83 +419,55 @@ pub fn chromatic_number_by_decision(
 /// procedure).
 ///
 /// Uses `options.sbp_mode` (instance-independent SBPs are compatible with
-/// the suffix assumptions: they only ever *prefer* low color indices) and
-/// `options.solver`'s engine configuration; the CPLEX baseline has no
-/// incremental interface, so [`sbgc_pb::SolverKind::Cplex`] falls back to
-/// [`chromatic_number`]; so does [`sbgc_pb::SolverKind::Portfolio`] (whose
-/// workers would each need their own incremental engine), which still
-/// races the portfolio inside the fallback's optimization run.
+/// the suffix assumptions: they only ever *prefer* low color indices).
+/// [`sbgc_pb::SolverKind::Portfolio`] runs a *persistent* portfolio — one
+/// long-lived engine per worker thread, all racing each ladder query with
+/// clause sharing — rather than falling back to one-shot optimization.
+/// Only the CPLEX baseline (no incremental interface) and
+/// instance-dependent (Shatter) SBPs fall back to [`chromatic_number`]'s
+/// optimization path.
+///
+/// Since the session refactor this *is* [`chromatic_number`]'s default
+/// path; the function remains as the explicit entry point and for its
+/// fallback contract.
 ///
 /// # Panics
 ///
-/// Panics if the graph has no vertices.
+/// Panics if the graph has no vertices or `options.k == 0`. Use
+/// [`chromatic_number_incremental_outcome`] for the non-panicking form.
 pub fn chromatic_number_incremental(graph: &Graph, options: &SolveOptions) -> ChromaticResult {
-    use crate::encode::ColoringEncoding;
-    use crate::sbp::add_instance_independent_sbps;
-    use sbgc_pb::SolverKind;
-    use sbgc_pb::{PbEngine, SolveOutcome};
+    chromatic_number_incremental_outcome(graph, options).unwrap_or_else(|e| panic!("{e}")).result
+}
 
-    assert!(graph.num_vertices() > 0, "chromatic number of the empty graph is undefined here");
-    let Some(config) = options.solver.engine_config() else {
-        return chromatic_number(graph, options);
-    };
+/// [`chromatic_number_incremental`] with typed errors and graceful
+/// degradation, mirroring [`chromatic_number_outcome`]: degenerate inputs
+/// become [`SolveError`]s instead of panics, and budget-starved runs
+/// return the proven bracket plus the [`ExhaustReason`] that stopped
+/// them. Configurations without an incremental interface (CPLEX,
+/// instance-dependent SBPs) fall back to the one-shot optimization run —
+/// a fallback, not an error, so callers can use this unconditionally.
+pub fn chromatic_number_incremental_outcome(
+    graph: &Graph,
+    options: &SolveOptions,
+) -> Result<ChromaticOutcome, SolveError> {
+    if graph.num_vertices() == 0 {
+        return Err(SolveError::EmptyGraph);
+    }
+    if options.k == 0 {
+        return Err(SolveError::ZeroColorBound);
+    }
     let b = bounds(graph);
     if b.lower >= b.upper {
-        return ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness };
+        return Ok(ChromaticOutcome {
+            result: ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness },
+            exhaust: None,
+        });
     }
-    debug_assert!(!matches!(options.solver, SolverKind::Cplex));
-    let recorder = &options.recorder;
-    let k = b.upper.min(options.k);
-    let mut enc = {
-        let _span = recorder.span(sbgc_obs::Phase::Encode);
-        ColoringEncoding::new(graph, k)
-    };
-    enc.formula_mut().clear_objective();
-    {
-        let _span = recorder.span(sbgc_obs::Phase::Sbp);
-        let _ = add_instance_independent_sbps(&mut enc, graph, options.sbp_mode);
+    if ColoringSession::supports(options) {
+        chromatic_ladder(graph, options, b)
+    } else {
+        chromatic_number_via_optimization(graph, options, b)
     }
-    let mut engine = PbEngine::from_formula(enc.formula(), config);
-    engine.set_recorder(recorder.clone());
-
-    let mut best = b.witness.clone();
-    let mut upper = b.upper.min(k + 1); // colors known achievable (may exceed k by DSATUR)
-    if b.upper <= k {
-        upper = b.upper;
-    }
-    let mut lower = b.lower;
-    while lower < upper {
-        let target = upper - 1; // try to color with `target` colors
-        if target >= k {
-            // The encoding cannot express more than k colors; the DSATUR
-            // witness stands.
-            break;
-        }
-        let assumptions: Vec<sbgc_formula::Lit> =
-            (target..k).map(|j| enc.y(j).negative()).collect();
-        let out = {
-            let _span = recorder.span(sbgc_obs::Phase::Solve);
-            engine.solve_with_assumptions(&assumptions, &options.budget)
-        };
-        match out {
-            SolveOutcome::Sat(model) => {
-                let _span = recorder.span(sbgc_obs::Phase::Verify);
-                let Some(coloring) = enc.decode(&model).filter(|c| c.is_proper(graph)) else {
-                    return ChromaticResult::Bounded { lower, upper, witness: best };
-                };
-                let coloring = coloring.compacted();
-                upper = coloring.num_colors();
-                best = coloring;
-            }
-            SolveOutcome::Unsat => {
-                lower = upper;
-            }
-            SolveOutcome::Unknown => {
-                return ChromaticResult::Bounded { lower, upper, witness: best };
-            }
-        }
-    }
-    ChromaticResult::Exact { chromatic_number: upper, witness: best }
 }
 
 #[cfg(test)]
@@ -425,11 +506,12 @@ mod tests {
 
     #[test]
     fn cap_below_chi_reports_bounds() {
-        let g = Graph::complete(5); // χ = 5
-                                    // bounds() certifies K5 without search, so use a graph where
-                                    // DSATUR overshoots: Mycielski-3 has clique 2 but χ = 4.
+        // bounds() certifies K5 without search, so use a graph where
+        // DSATUR overshoots: Mycielski-3 has clique 2 but χ = 4. A K-cap
+        // of 3 refutes 3-colorability, so the lower bound must rise to 4;
+        // whether that closes the bracket depends on the DSATUR witness
+        // (4 colors → exact; more → a [4, upper] bracket).
         let g2 = mycielski(3);
-        let _ = g;
         let result = chromatic_number(&g2, &SolveOptions::new(3));
         match result {
             ChromaticResult::Bounded { lower, upper, ref witness } => {
@@ -437,7 +519,11 @@ mod tests {
                 assert!(witness.is_proper(&g2));
                 assert!(upper >= 4);
             }
-            ChromaticResult::Exact { .. } => panic!("cap 3 cannot certify χ=4"),
+            ChromaticResult::Exact { chromatic_number, ref witness } => {
+                assert_eq!(chromatic_number, 4);
+                assert!(witness.is_proper(&g2));
+                assert_eq!(witness.num_colors(), 4);
+            }
         }
     }
 
@@ -533,6 +619,61 @@ mod tests {
         let opts = SolveOptions::new(20).with_solver(SolverKind::Cplex);
         let result = chromatic_number_incremental(&g, &opts);
         assert_eq!(result.exact(), Some(4));
+    }
+
+    #[test]
+    fn incremental_portfolio_runs_in_session() {
+        // The portfolio must drive the persistent session, not fall back
+        // to one-shot optimization: the recorder's ladder telemetry only
+        // exists on the session path, and it must show multiple workers.
+        use sbgc_graph::gen::gnp;
+        use sbgc_obs::Recorder;
+        use sbgc_pb::SolverKind;
+        // χ = 7 with clique bound 6 and DSATUR bound 8: search needed.
+        let g = gnp(24, 0.5, 3);
+        let recorder = Recorder::new();
+        let opts = SolveOptions::new(20)
+            .with_solver(SolverKind::Portfolio)
+            .with_recorder(recorder.clone());
+        let out = chromatic_number_incremental_outcome(&g, &opts).expect("valid inputs");
+        assert_eq!(out.exact(), Some(7));
+        let steps = recorder.ladder_steps();
+        assert!(!steps.is_empty(), "session path must record ladder telemetry");
+        assert!(steps.iter().all(|s| s.workers > 1), "portfolio session must race workers");
+    }
+
+    #[test]
+    fn ladder_retains_clauses_across_steps() {
+        use sbgc_graph::gen::gnp;
+        use sbgc_obs::Recorder;
+        // χ = 7, clique bound 6, DSATUR bound 8: the ladder runs a SAT
+        // query at 7 and then an UNSAT query at 6 through the same engine.
+        let g = gnp(24, 0.5, 3);
+        let recorder = Recorder::new();
+        let opts = SolveOptions::new(20).with_recorder(recorder.clone());
+        let out = chromatic_number_outcome(&g, &opts).expect("valid inputs");
+        assert_eq!(out.exact(), Some(7));
+        let steps = recorder.ladder_steps();
+        assert!(steps.len() >= 2, "expected a multi-step ladder, got {}", steps.len());
+        assert_eq!(steps[0].retained_clauses, 0, "nothing to retain on the first query");
+        assert!(
+            steps[1..].iter().any(|s| s.retained_clauses > 0),
+            "later ladder steps must reuse learned clauses: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_empty_graph_is_a_typed_error() {
+        let g = Graph::empty(0);
+        let err = chromatic_number_incremental_outcome(&g, &SolveOptions::new(5)).unwrap_err();
+        assert_eq!(err, SolveError::EmptyGraph);
+    }
+
+    #[test]
+    fn incremental_zero_k_is_a_typed_error() {
+        let g = Graph::cycle(5);
+        let err = chromatic_number_incremental_outcome(&g, &SolveOptions::new(0)).unwrap_err();
+        assert_eq!(err, SolveError::ZeroColorBound);
     }
 
     #[test]

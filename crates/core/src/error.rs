@@ -20,6 +20,12 @@ pub enum SolveError {
     ZeroColorBound,
     /// The underlying portfolio race could not start.
     Portfolio(PortfolioError),
+    /// A persistent incremental session was requested for a configuration
+    /// without an incremental interface: the branch-and-bound CPLEX
+    /// baseline, or instance-dependent (Shatter) SBPs, whose soundness
+    /// under suffix color assumptions is not established (see
+    /// `DESIGN.md` §4g). Use the one-shot optimization path instead.
+    UnsupportedIncremental,
 }
 
 impl std::fmt::Display for SolveError {
@@ -28,6 +34,9 @@ impl std::fmt::Display for SolveError {
             SolveError::EmptyGraph => write!(f, "chromatic number of the empty graph"),
             SolveError::ZeroColorBound => write!(f, "color bound K must be at least 1"),
             SolveError::Portfolio(e) => write!(f, "portfolio could not start: {e}"),
+            SolveError::UnsupportedIncremental => {
+                write!(f, "this solver configuration has no incremental interface")
+            }
         }
     }
 }

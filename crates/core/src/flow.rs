@@ -1,5 +1,14 @@
 //! End-to-end coloring flows: encode → SBPs → (Shatter) → solve → decode
 //! → verify.
+//!
+//! These are the *one-shot* flows: encode at a fixed K and run a single
+//! optimization. Since the persistent-session refactor, the chromatic
+//! searches in [`crate::chromatic`] route every CDCL-backed
+//! configuration through the incremental ladder of
+//! [`crate::session::ColoringSession`] instead; the flows here remain
+//! the driver for single fixed-K solves, for the CPLEX baseline, and
+//! for instance-dependent (Shatter) SBPs, which the session cannot
+//! drive soundly (see `DESIGN.md` §4g).
 
 use crate::encode::ColoringEncoding;
 use crate::error::SolveError;

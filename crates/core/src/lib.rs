@@ -54,6 +54,7 @@ pub mod encode;
 pub mod error;
 pub mod flow;
 pub mod sbp;
+pub mod session;
 
 pub use certify::{
     certify_result, certify_result_parallel, certify_unsat_formula, certify_unsat_formula_parallel,
@@ -61,7 +62,8 @@ pub use certify::{
 };
 pub use chromatic::{
     chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
-    chromatic_number_outcome, ChromaticBounds, ChromaticOutcome, ChromaticResult, SearchStrategy,
+    chromatic_number_incremental_outcome, chromatic_number_outcome, ChromaticBounds,
+    ChromaticOutcome, ChromaticResult, SearchStrategy,
 };
 pub use encode::{cnf_decision_formula, ColoringEncoding};
 pub use error::SolveError;
@@ -70,6 +72,7 @@ pub use flow::{
     SolveReport, SymmetryHandling,
 };
 pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
+pub use session::{ColoringSession, SessionAnswer, SessionStep};
 
 pub use sbgc_graph::{Coloring, Graph};
 pub use sbgc_obs::{Counter, FaultPlan, Phase, Recorder, RunReport};

@@ -1,0 +1,312 @@
+//! One persistent solver session per coloring instance.
+//!
+//! The paper's Section 4.1 procedure probes k-colorability down a ladder
+//! of color counts. Re-encoding per probe throws away every learned
+//! clause at each step; a [`ColoringSession`] instead encodes **once** at
+//! `K = min(options.k, DSATUR bound − 1)` — the largest color count any
+//! ladder query can ask for — and answers every query by
+//! *assuming* the color-usage indicators `y[target..K]` false — the
+//! MiniSat-family incremental-SAT interface. Clauses learned while
+//! refuting one target (and clauses imported from portfolio peers) are
+//! derived by resolution from the clause database alone, so they remain
+//! valid for every later query, whatever its assumptions.
+//!
+//! The ladder's upper bound is monotone, and the session exploits that:
+//! once a `u`-coloring is witnessed,
+//! [`commit_upper_bound`](ColoringSession::commit_upper_bound) turns the
+//! retired suffix `¬y[u−1..K]` into permanent root-level unit clauses —
+//! propagated and simplified against once, instead of re-decided as
+//! assumptions after every restart — so later (strictly lower) queries run
+//! against a formula as tight as a fresh encoding at their own width,
+//! *plus* everything already learned.
+//!
+//! # Why suffix assumptions are SBP-sound
+//!
+//! Every instance-independent SBP construction (`NU`, `CA`, `LI`, `SC`
+//! and their combinations — see `crate::sbp`) only ever *prefers low
+//! color indices*: the symmetric solutions each predicate eliminates are
+//! exactly those using a higher color index where a lower one would do.
+//! Assuming `¬y[j]` for the **suffix** `j ∈ [target, K)` removes only
+//! colorings that use high indices — and whenever such a coloring exists,
+//! its low-index representative survives both the SBPs and the
+//! assumptions. So "UNSAT under the suffix assumptions" really means "not
+//! `target`-colorable", for every SBP mode. Instance-dependent (Shatter)
+//! SBPs carry no such guarantee, which is why
+//! [`ColoringSession::supports`] excludes them.
+
+use crate::chromatic::bounds;
+use crate::encode::ColoringEncoding;
+use crate::error::SolveError;
+use crate::flow::{SolveOptions, SymmetryHandling};
+use crate::sbp::add_instance_independent_sbps;
+use sbgc_formula::Lit;
+use sbgc_graph::{Coloring, Graph};
+use sbgc_obs::{Phase, Recorder};
+use sbgc_pb::{
+    portfolio_configs, Budget, ExhaustReason, PbEngine, PortfolioSession, SolveOutcome, SolverKind,
+};
+
+/// What one ladder query established.
+#[derive(Clone, Debug)]
+pub enum SessionAnswer {
+    /// The graph is `target`-colorable; the coloring is decoded, verified
+    /// proper, and compacted (so it may use fewer than `target` colors).
+    Colorable(Coloring),
+    /// The graph is **not** `target`-colorable: the formula refutes the
+    /// suffix assumptions. `core` is the failed-assumption core the winning
+    /// engine reported — the subset of `¬y[j]` literals the refutation
+    /// actually used (empty when the refutation is assumption-free).
+    NotColorable {
+        /// Failed-assumption core (a subset of the query's assumptions).
+        core: Vec<Lit>,
+    },
+    /// The budget ran out (or every portfolio worker died) before an
+    /// answer.
+    Unknown,
+}
+
+/// Everything one [`ColoringSession::query`] produced.
+#[derive(Clone, Debug)]
+pub struct SessionStep {
+    /// The decision answer for this target.
+    pub answer: SessionAnswer,
+    /// Learned clauses alive in the session's engine(s) when the query
+    /// started — solver state retained from earlier ladder steps (0 on the
+    /// first query).
+    pub retained_clauses: u64,
+    /// Solver workers that served the query (1 for the sequential
+    /// backend).
+    pub workers: usize,
+    /// Which budget dimension stopped an `Unknown` query; `None` for
+    /// decided queries.
+    pub exhaust: Option<ExhaustReason>,
+}
+
+enum SessionBackend {
+    /// One long-lived [`PbEngine`].
+    Sequential(Box<PbEngine>),
+    /// A persistent portfolio: one long-lived engine per worker thread,
+    /// racing each query (see [`PortfolioSession`]).
+    Portfolio(PortfolioSession),
+}
+
+/// A persistent incremental coloring session: the instance is encoded
+/// once, and the whole chromatic-number ladder is driven through
+/// assumption queries against long-lived solver state.
+///
+/// Construct with [`ColoringSession::new`] (checking
+/// [`ColoringSession::supports`] first), then call
+/// [`query`](ColoringSession::query) with decreasing targets. The
+/// `sbgc-core::chromatic` ladder (`chromatic_number_outcome` and friends)
+/// drives this automatically for every supported configuration.
+pub struct ColoringSession<'g> {
+    backend: SessionBackend,
+    encoding: ColoringEncoding,
+    graph: &'g Graph,
+    recorder: Recorder,
+    k: usize,
+    /// Largest target still queryable: `y[j]` for `j ∈ [ceiling, k)` has
+    /// been committed false as permanent unit clauses (see
+    /// [`ColoringSession::commit_upper_bound`]). Starts at `k`.
+    ceiling: usize,
+}
+
+impl<'g> ColoringSession<'g> {
+    /// Whether `options` names a configuration the session can drive
+    /// incrementally: any CDCL solver (including the portfolio), with
+    /// instance-independent SBPs only. The CPLEX baseline has no
+    /// incremental interface, and instance-dependent SBPs are not known
+    /// to be sound under suffix assumptions (see the module docs).
+    pub fn supports(options: &SolveOptions) -> bool {
+        !matches!(options.solver, SolverKind::Cplex)
+            && matches!(options.symmetry, SymmetryHandling::InstanceIndependentOnly)
+    }
+
+    /// Encodes `graph` once at `K = min(options.k, DSATUR bound − 1)`
+    /// (the largest target the ladder can query — the DSATUR bound itself
+    /// is already witnessed), adds
+    /// the configured instance-independent SBPs, and builds the
+    /// long-lived solver backend (a persistent portfolio when the options
+    /// imply one, a single persistent engine otherwise).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::EmptyGraph`] / [`SolveError::ZeroColorBound`] on
+    /// degenerate inputs, [`SolveError::UnsupportedIncremental`] when
+    /// [`ColoringSession::supports`] is false for `options`.
+    pub fn new(graph: &'g Graph, options: &SolveOptions) -> Result<Self, SolveError> {
+        if graph.num_vertices() == 0 {
+            return Err(SolveError::EmptyGraph);
+        }
+        if options.k == 0 {
+            return Err(SolveError::ZeroColorBound);
+        }
+        if !Self::supports(options) {
+            return Err(SolveError::UnsupportedIncremental);
+        }
+        let recorder = options.recorder.clone();
+        // Encode at the largest target the ladder can ever query: one
+        // below the DSATUR bound (the bound itself is already witnessed,
+        // so no query ever asks for it), clamped by the caller's cap. An
+        // extra color layer would cost variables, conflict clauses and
+        // SBP rows on every single query.
+        let k = bounds(graph).upper.saturating_sub(1).max(1).min(options.k);
+        let mut encoding = {
+            let _span = recorder.span(Phase::Encode);
+            ColoringEncoding::new(graph, k)
+        };
+        // The ladder asks decision queries; the `MIN Σ yᵢ` objective is
+        // replaced by the suffix assumptions.
+        encoding.formula_mut().clear_objective();
+        {
+            let _span = recorder.span(Phase::Sbp);
+            let _ = add_instance_independent_sbps(&mut encoding, graph, options.sbp_mode);
+        }
+        let backend = match options.portfolio_workers() {
+            Some(n) => {
+                let session =
+                    PortfolioSession::new(encoding.formula(), &portfolio_configs(n), &recorder)?;
+                SessionBackend::Portfolio(session)
+            }
+            None => {
+                let config =
+                    options.solver.engine_config().expect("supports() admits only CDCL solvers");
+                let mut engine = PbEngine::from_formula(encoding.formula(), config);
+                engine.set_recorder(recorder.clone());
+                SessionBackend::Sequential(Box::new(engine))
+            }
+        };
+        Ok(ColoringSession { backend, encoding, graph, recorder, k, ceiling: k })
+    }
+
+    /// Informs the session that a `upper`-coloring has been witnessed, so
+    /// no future query will ever ask for more than `upper − 1` colors. The
+    /// session *commits* `¬y[j]` for the retired suffix `j ∈ [upper−1, k)`
+    /// as permanent unit clauses in every backend engine.
+    ///
+    /// This is the incremental ladder's edge over per-query assumptions:
+    /// a root-level unit is propagated and simplified against once, while
+    /// an assumption is re-decided after every restart. It is sound
+    /// precisely because the ladder's upper bound is monotone — every
+    /// future query's assumption set would contain these literals anyway —
+    /// and it lowers [`ColoringSession::ceiling`] accordingly: queries
+    /// above the new ceiling would be answered against the strengthened
+    /// formula and are rejected.
+    pub fn commit_upper_bound(&mut self, upper: usize) {
+        let new_ceiling = upper.saturating_sub(1).clamp(1, self.ceiling);
+        if new_ceiling == self.ceiling {
+            return;
+        }
+        let units: Vec<Lit> =
+            (new_ceiling..self.ceiling).map(|j| self.encoding.y(j).negative()).collect();
+        match &mut self.backend {
+            SessionBackend::Sequential(engine) => {
+                for &lit in &units {
+                    engine.add_clause([lit]);
+                }
+            }
+            SessionBackend::Portfolio(session) => session.commit_units(&units),
+        }
+        self.ceiling = new_ceiling;
+    }
+
+    /// The encoding width `K`: the largest color count the session can
+    /// express. The first query may take any `target ≤ K`; `target == K`
+    /// runs with no assumptions at all.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The largest target still queryable: `K` until
+    /// [`commit_upper_bound`](ColoringSession::commit_upper_bound) retires
+    /// part of the color suffix.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// Workers still alive in the backend (always 1 for sequential).
+    pub fn alive_workers(&self) -> usize {
+        match &self.backend {
+            SessionBackend::Sequential(_) => 1,
+            SessionBackend::Portfolio(p) => p.alive_workers(),
+        }
+    }
+
+    /// Asks "is the graph `target`-colorable?" against the persistent
+    /// solver state by assuming `¬y[j]` for every `j ∈ [target, K)`.
+    ///
+    /// The budget keeps solver-side semantics: its deadline is armed on
+    /// first use (arm it once before the ladder to give all steps one
+    /// wall-clock), and conflict caps compare against *cumulative* engine
+    /// conflicts, capping the session's total work.
+    ///
+    /// A SAT model that fails to decode to a proper coloring (which would
+    /// indicate an encoding bug) degrades to [`SessionAnswer::Unknown`]
+    /// rather than returning a wrong answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is 0 or exceeds [`ColoringSession::ceiling`]
+    /// (colors above the ceiling are committed away and can no longer be
+    /// queried).
+    pub fn query(&mut self, target: usize, budget: &Budget) -> SessionStep {
+        assert!(
+            target >= 1 && target <= self.ceiling,
+            "target {} out of 1..={} (k = {})",
+            target,
+            self.ceiling,
+            self.k
+        );
+        // Literals in [ceiling, k) are already root-level units; only the
+        // live suffix needs assuming.
+        let assumptions: Vec<Lit> =
+            (target..self.ceiling).map(|j| self.encoding.y(j).negative()).collect();
+        let recorder = self.recorder.clone();
+        let (outcome, core, retained, workers, exhaust) = match &mut self.backend {
+            SessionBackend::Sequential(engine) => {
+                let retained = engine.live_learned() as u64;
+                let outcome = {
+                    let _span = recorder.span(Phase::Solve);
+                    engine.solve_with_assumptions(&assumptions, budget)
+                };
+                let core = match outcome {
+                    SolveOutcome::Unsat => engine.assumption_core().to_vec(),
+                    _ => Vec::new(),
+                };
+                let exhaust = engine.stats().exhaust;
+                (outcome, core, retained, 1, exhaust)
+            }
+            SessionBackend::Portfolio(session) => {
+                let out = {
+                    let _span = recorder.span(Phase::Solve);
+                    session.query(&assumptions, budget)
+                };
+                let workers = session.alive_workers();
+                let exhaust = out.stats.exhaust;
+                (out.outcome, out.core, out.retained_clauses, workers, exhaust)
+            }
+        };
+        let (answer, exhaust) = match outcome {
+            SolveOutcome::Sat(model) => {
+                let _span = recorder.span(Phase::Verify);
+                match self.encoding.decode(&model).filter(|c| c.is_proper(self.graph)) {
+                    Some(coloring) => (SessionAnswer::Colorable(coloring.compacted()), None),
+                    None => (SessionAnswer::Unknown, None),
+                }
+            }
+            SolveOutcome::Unsat => (SessionAnswer::NotColorable { core }, None),
+            SolveOutcome::Unknown => (SessionAnswer::Unknown, exhaust),
+        };
+        SessionStep { answer, retained_clauses: retained, workers, exhaust }
+    }
+}
+
+impl std::fmt::Debug for ColoringSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match &self.backend {
+            SessionBackend::Sequential(_) => "sequential".to_string(),
+            SessionBackend::Portfolio(p) => format!("portfolio({} alive)", p.alive_workers()),
+        };
+        write!(f, "ColoringSession(k={}, backend={backend})", self.k)
+    }
+}

@@ -4,7 +4,7 @@
 //! evaluates on: a `p edge <n> <m>` problem line followed by `e <a> <b>`
 //! edge lines with 1-based vertex numbers; `c` lines are comments.
 
-use crate::Graph;
+use crate::{CsrBuilder, Graph};
 use std::error::Error;
 use std::fmt;
 
@@ -43,6 +43,13 @@ pub const MAX_DECLARED_VERTICES: usize = 100_000_000;
 
 /// Parses a DIMACS `.col` document.
 ///
+/// The parse is *streaming*: two passes over the text — one to validate
+/// every line and count vertex degrees, one to fill the adjacency
+/// structure ([`crate::CsrBuilder`]) — so no intermediate edge list is
+/// ever materialized. Peak transient memory is `O(n)` bookkeeping on top
+/// of the returned graph, which matters for the larger DIMACS coloring
+/// benchmarks (millions of edge lines).
+///
 /// # Errors
 ///
 /// Returns [`ParseColError`] on missing/duplicate problem lines, malformed
@@ -57,8 +64,8 @@ pub const MAX_DECLARED_VERTICES: usize = 100_000_000;
 /// # Ok::<(), sbgc_graph::dimacs::ParseColError>(())
 /// ```
 pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
-    let mut num_vertices: Option<usize> = None;
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Pass 1: validate everything and count degrees.
+    let mut builder: Option<CsrBuilder> = None;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
@@ -68,7 +75,7 @@ pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
         let mut tok = line.split_whitespace();
         match tok.next() {
             Some("p") => {
-                if num_vertices.is_some() {
+                if builder.is_some() {
                     return Err(ParseColError::new(lineno, "duplicate problem line"));
                 }
                 let fmt_name = tok.next().unwrap_or("");
@@ -90,26 +97,14 @@ pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
                 }
                 // Edge count on the p line is advisory; parse but don't trust.
                 let _m: Option<usize> = tok.next().and_then(|t| t.parse().ok());
-                num_vertices = Some(n);
+                builder = Some(Graph::builder(n));
             }
             Some("e") => {
-                let n = num_vertices
+                let b = builder
+                    .as_mut()
                     .ok_or_else(|| ParseColError::new(lineno, "edge before problem line"))?;
-                let a: usize = tok
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
-                let b: usize = tok
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
-                if a == 0 || b == 0 || a > n || b > n {
-                    return Err(ParseColError::new(
-                        lineno,
-                        format!("edge ({a}, {b}) out of range 1..={n}"),
-                    ));
-                }
-                edges.push((a - 1, b - 1));
+                let (x, y) = parse_edge_line(&mut tok, lineno, b.num_vertices())?;
+                b.count_edge(x, y);
             }
             Some(other) => {
                 return Err(ParseColError::new(lineno, format!("unknown line type `{other}`")));
@@ -117,8 +112,41 @@ pub fn parse_col(text: &str) -> Result<Graph, ParseColError> {
             None => {}
         }
     }
-    let n = num_vertices.ok_or_else(|| ParseColError::new(0, "missing problem line"))?;
-    Ok(Graph::from_edges(n, edges))
+    let mut builder = builder.ok_or_else(|| ParseColError::new(0, "missing problem line"))?;
+    builder.start_fill();
+    // Pass 2: fill adjacency. Pass 1 already validated every line, so only
+    // `e` lines need attention (the re-validation below is for safety and
+    // cannot fire).
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let mut tok = line.split_whitespace();
+        if tok.next() == Some("e") {
+            let (x, y) = parse_edge_line(&mut tok, idx + 1, builder.num_vertices())?;
+            builder.fill_edge(x, y);
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Parses the two 1-based endpoints of an `e` line (the line-type token
+/// already consumed), returning them 0-based.
+fn parse_edge_line<'a>(
+    tok: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    n: usize,
+) -> Result<(usize, usize), ParseColError> {
+    let a: usize = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
+    let b: usize = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseColError::new(lineno, "bad edge endpoint"))?;
+    if a == 0 || b == 0 || a > n || b > n {
+        return Err(ParseColError::new(lineno, format!("edge ({a}, {b}) out of range 1..={n}")));
+    }
+    Ok((a - 1, b - 1))
 }
 
 /// Serializes a graph in DIMACS `.col` format, with an optional comment.

@@ -88,6 +88,14 @@ impl Graph {
         Graph::from_edges(n, std::iter::empty())
     }
 
+    /// Starts a streaming two-pass CSR build: see [`CsrBuilder`]. Unlike
+    /// [`Graph::from_edges`], no intermediate edge list is materialized —
+    /// the caller streams each edge once to count degrees and once to
+    /// fill adjacency, so peak memory is the CSR structure itself.
+    pub fn builder(num_vertices: usize) -> CsrBuilder {
+        CsrBuilder::new(num_vertices)
+    }
+
     /// Builds the complete graph on `n` vertices.
     pub fn complete(n: usize) -> Self {
         let edges = (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b)));
@@ -238,6 +246,167 @@ impl fmt::Debug for Graph {
     }
 }
 
+/// Streaming two-pass CSR construction, for callers that can iterate
+/// their edge source twice (e.g. a DIMACS `.col` document held as text).
+///
+/// [`Graph::from_edges`] buffers every edge in an intermediate
+/// `Vec<(u32, u32)>` before building the CSR arrays — 8 bytes per edge of
+/// transient memory on top of the final structure. The builder instead
+/// makes a *counting* pass ([`CsrBuilder::count_edge`] per edge), sizes
+/// the CSR arrays exactly, then makes a *filling* pass
+/// ([`CsrBuilder::fill_edge`] per edge, after [`CsrBuilder::start_fill`]),
+/// so peak memory is the final adjacency plus `O(n)` bookkeeping.
+/// Self-loops are dropped and duplicate edges merged, exactly as in
+/// [`Graph::from_edges`].
+///
+/// # Example
+///
+/// ```
+/// use sbgc_graph::Graph;
+/// let edges = [(0usize, 1usize), (1, 2), (1, 2)]; // dup merged
+/// let mut b = Graph::builder(3);
+/// for &(x, y) in &edges {
+///     b.count_edge(x, y);
+/// }
+/// b.start_fill();
+/// for &(x, y) in &edges {
+///     b.fill_edge(x, y);
+/// }
+/// assert_eq!(b.finish(), Graph::from_edges(3, edges));
+/// ```
+#[derive(Debug)]
+pub struct CsrBuilder {
+    num_vertices: usize,
+    /// Degrees during counting; CSR offsets after `start_fill`.
+    offsets: Vec<usize>,
+    /// Per-vertex write cursor during filling.
+    cursor: Vec<usize>,
+    adj: Vec<u32>,
+    filling: bool,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for a graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        CsrBuilder {
+            num_vertices,
+            offsets: vec![0; num_vertices + 1],
+            cursor: Vec::new(),
+            adj: Vec::new(),
+            filling: false,
+        }
+    }
+
+    /// The vertex count this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Counting pass: registers one endpoint pair. Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or [`CsrBuilder::start_fill`]
+    /// was already called.
+    pub fn count_edge(&mut self, a: usize, b: usize) {
+        assert!(!self.filling, "count_edge after start_fill");
+        assert!(
+            a < self.num_vertices && b < self.num_vertices,
+            "edge ({a}, {b}) out of range for {} vertices",
+            self.num_vertices
+        );
+        if a == b {
+            return;
+        }
+        // offsets[v + 1] accumulates deg(v); the prefix sum shifts into place.
+        self.offsets[a + 1] += 1;
+        self.offsets[b + 1] += 1;
+    }
+
+    /// Ends the counting pass: sizes the adjacency array from the counted
+    /// degrees and prepares the per-vertex cursors for filling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start_fill(&mut self) {
+        assert!(!self.filling, "start_fill called twice");
+        self.filling = true;
+        for v in 0..self.num_vertices {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        self.adj = vec![0u32; self.offsets[self.num_vertices]];
+        self.cursor = self.offsets[..self.num_vertices].to_vec();
+    }
+
+    /// Filling pass: stores one endpoint pair. The caller must replay
+    /// exactly the edges it counted (any order). Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, if called before
+    /// [`CsrBuilder::start_fill`], or if a vertex receives more neighbors
+    /// than were counted for it.
+    pub fn fill_edge(&mut self, a: usize, b: usize) {
+        assert!(self.filling, "fill_edge before start_fill");
+        assert!(
+            a < self.num_vertices && b < self.num_vertices,
+            "edge ({a}, {b}) out of range for {} vertices",
+            self.num_vertices
+        );
+        if a == b {
+            return;
+        }
+        for (v, w) in [(a, b), (b, a)] {
+            assert!(self.cursor[v] < self.offsets[v + 1], "more edges filled than counted at {v}");
+            self.adj[self.cursor[v]] = w as u32;
+            self.cursor[v] += 1;
+        }
+    }
+
+    /// Sorts and deduplicates each adjacency list in place and returns the
+    /// finished graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CsrBuilder::start_fill`] or if fewer
+    /// edges were filled than counted.
+    pub fn finish(mut self) -> Graph {
+        assert!(self.filling, "finish before start_fill");
+        for v in 0..self.num_vertices {
+            assert_eq!(
+                self.cursor[v],
+                self.offsets[v + 1],
+                "fewer edges filled than counted at {v}"
+            );
+        }
+        // Sort each slice, then compact duplicates in place, reusing the
+        // cursor vector (no longer needed) plus one slot for new offsets.
+        let mut write = 0usize;
+        let mut new_offsets = std::mem::take(&mut self.cursor);
+        new_offsets.clear();
+        new_offsets.push(0);
+        for v in 0..self.num_vertices {
+            let (start, end) = (self.offsets[v], self.offsets[v + 1]);
+            self.adj[start..end].sort_unstable();
+            let mut prev = None;
+            for i in start..end {
+                let x = self.adj[i];
+                if prev != Some(x) {
+                    self.adj[write] = x;
+                    write += 1;
+                    prev = Some(x);
+                }
+            }
+            new_offsets.push(write);
+        }
+        self.adj.truncate(write);
+        self.adj.shrink_to_fit();
+        // Every undirected edge appears in exactly two adjacency lists.
+        Graph { offsets: new_offsets, adj: self.adj, num_edges: write / 2 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +441,44 @@ mod tests {
         assert_eq!(g.num_edges(), 5);
         assert!(g.has_edge(4, 0));
         assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn builder_matches_from_edges_with_dups_and_loops() {
+        let edges = [(0usize, 1usize), (1, 0), (2, 2), (3, 1), (1, 3), (4, 0)];
+        let mut b = Graph::builder(5);
+        for &(x, y) in &edges {
+            b.count_edge(x, y);
+        }
+        b.start_fill();
+        for &(x, y) in &edges {
+            b.fill_edge(x, y);
+        }
+        let g = b.finish();
+        assert_eq!(g, Graph::from_edges(5, edges));
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "more edges filled than counted")]
+    fn builder_rejects_uncounted_fill() {
+        let mut b = Graph::builder(3);
+        b.count_edge(0, 1);
+        b.start_fill();
+        b.fill_edge(0, 1);
+        b.fill_edge(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer edges filled than counted")]
+    fn builder_rejects_missing_fill() {
+        let mut b = Graph::builder(3);
+        b.count_edge(0, 1);
+        b.count_edge(1, 2);
+        b.start_fill();
+        b.fill_edge(0, 1);
+        let _ = b.finish();
     }
 
     #[test]

@@ -40,4 +40,4 @@ mod graph;
 pub mod suite;
 
 pub use algo::Coloring;
-pub use graph::Graph;
+pub use graph::{CsrBuilder, Graph};

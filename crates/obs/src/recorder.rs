@@ -241,6 +241,33 @@ pub struct WorkerTelemetry {
     /// wins, and its `search` counters are whatever was flushed before
     /// death (possibly all zero).
     pub failed: Option<String>,
+    /// For persistent-session workers: the 0-based query index this
+    /// telemetry entry describes (a session records one entry per worker
+    /// per ladder query, with `search` holding that query's counter
+    /// *delta*, not the worker's lifetime totals). `None` for one-shot
+    /// races.
+    pub query: Option<u64>,
+}
+
+/// Telemetry for one step of an incremental chromatic-number ladder
+/// (one assumption query against a persistent solver session), recorded
+/// by `sbgc-core`'s ladder driver.
+#[derive(Clone, Debug)]
+pub struct LadderStepTelemetry {
+    /// 0-based position of the step in the ladder.
+    pub step: u64,
+    /// The color count the step queried ("is the graph `target`-colorable?").
+    pub target: usize,
+    /// `"sat"`, `"unsat"`, or `"unknown"`.
+    pub outcome: String,
+    /// Wall-clock seconds the query took.
+    pub seconds: f64,
+    /// Learned clauses still live in the session's engines when the query
+    /// started — clauses retained from earlier ladder steps (summed across
+    /// portfolio workers). 0 on the first step.
+    pub retained_clauses: u64,
+    /// Alive solver workers that served the query (1 for sequential).
+    pub workers: usize,
 }
 
 struct Inner {
@@ -249,6 +276,7 @@ struct Inner {
     counters: [AtomicU64; Counter::ALL.len()],
     spans: Mutex<Vec<SpanRecord>>,
     workers: Mutex<Vec<WorkerTelemetry>>,
+    ladder: Mutex<Vec<LadderStepTelemetry>>,
 }
 
 /// A lightweight event/span recorder shared across the solving pipeline.
@@ -279,6 +307,7 @@ impl Recorder {
                 counters: Default::default(),
                 spans: Mutex::new(Vec::new()),
                 workers: Mutex::new(Vec::new()),
+                ladder: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -368,6 +397,23 @@ impl Recorder {
     pub fn workers(&self) -> Vec<WorkerTelemetry> {
         match &self.inner {
             Some(inner) => inner.workers.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records one ladder step of an incremental chromatic-number search.
+    ///
+    /// Poison-tolerant for the same reason as [`Recorder::record_worker`].
+    pub fn record_ladder_step(&self, step: LadderStepTelemetry) {
+        if let Some(inner) = &self.inner {
+            inner.ladder.lock().unwrap_or_else(PoisonError::into_inner).push(step);
+        }
+    }
+
+    /// All recorded ladder steps, in recording (= ladder) order.
+    pub fn ladder_steps(&self) -> Vec<LadderStepTelemetry> {
+        match &self.inner {
+            Some(inner) => inner.ladder.lock().unwrap_or_else(PoisonError::into_inner).clone(),
             None => Vec::new(),
         }
     }
@@ -475,6 +521,26 @@ mod tests {
         assert_eq!(spans[1].phase, Phase::Solve);
         assert_eq!(spans[1].depth, 0);
         assert_eq!(r.open_spans(), 0);
+    }
+
+    #[test]
+    fn ladder_steps_record_in_order() {
+        let r = Recorder::new();
+        for (i, target) in [(0u64, 8usize), (1, 6)] {
+            r.record_ladder_step(LadderStepTelemetry {
+                step: i,
+                target,
+                outcome: "sat".to_string(),
+                seconds: 0.1,
+                retained_clauses: i * 100,
+                workers: 4,
+            });
+        }
+        let steps = r.ladder_steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].target, 8);
+        assert_eq!(steps[1].retained_clauses, 100);
+        assert!(Recorder::disabled().ladder_steps().is_empty());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! added, removed, or changes meaning.
 
 use crate::json::{self, Obj};
-use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry};
+use crate::recorder::{
+    Counter, LadderStepTelemetry, Phase, Recorder, SearchCounters, WorkerTelemetry,
+};
 
 /// Version of the JSON schema emitted by [`RunReport::to_json`] and
 /// [`ReportFile::to_json`]. Incremented on any incompatible change.
@@ -18,8 +20,11 @@ use crate::recorder::{Counter, Phase, Recorder, SearchCounters, WorkerTelemetry}
 /// `failed` field (panic summary for workers that died mid-race). v4 added
 /// the clause-sharing counters `lbd_sum`, `exported` and `imported` plus
 /// the derived `mean_lbd` to every `search` object (run-level and
-/// per-worker).
-pub const SCHEMA_VERSION: u32 = 4;
+/// per-worker). v5 added the `ladder` array (one entry per incremental
+/// chromatic ladder step with its `retained_clauses` counter) and the
+/// per-worker `query` field (ladder-query index for persistent-session
+/// workers, `null` for one-shot races).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -232,6 +237,8 @@ pub struct RunReport {
     pub search: SearchCounters,
     /// Per-worker portfolio telemetry; empty for sequential runs.
     pub workers: Vec<WorkerTelemetry>,
+    /// Per-step incremental-ladder telemetry; empty for one-shot runs.
+    pub ladder: Vec<LadderStepTelemetry>,
     /// End-to-end wall-clock seconds for the run.
     pub total_seconds: f64,
     /// What the run concluded.
@@ -261,6 +268,7 @@ impl RunReport {
             .collect();
         self.search = rec.search_counters();
         self.workers = rec.workers();
+        self.ladder = rec.ladder_steps();
     }
 
     /// Renders the report as a pretty-printed JSON object indented by
@@ -298,6 +306,13 @@ impl RunReport {
             "workers",
             json::array(
                 &self.workers.iter().map(|w| worker_json(w, inner + 2)).collect::<Vec<_>>(),
+                inner,
+            ),
+        );
+        o.raw(
+            "ladder",
+            json::array(
+                &self.ladder.iter().map(|s| ladder_step_json(s, inner + 2)).collect::<Vec<_>>(),
                 inner,
             ),
         );
@@ -342,6 +357,21 @@ fn worker_json(w: &WorkerTelemetry, indent: usize) -> String {
         Some(msg) => o.str("failed", msg),
         None => o.raw("failed", "null"),
     };
+    match w.query {
+        Some(q) => o.uint("query", q),
+        None => o.raw("query", "null"),
+    };
+    o.finish(indent)
+}
+
+fn ladder_step_json(s: &LadderStepTelemetry, indent: usize) -> String {
+    let mut o = Obj::new();
+    o.uint("step", s.step)
+        .usize("target", s.target)
+        .str("outcome", &s.outcome)
+        .float("seconds", s.seconds)
+        .uint("retained_clauses", s.retained_clauses)
+        .usize("workers", s.workers);
     o.finish(indent)
 }
 
@@ -417,14 +447,32 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"exported\": 0"));
         assert!(json.contains("\"mean_lbd\": null"));
         assert!(json.contains("\"grid\\\"3x3\""));
         assert!(json.contains("\"colors\": 2"));
         assert!(json.contains("\"certificate\": null"));
         assert!(json.contains("\"exhaust_reason\": null"));
+        assert!(json.contains("\"ladder\": []"));
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn ladder_steps_serialize_with_retained_clauses() {
+        let mut report = RunReport::default();
+        report.ladder.push(LadderStepTelemetry {
+            step: 1,
+            target: 6,
+            outcome: "unsat".to_string(),
+            seconds: 0.5,
+            retained_clauses: 1234,
+            workers: 4,
+        });
+        let json = report.to_json(0);
+        assert!(json.contains("\"target\": 6"));
+        assert!(json.contains("\"outcome\": \"unsat\""));
+        assert!(json.contains("\"retained_clauses\": 1234"));
     }
 
     #[test]
@@ -450,9 +498,11 @@ mod tests {
             cancel_latency: None,
             run_time: Duration::from_millis(3),
             failed: Some("injected fault".to_string()),
+            query: Some(2),
         });
         let json = report.to_json(0);
         assert!(json.contains("\"failed\": \"injected fault\""));
+        assert!(json.contains("\"query\": 2"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn counters_race_free_under_concurrent_workers() {
                     cancel_latency: (index != 0).then(|| Duration::from_millis(1)),
                     run_time: Duration::from_millis(5),
                     failed: None,
+                    query: None,
                 });
             });
         }
@@ -134,6 +135,7 @@ fn disabled_recorder_adds_zero_events() {
         cancel_latency: None,
         run_time: Duration::from_secs(1),
         failed: None,
+        query: None,
     });
 
     assert!(rec.spans().is_empty());

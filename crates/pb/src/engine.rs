@@ -1390,6 +1390,13 @@ impl PbEngine {
         self.clauses.iter().filter(|c| !c.deleted).count()
     }
 
+    /// Number of live *learned* clauses — lemmas the engine has derived
+    /// and not yet deleted. Across assumption queries this measures the
+    /// state a persistent session retains from earlier ladder steps.
+    pub fn live_learned(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learned && !c.deleted).count()
+    }
+
     /// Number of stored PB constraints.
     pub fn num_pb_constraints(&self) -> usize {
         self.pbs.len()

@@ -57,7 +57,7 @@ pub use optimize::{
 pub use portfolio::{
     optimize_portfolio, optimize_portfolio_instrumented, optimize_portfolio_recorded,
     portfolio_configs, solve_portfolio, solve_portfolio_instrumented, solve_portfolio_recorded,
-    PortfolioError, PortfolioOptOutcome, PortfolioOutcome,
+    PortfolioError, PortfolioOptOutcome, PortfolioOutcome, PortfolioSession, SessionQueryOutcome,
 };
 
 pub use sbgc_obs::{FaultPlan, Recorder, WorkerTelemetry};

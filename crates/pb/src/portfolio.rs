@@ -49,13 +49,14 @@
 use crate::config::{EngineConfig, RestartPolicy, SolverKind};
 use crate::engine::{PbEngine, PbStats};
 use crate::optimize::OptOutcome;
-use sbgc_formula::{Assignment, PbConstraint, PbFormula};
+use sbgc_formula::{Assignment, Lit, PbConstraint, PbFormula};
 use sbgc_obs::{FaultPlan, Recorder, SearchCounters, WorkerTelemetry};
-use sbgc_sat::{Budget, CancelToken, SharedClausePool, SharingConfig, SolveOutcome};
+use sbgc_sat::{Budget, CancelToken, SharedClausePool, SharingConfig, SharingHandle, SolveOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Typed failure of a portfolio entry point — misuse conditions that were
 /// previously reported by panicking, surfaced as values so callers can
@@ -406,6 +407,7 @@ pub fn solve_portfolio_instrumented(
                             cancel_latency: if won { None } else { cancel_mark.latency(finish) },
                             run_time: finish.duration_since(run_start),
                             failed: None,
+                            query: None,
                         });
                     }
                 }));
@@ -421,6 +423,7 @@ pub fn solve_portfolio_instrumented(
                             cancel_latency: None,
                             run_time: run_start.elapsed(),
                             failed: Some(panic_summary(payload.as_ref())),
+                            query: None,
                         });
                     }
                 }
@@ -687,6 +690,7 @@ pub fn optimize_portfolio_instrumented(
                             cancel_latency: if won { None } else { cancel_mark.latency(finish) },
                             run_time: finish.duration_since(run_start),
                             failed: None,
+                            query: None,
                         });
                     }
                 }));
@@ -702,6 +706,7 @@ pub fn optimize_portfolio_instrumented(
                             cancel_latency: None,
                             run_time: run_start.elapsed(),
                             failed: Some(panic_summary(payload.as_ref())),
+                            query: None,
                         });
                     }
                 }
@@ -725,6 +730,497 @@ pub fn optimize_portfolio_instrumented(
         None => OptOutcome::Unknown,
     };
     Ok(PortfolioOptOutcome { outcome, winner: None, stats, failed_workers })
+}
+
+// ---------------------------------------------------------------------------
+// Persistent portfolio session
+// ---------------------------------------------------------------------------
+
+/// Per-field difference of two cumulative stats snapshots — the work one
+/// query cost a persistent engine. Carries the *after* exhaustion reason
+/// (exhaustion is per-solve, not cumulative).
+fn stats_delta(before: PbStats, after: PbStats) -> PbStats {
+    let mut d = after;
+    d.decisions -= before.decisions;
+    d.conflicts -= before.conflicts;
+    d.propagations -= before.propagations;
+    d.restarts -= before.restarts;
+    d.learned -= before.learned;
+    d.deleted -= before.deleted;
+    d.pb_conflicts -= before.pb_conflicts;
+    d.learned_literals -= before.learned_literals;
+    d.lbd_sum -= before.lbd_sum;
+    d.exported -= before.exported;
+    d.imported -= before.imported;
+    d
+}
+
+/// A command sent to a persistent session worker. Shutdown is signalled by
+/// dropping the sender, not by a variant.
+enum Command {
+    /// Answer one assumption query against the worker's long-lived engine.
+    Query { id: u64, assumptions: Vec<Lit>, budget: Budget },
+    /// Permanently add each literal as a unit clause before the next
+    /// query. Fire-and-forget: the channel's ordering guarantees every
+    /// worker applies the commit before it starts any later query, and
+    /// `query` only returns once all workers are quiescent, so a clause
+    /// learned from committed units can never reach a worker that has not
+    /// committed them itself.
+    Commit { units: Vec<Lit> },
+}
+
+/// One worker's answer to one [`Command::Query`].
+enum ReplyBody {
+    /// The query ran (possibly to `Unknown`); the engine survives and the
+    /// worker is ready for the next query.
+    Answered {
+        outcome: SolveOutcome,
+        /// Failed-assumption core; non-empty only for assumption-relative
+        /// `Unsat` answers.
+        core: Vec<Lit>,
+        /// This query's search-counter *delta* (the engine's counters are
+        /// cumulative across the session).
+        delta: PbStats,
+        /// Live learned clauses in the engine when the query started —
+        /// state retained from earlier queries (0 on the first).
+        retained: u64,
+        run_time: Duration,
+        finish: Instant,
+    },
+    /// The worker died (its solve panicked) and will never reply again; a
+    /// possibly-corrupt engine is never reused.
+    Died { summary: String, run_time: Duration },
+}
+
+struct Reply {
+    worker: usize,
+    query: u64,
+    body: ReplyBody,
+}
+
+struct WorkerSlot {
+    config: EngineConfig,
+    tx: Option<Sender<Command>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerSlot {
+    fn alive(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Drops the command channel (the thread's `recv` loop exits if it is
+    /// still running) and joins the thread.
+    fn retire(&mut self) {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one persistent session worker thread: build the engine once,
+/// then answer assumption queries until the command channel closes.
+#[allow(clippy::too_many_arguments)]
+fn session_worker(
+    index: usize,
+    config: EngineConfig,
+    formula: Arc<PbFormula>,
+    recorder: Recorder,
+    fault: Option<FaultPlan>,
+    sharing_handle: Option<SharingHandle>,
+    rx: Receiver<Command>,
+    reply_tx: Sender<Reply>,
+) {
+    // Engine construction is isolated like the solves: a panic here turns
+    // into a `Died` reply on the first query instead of a hung session.
+    let mut engine = catch_unwind(AssertUnwindSafe(|| {
+        let mut e = PbEngine::from_formula(&formula, config);
+        e.set_recorder(recorder.clone());
+        if let Some(handle) = sharing_handle {
+            e.set_sharing(handle);
+        }
+        e
+    }))
+    .map_err(|payload| panic_summary(payload.as_ref()));
+    // In a session the fault plan's `after_conflicts` value is reinterpreted
+    // as the 0-based *query index* at which this worker panics, modeling a
+    // worker dying between ladder steps (see `docs/ROBUSTNESS.md`).
+    let injected = fault.as_ref().and_then(|p| p.worker_panic(index));
+    while let Ok(command) = rx.recv() {
+        let (id, assumptions, budget) = match command {
+            Command::Query { id, assumptions, budget } => (id, assumptions, budget),
+            Command::Commit { units } => {
+                // `add_clause` backtracks to the root itself, so a unit is
+                // safe to commit between queries. A panic here poisons the
+                // engine exactly like a mid-solve panic: never reuse it.
+                if let Ok(eng) = engine.as_mut() {
+                    let committed = catch_unwind(AssertUnwindSafe(|| {
+                        for &lit in &units {
+                            eng.add_clause([lit]);
+                        }
+                    }));
+                    if let Err(payload) = committed {
+                        engine = Err(panic_summary(payload.as_ref()));
+                    }
+                }
+                continue;
+            }
+        };
+        let run_start = Instant::now();
+        let eng = match engine.as_mut() {
+            Ok(eng) => eng,
+            Err(summary) => {
+                let body =
+                    ReplyBody::Died { summary: summary.clone(), run_time: run_start.elapsed() };
+                let _ = reply_tx.send(Reply { worker: index, query: id, body });
+                return;
+            }
+        };
+        let before = eng.stats();
+        let retained = eng.live_learned() as u64;
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if injected == Some(id) {
+                panic!("injected fault: worker {index} panicked before query {id}");
+            }
+            let outcome = eng.solve_with_assumptions(&assumptions, &budget);
+            let core = match outcome {
+                SolveOutcome::Unsat => eng.assumption_core().to_vec(),
+                _ => Vec::new(),
+            };
+            (outcome, core)
+        }));
+        let finish = Instant::now();
+        match solved {
+            Ok((outcome, core)) => {
+                if recorder.is_enabled() {
+                    eng.flush_recorder();
+                }
+                let body = ReplyBody::Answered {
+                    outcome,
+                    core,
+                    delta: stats_delta(before, eng.stats()),
+                    retained,
+                    run_time: finish.duration_since(run_start),
+                    finish,
+                };
+                let _ = reply_tx.send(Reply { worker: index, query: id, body });
+            }
+            Err(payload) => {
+                let body = ReplyBody::Died {
+                    summary: panic_summary(payload.as_ref()),
+                    run_time: finish.duration_since(run_start),
+                };
+                let _ = reply_tx.send(Reply { worker: index, query: id, body });
+                return;
+            }
+        }
+    }
+}
+
+/// Result of one [`PortfolioSession::query`].
+#[derive(Clone, Debug)]
+pub struct SessionQueryOutcome {
+    /// The decision answer under the query's assumptions (first definitive
+    /// reply, else `Unknown`).
+    pub outcome: SolveOutcome,
+    /// Index and configuration of the worker that produced the definitive
+    /// answer, when there was one.
+    pub winner: Option<(usize, EngineConfig)>,
+    /// Search statistics summed over all workers, as *deltas* for this
+    /// query only — the work this query cost, not the session's lifetime
+    /// totals.
+    pub stats: PbStats,
+    /// Workers that died (panicked) during *this* query; see
+    /// [`PortfolioSession::failed_workers`] for the session total.
+    pub failed_workers: usize,
+    /// Learned clauses still live across all engines when the query
+    /// started — solver state retained from earlier queries (0 on the
+    /// session's first query).
+    pub retained_clauses: u64,
+    /// The winner's failed-assumption core when `outcome` is `Unsat` under
+    /// non-empty assumptions: a subset of the query's assumptions whose
+    /// conjunction the formula already refutes. Empty otherwise.
+    pub core: Vec<Lit>,
+}
+
+/// A persistent portfolio: one long-lived worker thread per
+/// [`EngineConfig`], each keeping its [`PbEngine`] — clause database,
+/// learned-clause tiers, saved phases, restart state — and its
+/// [`SharedClausePool`] handle alive across an arbitrary number of
+/// assumption queries.
+///
+/// This is the MiniSat-family incremental-SAT idea applied to a racing
+/// portfolio: each [`query`](PortfolioSession::query) races all surviving
+/// workers on `solve_with_assumptions`, takes the first definitive answer
+/// and cancels the rest through a per-query [`CancelToken`]. Cancellation
+/// of query *i*'s losers cannot poison query *i + 1*: a cancelled engine
+/// backtracks to the root on its next solve and rejoins at the next query,
+/// re-importing any pool clauses it missed at its first restart boundary.
+/// Learned clauses — local and imported — are derived by resolution from
+/// the clause database alone (assumptions enter as decisions, never as
+/// axioms), so everything retained or shared is entailed by the formula
+/// itself and stays valid for every later query, whatever its assumptions.
+///
+/// Fault tolerance matches the one-shot races: a worker that panics dies
+/// alone (its possibly-corrupt engine is never reused), later queries race
+/// the survivors, and a session whose workers have all died answers
+/// `Unknown`. With an enabled [`Recorder`], every query records one
+/// [`WorkerTelemetry`] entry per worker with the per-query counter delta
+/// and the query index in its `query` field.
+///
+/// Dropping the session shuts the workers down and joins their threads.
+pub struct PortfolioSession {
+    workers: Vec<WorkerSlot>,
+    reply_rx: Receiver<Reply>,
+    recorder: Recorder,
+    next_query: u64,
+    failed_total: usize,
+}
+
+impl PortfolioSession {
+    /// Spawns one persistent worker per config on `formula`, with clause
+    /// sharing on and no fault injection. Workers build their engines
+    /// concurrently; the call returns without waiting for them.
+    ///
+    /// # Errors
+    ///
+    /// [`PortfolioError::NoWorkers`] if `configs` is empty.
+    pub fn new(
+        formula: &PbFormula,
+        configs: &[EngineConfig],
+        recorder: &Recorder,
+    ) -> Result<Self, PortfolioError> {
+        Self::with_instrumentation(formula, configs, recorder, None, Some(SharingConfig::default()))
+    }
+
+    /// [`PortfolioSession::new`] plus deterministic fault injection and a
+    /// sharing override. In a session, a [`FaultPlan`] worker panic's
+    /// `after_conflicts` value is reinterpreted as the 0-based **query
+    /// index** at which the worker panics (a worker dying *between* ladder
+    /// steps); the conflict-count reading only makes sense for one-shot
+    /// races. Production callers use [`PortfolioSession::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`PortfolioError::NoWorkers`] if `configs` is empty.
+    pub fn with_instrumentation(
+        formula: &PbFormula,
+        configs: &[EngineConfig],
+        recorder: &Recorder,
+        fault: Option<&FaultPlan>,
+        sharing: Option<SharingConfig>,
+    ) -> Result<Self, PortfolioError> {
+        if configs.is_empty() {
+            return Err(PortfolioError::NoWorkers);
+        }
+        let formula = Arc::new(formula.clone());
+        let pool = SharedClausePool::new();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let workers = configs
+            .iter()
+            .enumerate()
+            .map(|(index, &config)| {
+                let (tx, rx) = mpsc::channel();
+                let formula = Arc::clone(&formula);
+                let recorder = recorder.clone();
+                let fault = fault.cloned();
+                let sharing_handle = sharing.map(|cfg| pool.handle(index, cfg));
+                let reply_tx = reply_tx.clone();
+                let handle = std::thread::spawn(move || {
+                    session_worker(
+                        index,
+                        config,
+                        formula,
+                        recorder,
+                        fault,
+                        sharing_handle,
+                        rx,
+                        reply_tx,
+                    )
+                });
+                WorkerSlot { config, tx: Some(tx), handle: Some(handle) }
+            })
+            .collect();
+        Ok(PortfolioSession {
+            workers,
+            reply_rx,
+            recorder: recorder.clone(),
+            next_query: 0,
+            failed_total: 0,
+        })
+    }
+
+    /// Races all surviving workers on one assumption query and returns the
+    /// first definitive answer (cancelling the losers), or `Unknown` when
+    /// the budget ran out or every worker is dead.
+    ///
+    /// The call waits for *every* surviving worker to acknowledge the
+    /// query (cancelled losers included) before returning, so the workers
+    /// are quiescent — and their engines intact — when the next query
+    /// starts. The budget's deadline is armed on first use, exactly like
+    /// the one-shot races; conflict caps compare against each engine's
+    /// *cumulative* conflict count, so a `with_max_conflicts` budget caps
+    /// the session's total work, not each query's.
+    pub fn query(&mut self, assumptions: &[Lit], budget: &Budget) -> SessionQueryOutcome {
+        let id = self.next_query;
+        self.next_query += 1;
+        let budget = budget.started();
+        let race = CancelToken::new();
+        let cancel_mark = CancelMark::new();
+        let mut pending = 0usize;
+        for slot in &mut self.workers {
+            let Some(tx) = &slot.tx else { continue };
+            let command = Command::Query {
+                id,
+                assumptions: assumptions.to_vec(),
+                budget: budget.clone().with_cancel_token(race.clone()),
+            };
+            if tx.send(command).is_ok() {
+                pending += 1;
+            } else {
+                // The worker thread is already gone; retire the slot.
+                slot.retire();
+            }
+        }
+
+        let mut stats = PbStats::default();
+        let mut retained_clauses = 0u64;
+        let mut failed_workers = 0usize;
+        let mut winner: Option<(usize, SolveOutcome, Vec<Lit>)> = None;
+        while pending > 0 {
+            // `recv` can only fail when every worker thread has exited, in
+            // which case each pending worker already sent its `Died`.
+            let Ok(reply) = self.reply_rx.recv() else { break };
+            if reply.query != id {
+                continue;
+            }
+            pending -= 1;
+            let config = self.workers[reply.worker].config;
+            match reply.body {
+                ReplyBody::Died { summary, run_time } => {
+                    failed_workers += 1;
+                    self.failed_total += 1;
+                    self.workers[reply.worker].retire();
+                    if self.recorder.is_enabled() {
+                        self.recorder.record_worker(WorkerTelemetry {
+                            index: reply.worker,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: SearchCounters::default(),
+                            won: false,
+                            cancel_latency: None,
+                            run_time,
+                            failed: Some(summary),
+                            query: Some(id),
+                        });
+                    }
+                }
+                ReplyBody::Answered { outcome, core, delta, retained, run_time, finish } => {
+                    add_stats(&mut stats, delta);
+                    retained_clauses += retained;
+                    let mut won = false;
+                    if winner.is_none()
+                        && matches!(outcome, SolveOutcome::Sat(_) | SolveOutcome::Unsat)
+                    {
+                        winner = Some((reply.worker, outcome, core));
+                        cancel_mark.stamp();
+                        race.cancel();
+                        won = true;
+                    }
+                    if self.recorder.is_enabled() {
+                        self.recorder.record_worker(WorkerTelemetry {
+                            index: reply.worker,
+                            seed: config.seed,
+                            config: config_label(&config),
+                            search: delta.into(),
+                            won,
+                            cancel_latency: if won { None } else { cancel_mark.latency(finish) },
+                            run_time,
+                            failed: None,
+                            query: Some(id),
+                        });
+                    }
+                }
+            }
+        }
+
+        let (winner, outcome, core) = match winner {
+            Some((index, outcome, core)) => {
+                (Some((index, self.workers[index].config)), outcome, core)
+            }
+            None => (None, SolveOutcome::Unknown, Vec::new()),
+        };
+        if !matches!(outcome, SolveOutcome::Unknown) {
+            // The query was decided; the losers' budget exhaustion is not
+            // the outcome's exhaustion.
+            stats.exhaust = None;
+        }
+        SessionQueryOutcome { outcome, winner, stats, failed_workers, retained_clauses, core }
+    }
+
+    /// Permanently adds each literal in `units` as a unit clause in every
+    /// surviving worker's engine, ahead of all later queries.
+    ///
+    /// This strengthens the formula, so it is only sound when the caller
+    /// knows every *future* query would carry these literals among its
+    /// assumptions anyway — e.g. a chromatic ladder whose upper bound just
+    /// dropped commits the color-indicator suffix it will never query
+    /// again. Root-level units beat assumptions: the engines simplify
+    /// against them once instead of re-deciding them after every restart.
+    pub fn commit_units(&mut self, units: &[Lit]) {
+        if units.is_empty() {
+            return;
+        }
+        for slot in &mut self.workers {
+            let Some(tx) = &slot.tx else { continue };
+            if tx.send(Command::Commit { units: units.to_vec() }).is_err() {
+                slot.retire();
+            }
+        }
+    }
+
+    /// Number of workers still alive (spawned minus died).
+    pub fn alive_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive()).count()
+    }
+
+    /// Total workers that have died (panicked) over the session's life.
+    pub fn failed_workers(&self) -> usize {
+        self.failed_total
+    }
+
+    /// Queries issued so far (the next query's 0-based index).
+    pub fn queries_issued(&self) -> u64 {
+        self.next_query
+    }
+}
+
+impl Drop for PortfolioSession {
+    fn drop(&mut self) {
+        // Close every command channel first so all workers exit their
+        // receive loops concurrently, then join.
+        for slot in &mut self.workers {
+            slot.tx = None;
+        }
+        for slot in &mut self.workers {
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PortfolioSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PortfolioSession(workers={}, alive={}, queries={})",
+            self.workers.len(),
+            self.alive_workers(),
+            self.next_query
+        )
+    }
 }
 
 #[cfg(test)]
@@ -1067,5 +1563,157 @@ mod tests {
         assert_eq!(out.failed_workers, 1);
         let (winner_index, _) = out.winner.expect("a survivor won");
         assert_ne!(winner_index, 1, "the dead worker cannot win");
+    }
+
+    /// Pigeonhole behind a gate literal: UNSAT under `¬gate`, SAT outright.
+    fn gated_pigeonhole(holes: usize) -> (PbFormula, Lit) {
+        let pigeons = holes + 1;
+        let mut f = PbFormula::new();
+        let gate = f.new_var().positive();
+        let x: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| f.new_vars(holes).into_iter().map(Var::positive).collect())
+            .collect();
+        for p in &x {
+            f.add_clause(p.iter().copied().chain([gate]));
+        }
+        for p in 0..pigeons {
+            for q in p + 1..pigeons {
+                for (&ph, &qh) in x[p].iter().zip(&x[q]) {
+                    f.add_clause([!ph, !qh]);
+                }
+            }
+        }
+        (f, gate)
+    }
+
+    #[test]
+    fn session_answers_assumption_queries() {
+        let (f, gate) = gated_pigeonhole(4);
+        let mut session = PortfolioSession::new(&f, &portfolio_configs(3), &Recorder::disabled())
+            .expect("non-empty portfolio");
+        let unsat = session.query(&[!gate], &Budget::unlimited());
+        assert!(matches!(unsat.outcome, SolveOutcome::Unsat));
+        assert!(unsat.winner.is_some());
+        assert_eq!(unsat.core, vec![!gate], "the failed core is the gate assumption");
+
+        let sat = session.query(&[], &Budget::unlimited());
+        match sat.outcome {
+            SolveOutcome::Sat(ref model) => assert!(f.is_satisfied_by(model)),
+            ref other => panic!("expected sat without assumptions, got {other:?}"),
+        }
+        assert!(sat.core.is_empty());
+        assert_eq!(session.queries_issued(), 2);
+        assert_eq!(session.failed_workers(), 0);
+    }
+
+    #[test]
+    fn session_retains_learned_clauses_across_queries() {
+        let (f, gate) = gated_pigeonhole(5);
+        let rec = Recorder::new();
+        let mut session =
+            PortfolioSession::new(&f, &portfolio_configs(2), &rec).expect("non-empty portfolio");
+        let first = session.query(&[!gate], &Budget::unlimited());
+        assert!(matches!(first.outcome, SolveOutcome::Unsat));
+        assert_eq!(first.retained_clauses, 0, "nothing to retain on the first query");
+        assert!(first.stats.learned > 0, "refuting PHP(6,5) must learn clauses");
+
+        let second = session.query(&[!gate], &Budget::unlimited());
+        assert!(matches!(second.outcome, SolveOutcome::Unsat));
+        assert!(
+            second.retained_clauses > 0,
+            "the second query must start from retained learned clauses"
+        );
+
+        // Per-query telemetry: both queries recorded, tagged with their index.
+        let workers = rec.workers();
+        assert_eq!(workers.len(), 4, "2 workers × 2 queries");
+        for q in [0u64, 1] {
+            let per_query: Vec<_> = workers.iter().filter(|w| w.query == Some(q)).collect();
+            assert_eq!(per_query.len(), 2, "query {q}");
+            assert_eq!(per_query.iter().filter(|w| w.won).count(), 1, "query {q}");
+        }
+    }
+
+    #[test]
+    fn session_worker_panic_between_queries_leaves_survivors() {
+        let (f, gate) = gated_pigeonhole(4);
+        let rec = Recorder::new();
+        // Worker 1 panics at query index 1 — between the first and second
+        // ladder steps.
+        let plan = FaultPlan::new(0).with_worker_panic(1, 1);
+        let mut session = PortfolioSession::with_instrumentation(
+            &f,
+            &portfolio_configs(3),
+            &rec,
+            Some(&plan),
+            Some(SharingConfig::default()),
+        )
+        .expect("non-empty portfolio");
+
+        let first = session.query(&[!gate], &Budget::unlimited());
+        assert!(matches!(first.outcome, SolveOutcome::Unsat));
+        assert_eq!(first.failed_workers, 0);
+        assert_eq!(session.alive_workers(), 3);
+
+        let second = session.query(&[], &Budget::unlimited());
+        assert!(matches!(second.outcome, SolveOutcome::Sat(_)), "survivors still answer");
+        assert_eq!(second.failed_workers, 1);
+        assert_eq!(session.alive_workers(), 2);
+        let (winner_index, _) = second.winner.expect("a survivor won");
+        assert_ne!(winner_index, 1, "the dead worker cannot win");
+
+        let third = session.query(&[!gate], &Budget::unlimited());
+        assert!(matches!(third.outcome, SolveOutcome::Unsat), "the session keeps going");
+        assert_eq!(third.failed_workers, 0);
+        assert_eq!(session.failed_workers(), 1);
+
+        let dead: Vec<_> = rec.workers().into_iter().filter(|w| w.failed.is_some()).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].index, 1);
+        assert_eq!(dead[0].query, Some(1));
+    }
+
+    #[test]
+    fn session_with_all_workers_dead_answers_unknown() {
+        let f = covering();
+        let plan = FaultPlan::new(0).with_worker_panic(0, 0);
+        let mut session = PortfolioSession::with_instrumentation(
+            &f,
+            &portfolio_configs(1),
+            &Recorder::disabled(),
+            Some(&plan),
+            Some(SharingConfig::default()),
+        )
+        .expect("non-empty portfolio");
+        let first = session.query(&[], &Budget::unlimited());
+        assert!(matches!(first.outcome, SolveOutcome::Unknown));
+        assert_eq!(first.failed_workers, 1);
+        assert_eq!(session.alive_workers(), 0);
+        // Further queries degrade to an immediate Unknown.
+        let second = session.query(&[], &Budget::unlimited());
+        assert!(matches!(second.outcome, SolveOutcome::Unknown));
+        assert_eq!(second.failed_workers, 0);
+    }
+
+    #[test]
+    fn session_empty_configs_is_a_typed_error() {
+        let f = covering();
+        let err = PortfolioSession::new(&f, &[], &Recorder::disabled()).unwrap_err();
+        assert_eq!(err, PortfolioError::NoWorkers);
+    }
+
+    #[test]
+    fn session_pre_cancelled_budget_stays_usable() {
+        // A cancelled query (all workers Unknown) must not poison the next.
+        let f = covering();
+        let mut session = PortfolioSession::new(&f, &portfolio_configs(2), &Recorder::disabled())
+            .expect("non-empty portfolio");
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = session.query(&[], &Budget::unlimited().with_cancel_token(token));
+        assert!(matches!(cancelled.outcome, SolveOutcome::Unknown));
+        assert_eq!(cancelled.failed_workers, 0);
+        let after = session.query(&[], &Budget::unlimited());
+        assert!(matches!(after.outcome, SolveOutcome::Sat(_)));
     }
 }

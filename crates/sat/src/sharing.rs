@@ -17,6 +17,16 @@
 //!   and its own source index, so it never re-imports its own exports and
 //!   never sees a clause twice.
 //!
+//! Session lifetime: a pool shared by a *persistent* portfolio session
+//! (`sbgc-pb::PortfolioSession`) outlives any single solve. That is
+//! sound because every exported clause is derived by resolution from the
+//! clause database alone — assumptions enter the search as decisions,
+//! never as axioms, so nothing assumption-relative can be learned, let
+//! alone exported — and because committed strengthenings (root-level
+//! units added between queries) reach every worker before its next
+//! query, so no worker can import a clause derived from units it does
+//! not itself have.
+//!
 //! Poisoning: a worker that panics while holding the pool lock (fault
 //! injection does exactly this) must not take the race down with it, so
 //! every lock acquisition recovers the guard from a `PoisonError` — the
