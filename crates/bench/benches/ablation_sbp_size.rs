@@ -15,7 +15,7 @@ fn bench_formula_growth(c: &mut Criterion) {
     // Not a timing benchmark per se: asserts the size ordering while
     // measuring construction; keeps the size claim continuously verified.
     let inst = suite::build("queen6_6");
-    let sizes: Vec<(SbpMode, usize)> = SbpMode::ALL
+    let sizes: Vec<(SbpMode, usize)> = SbpMode::EXTENDED
         .iter()
         .map(|&mode| {
             let mut enc = ColoringEncoding::new(&inst.graph, 10);
@@ -29,10 +29,14 @@ fn bench_formula_growth(c: &mut Criterion) {
     // only the unconditional orderings are asserted below.
     assert!(size_of(SbpMode::Li) > size_of(SbpMode::Ca), "LI must dominate CA");
     assert!(size_of(SbpMode::Sc) <= size_of(SbpMode::Nu), "SC is the smallest");
+    // The aux-free value-precedence construction must stay below the
+    // aux-variable encodings of the same (complete) solution set.
+    assert!(size_of(SbpMode::ValuePrec) < size_of(SbpMode::LiPrefix));
+    assert!(size_of(SbpMode::ValuePrec) < size_of(SbpMode::Orbitope));
 
     let mut group = c.benchmark_group("sbp_size_growth");
     group.sample_size(20);
-    for mode in SbpMode::ALL {
+    for mode in SbpMode::EXTENDED {
         group.bench_with_input(
             BenchmarkId::from_parameter(mode.display_name()),
             &mode,
@@ -52,8 +56,9 @@ fn bench_solve_time_by_completeness(c: &mut Criterion) {
     group.sample_size(10);
     let inst = suite::build("myciel4");
     // Ordered by increasing completeness of instance-independent breaking;
-    // LI-pfx is our tight re-encoding of LI (same ordering semantics,
-    // short clauses) — the pair isolates encoding quality from semantics.
+    // LI-pfx, Orbitope and ValPrec all encode the same complete
+    // first-occurrence semantics as LI — the quadruple isolates encoding
+    // quality from symmetry-level strength.
     for mode in [
         SbpMode::None,
         SbpMode::Sc,
@@ -62,6 +67,8 @@ fn bench_solve_time_by_completeness(c: &mut Criterion) {
         SbpMode::Ca,
         SbpMode::Li,
         SbpMode::LiPrefix,
+        SbpMode::Orbitope,
+        SbpMode::ValuePrec,
     ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(mode.display_name()),

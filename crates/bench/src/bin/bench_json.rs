@@ -18,24 +18,35 @@
 //! geometric mean of per-instance speedups over decided instances taking
 //! ≥ 5 ms (totals are recorded alongside for transparency).
 //!
+//! A third section, `ablation`, sweeps the **full
+//! [`SbpMode::EXTENDED`] grid** — the paper's four constructions plus
+//! SC-clique, LI-prefix, Orbitope and ValuePrec — running each
+//! instance × mode through the incremental chromatic ladder under its
+//! own short per-run budget (`min(--timeout, 5 s)`, so a weak mode
+//! cannot stall the whole benchmark), and records per-run time, the
+//! established χ, and the mode's measured SBP aux-var/clause/PB sizes.
+//! Undecided rows are recorded as such; every *decided* row must agree
+//! on χ or the binary exits non-zero.
+//!
 //! The default instance set is the Table 3 queens subset (`queen5_5`,
 //! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
 //! With `--min-speedup X` the binary exits non-zero when the overall
 //! portfolio speedup — or the ladder's incremental-vs-reencode speedup on
 //! instances decided by both sides — falls below `X`; this is the CI
-//! perf-smoke gate.
+//! perf-smoke gate (which therefore also runs the new modes on every
+//! perf-smoke invocation, via the ablation sweep).
 //!
 //! `cargo run --release -p sbgc-bench --bin bench_json -- --timeout 2 --jobs 4`
 
 use sbgc_bench::{HarnessConfig, QUICK_INSTANCES};
 use sbgc_core::{
-    chromatic_number_by_decision, chromatic_number_incremental, PreparedColoring, SbpMode,
-    SearchStrategy, SolveOptions,
+    add_instance_independent_sbps, chromatic_number_by_decision, chromatic_number_incremental,
+    ColoringEncoding, PreparedColoring, SbpMode, SearchStrategy, SolveOptions,
 };
 use sbgc_graph::{gen, Graph};
 use sbgc_pb::{
-    optimize_portfolio_recorded, portfolio_configs, OptOutcome, Optimizer, Recorder, SolverKind,
-    WorkerTelemetry,
+    optimize_portfolio_recorded, portfolio_configs, Budget, OptOutcome, Optimizer, Recorder,
+    SolverKind, WorkerTelemetry,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -276,6 +287,75 @@ fn main() {
             retained
         ));
     }
+    // SBP ablation: the full EXTENDED mode grid — the paper's four plus
+    // SC-clique, LI-prefix, Orbitope and ValuePrec — each run through the
+    // incremental chromatic ladder under a short per-run budget so one
+    // weakly-propagating mode (no SBPs, LI, ValPrec on hard instances)
+    // cannot stall the benchmark. Undecided rows are recorded honestly;
+    // χ must agree across every decided row of an instance.
+    println!("\nsbp ablation: incremental ladder across the full EXTENDED grid");
+    let ablation_budget = config.timeout.min(Duration::from_secs(5));
+    let mut ablation_runs = Vec::new();
+    let mut ablation_decided = 0usize;
+    let mut ablation_agree = true;
+    for inst in &instances {
+        let mut chi_ref: Option<(usize, SbpMode)> = None;
+        for mode in SbpMode::EXTENDED {
+            // Measure the mode's encoding footprint at the configured K.
+            let mut enc = ColoringEncoding::new(&inst.graph, config.k);
+            let sbp = add_instance_independent_sbps(&mut enc, &inst.graph, mode);
+
+            let opts = SolveOptions::new(config.k)
+                .with_sbp_mode(mode)
+                .with_budget(Budget::unlimited().with_timeout(ablation_budget));
+            let start = Instant::now();
+            let result = chromatic_number_incremental(&inst.graph, &opts);
+            let time = start.elapsed();
+            let chi = result.exact();
+
+            if let Some(c) = chi {
+                ablation_decided += 1;
+                match chi_ref {
+                    None => chi_ref = Some((c, mode)),
+                    Some((expected, ref_mode)) if expected != c => {
+                        ablation_agree = false;
+                        eprintln!(
+                            "ABLATION DISAGREEMENT on {}: {} found chi = {c}, {} found chi = \
+                             {expected}",
+                            inst.meta.name,
+                            mode.display_name(),
+                            ref_mode.display_name()
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+            println!(
+                "  {:<10} {:<8} {:>8.3}s  chi = {:<9} (sbp: {} aux vars, {} clauses, {} pb)",
+                inst.meta.name,
+                mode.display_name(),
+                time.as_secs_f64(),
+                chi.map_or("undecided".to_string(), |c| c.to_string()),
+                sbp.aux_vars,
+                sbp.clauses,
+                sbp.pb_constraints
+            );
+            ablation_runs.push(format!(
+                "      {{\"instance\": \"{}\", \"mode\": \"{}\", \"time_s\": {:.6}, \
+                 \"decided\": {}, \"chi\": {}, \"sbp_aux_vars\": {}, \"sbp_clauses\": {}, \
+                 \"sbp_pb\": {}}}",
+                json_escape(inst.meta.name),
+                json_escape(mode.display_name()),
+                time.as_secs_f64(),
+                chi.is_some(),
+                chi.map_or("null".to_string(), |c| c.to_string()),
+                sbp.aux_vars,
+                sbp.clauses,
+                sbp.pb_constraints
+            ));
+        }
+    }
+
     // Gate on the geometric mean of per-instance speedups (the standard
     // suite metric): a totals ratio would let one instance whose ladder
     // is a single hard UNSAT query — a structural tie — drown out every
@@ -299,6 +379,8 @@ fn main() {
          {:.6}, \"incremental_total_s\": {:.6}, \"speedup\": {}, \
          \"speedup_basis\": \"geomean of decided instances >= 5ms\", \"decided_instances\": {}, \
          \"chi_agree\": {}}}\n  }},\n  \
+         \"ablation\": {{\n    \"budget_s\": {:.3},\n    \"modes\": {},\n    \"runs\": \
+         [\n{}\n    ],\n    \"summary\": {{\"decided_runs\": {}, \"chi_agree\": {}}}\n  }},\n  \
          \"summary\": {{\"sequential_total_s\": {:.6}, \"portfolio_total_s\": {:.6}, \
          \"speedup\": {:.4}, \"optimal_color_counts_agree\": {}}}\n}}\n",
         config.k,
@@ -311,6 +393,11 @@ fn main() {
         ladder_speedup.map_or("null".to_string(), |s| format!("{s:.4}")),
         ladder_decided,
         ladder_agree,
+        ablation_budget.as_secs_f64(),
+        SbpMode::EXTENDED.len(),
+        ablation_runs.join(",\n"),
+        ablation_decided,
+        ablation_agree,
         seq_total.as_secs_f64(),
         par_total.as_secs_f64(),
         speedup,
@@ -329,6 +416,13 @@ fn main() {
         par_total.as_secs_f64(),
         speedup
     );
+
+    if !ablation_agree {
+        // A χ disagreement between decided SBP modes is a soundness bug,
+        // not a perf regression: fail regardless of any --min-speedup gate.
+        eprintln!("sbp ablation FAILED: decided modes disagree on chi");
+        std::process::exit(1);
+    }
 
     sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "bench_json");

@@ -37,7 +37,15 @@ fn main() {
     let graph = figure1_graph();
     println!("Figure 1: admitted 4-colorings of the example graph per SBP mode");
     println!("{:<8} {:>12}   distinct cardinality vectors", "SBP", "#assignments");
-    for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::LiPrefix] {
+    for mode in [
+        SbpMode::None,
+        SbpMode::Nu,
+        SbpMode::Ca,
+        SbpMode::Li,
+        SbpMode::LiPrefix,
+        SbpMode::Orbitope,
+        SbpMode::ValuePrec,
+    ] {
         let colorings = enumerate_colorings(&graph, 4, mode);
         let mut vectors: Vec<Vec<usize>> = colorings
             .iter()
@@ -58,8 +66,9 @@ fn main() {
     }
     println!(
         "\nExpected: every construction admits a subset of the previous one.\n\
-         The paper's LI (anchor encoding) breaks incompletely; our LI-pfx\n\
-         extension realizes the full lowest-index semantics and admits\n\
-         exactly one assignment per independent-set partition (3 here)."
+         The paper's LI (anchor encoding) breaks incompletely; LI-pfx,\n\
+         Orbitope and ValPrec are complete — three different encodings of\n\
+         the same first-occurrence canonical form, each admitting exactly\n\
+         one assignment per independent-set partition (3 here)."
     );
 }

@@ -4,6 +4,11 @@
 //! count), the paper's chromatic number, our cheap bounds (clique lower,
 //! DSATUR upper), and — within the timeout — our exactly-computed χ.
 //!
+//! `--sbp MODE` selects the instance-independent SBP construction the
+//! exact-χ search runs under (any `SbpMode` name, e.g. `orbitope`,
+//! `valprec`, `nu+sc`; default none) — rerunning the table per mode is
+//! how the EXPERIMENTS.md Table 1 mode comparison is produced.
+//!
 //! `cargo run --release -p sbgc-bench --bin table1 -- --full`
 
 use sbgc_bench::HarnessConfig;
@@ -17,7 +22,11 @@ fn main() {
     if std::env::args().len() == 1 {
         config.instances = sbgc_graph::suite::SUITE.iter().map(|m| m.name.to_string()).collect();
     }
-    println!("Table 1: DIMACS graph coloring benchmarks (reconstructed suite)");
+    let sbp = config.sbp.unwrap_or_default();
+    println!(
+        "Table 1: DIMACS graph coloring benchmarks (reconstructed suite), SBPs: {}",
+        sbp.display_name()
+    );
     println!(
         "{:<12} {:>4} {:>6} {:>8} {:>7} {:>5} {:>5} {:>9} {:>7}",
         "Instance", "#V", "#E", "#E(ppr)", "K(ppr)", "lb", "ub", "chi", "exact?"
@@ -29,6 +38,7 @@ fn main() {
         // Exact chromatic number within the timeout (skipped when the
         // clique bound certifies DSATUR, which costs nothing).
         let opts = SolveOptions::new(config.k)
+            .with_sbp_mode(sbp)
             .with_budget(Budget::unlimited().with_timeout(config.timeout));
         let chi = chromatic::chromatic_number(&inst.graph, &opts);
         let (chi_str, exact) = match chi.exact() {

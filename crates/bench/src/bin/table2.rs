@@ -1,6 +1,8 @@
 //! Table 2 — formula sizes and symmetry statistics per SBP construction.
 //!
-//! For each instance-independent SBP mode (none/NU/CA/LI/SC/NU+SC) this
+//! For each instance-independent SBP mode — the paper's grid
+//! (none/NU/CA/LI/SC/NU+SC) plus the extensions (SC-clq, LI-pfx,
+//! Orbitope, ValPrec; the full [`SbpMode::EXTENDED`] list) — this
 //! encodes every configured instance at K, runs symmetry detection on the
 //! result, and prints the totals the paper reports: #variables, #CNF
 //! clauses, #PB constraints, Σ log₁₀|Aut| (shown as `10^x`), #generators,
@@ -26,7 +28,7 @@ fn main() {
         "SBP", "#V", "#CL", "#PB", "#S", "#G", "spurious", "time"
     );
     let aut_opts = AutomorphismOptions::default();
-    for mode in SbpMode::ALL {
+    for mode in SbpMode::EXTENDED {
         let mut vars = 0usize;
         let mut clauses = 0usize;
         let mut pbs = 0usize;
@@ -74,9 +76,11 @@ fn main() {
     }
     println!(
         "\nNotes: #S sums per-instance group orders, as in the paper (totals are\n\
-         dominated by the largest instance). LI should leave only the\n\
-         identity; SC should barely change #S. Run with --full --k 20 for\n\
-         the paper's exact parameters (slow)."
+         dominated by the largest instance). The complete constructions\n\
+         (LI, LI-pfx, Orbitope, ValPrec) should leave only the identity;\n\
+         SC should barely change #S. Rows below NU+SC are post-paper\n\
+         extensions (see docs/SBP.md). Run with --full --k 20 for the\n\
+         paper's exact parameters (slow)."
     );
 
     sbgc_bench::run_certification(&config);

@@ -40,7 +40,8 @@ use sbgc_core::{
 };
 use sbgc_graph::suite::{self, Instance};
 use sbgc_obs::{
-    CertificateStats, DetectionStats, EncodingSize, InstanceInfo, ReportFile, RunOutcome, RunReport,
+    CertificateStats, DetectionStats, EncodingSize, InstanceInfo, ReportFile, RunOutcome,
+    RunReport, SbpTelemetry,
 };
 use sbgc_pb::Budget;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,6 +89,14 @@ pub struct HarnessConfig {
     /// portfolio speedup (currently `bench_json`) exit non-zero when the
     /// overall speedup falls below `X` — the CI perf-smoke gate.
     pub min_speedup: Option<f64>,
+    /// With `--sbp MODE`, override the instance-independent SBP
+    /// construction used by the binary's canonical runs (`table1` rows,
+    /// the `--report` instrumented runs). Accepts any
+    /// [`SbpMode::parse`] spelling (`nu+sc`, `orbitope`, `li-pfx`, …);
+    /// `None` keeps each binary's default (NU+SC). Grid binaries that
+    /// already sweep every mode (`table2`–`table5`, `bench_json`'s
+    /// ablation) ignore this.
+    pub sbp: Option<SbpMode>,
 }
 
 /// The quick default subset: small and medium instances from five of the
@@ -109,6 +118,7 @@ impl HarnessConfig {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -165,6 +175,16 @@ impl HarnessConfig {
                     let dir = args.get(i).unwrap_or_else(|| usage("--proof needs a directory"));
                     config.proof_dir = Some(dir.clone());
                 }
+                "--sbp" => {
+                    i += 1;
+                    let name = args.get(i).unwrap_or_else(|| usage("--sbp needs a mode name"));
+                    config.sbp = Some(SbpMode::parse(name).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown SBP mode `{name}` (try one of: {})",
+                            SbpMode::EXTENDED.map(|m| m.display_name()).join(", ")
+                        ))
+                    }));
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
             i += 1;
@@ -187,7 +207,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
-         [--jobs N] [--report PATH] [--certify] [--proof DIR] [--min-speedup X]"
+         [--jobs N] [--report PATH] [--certify] [--proof DIR] [--min-speedup X] [--sbp MODE]"
     );
     std::process::exit(2)
 }
@@ -472,7 +492,7 @@ pub fn run_certification(config: &HarnessConfig) {
 pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport {
     let recorder = Recorder::new();
     let options = SolveOptions::new(config.k)
-        .with_sbp_mode(SbpMode::NuSc)
+        .with_sbp_mode(config.sbp.unwrap_or(SbpMode::NuSc))
         .with_instance_dependent_sbps()
         .with_solver(SolverKind::PbsII)
         .with_budget(config.budget())
@@ -500,6 +520,12 @@ pub fn collect_run_report(inst: &Instance, config: &HarnessConfig) -> RunReport 
             final_vars: solved.final_stats.vars,
             final_clauses: solved.final_stats.clauses,
             final_pb: solved.final_stats.pb_constraints(),
+        },
+        sbp: SbpTelemetry {
+            mode: options.sbp_mode.display_name().to_string(),
+            aux_vars: solved.sbp_stats.aux_vars,
+            clauses: solved.sbp_stats.clauses,
+            pb_constraints: solved.sbp_stats.pb_constraints,
         },
         detection: solved.shatter.as_ref().map(|s| DetectionStats {
             seconds: s.symmetry.detection_time.as_secs_f64(),
@@ -689,6 +715,7 @@ mod tests {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -697,6 +724,9 @@ mod tests {
         assert_eq!(report.outcome.colors, Some(4)); // χ(myciel3) = 4
         assert!(report.outcome.decided);
         assert!(report.encoding.final_vars > report.encoding.base_vars);
+        assert_eq!(report.sbp.mode, "NU+SC");
+        assert_eq!(report.sbp.clauses, report.encoding.sbp_clauses);
+        assert!(report.sbp.clauses > 0, "NU+SC adds clauses");
         assert!(report.detection.is_some(), "instance-dependent SBPs ran");
         for (phase, timing) in &report.phases {
             assert!(timing.count > 0, "phase {phase} never entered");
@@ -719,6 +749,7 @@ mod tests {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -738,6 +769,7 @@ mod tests {
             certify: true,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -768,6 +800,7 @@ mod tests {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let inst = suite::build("queen6_6");
         let report = collect_run_report(&inst, &config);
@@ -790,6 +823,7 @@ mod tests {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let result = std::panic::catch_unwind(|| {
             let mut guard = ReportGuard::new(&path_str, "chaos", &config);
@@ -819,6 +853,7 @@ mod tests {
             certify: false,
             proof_dir: None,
             min_speedup: None,
+            sbp: None,
         };
         let mut guard = ReportGuard::new(&path_str, "table9", &config);
         guard.push(RunReport::default());

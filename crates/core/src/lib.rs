@@ -10,10 +10,12 @@
 //!   with per-vertex indicator variables, per-vertex exactly-one
 //!   constraints, per-edge conflict clauses, color-usage indicators, and
 //!   the `MIN Σ yᵢ` objective (paper Section 2.5);
-//! * [`sbp`] — the four instance-independent SBP constructions of Section
-//!   3: null-color elimination (NU), cardinality-based color ordering
-//!   (CA), lowest-index color ordering (LI) and selective coloring (SC),
-//!   plus the NU+SC combination;
+//! * [`sbp`] — the instance-independent SBP constructions: the paper's
+//!   four of Section 3 — null-color elimination (NU), cardinality-based
+//!   color ordering (CA), lowest-index color ordering (LI) and selective
+//!   coloring (SC) — their combinations, and the post-paper complete
+//!   modes (LI-pfx, partitioning-orbitope column-lex, Walsh-style value
+//!   precedence); `docs/SBP.md` is the per-mode handbook;
 //! * [`flow`] — end-to-end solving: encode, optionally add
 //!   instance-independent SBPs, optionally detect-and-break
 //!   instance-dependent symmetries with the Shatter flow, hand the result

@@ -1,23 +1,45 @@
-//! Instance-independent symmetry-breaking predicates (paper Section 3).
+//! Instance-independent symmetry-breaking predicates (paper Section 3,
+//! plus post-paper constructions).
 //!
 //! All constructions address the same instance-independent symmetry: the K
-//! colors of the encoding can be permuted arbitrarily. They differ in
-//! strength and size:
+//! colors of the encoding can be permuted arbitrarily. They differ only in
+//! *which slice* of that symmetric group they break and in the size and
+//! propagation behavior of the constraints that do the breaking: the
+//! paper's four (NU / CA / LI / SC and the NU+SC combination), two
+//! extensions of those (SC-clique, LI-prefix), and two constructions from
+//! the later symmetry-breaking literature — the Kaibel–Pfetsch
+//! partitioning **orbitope** ([`SbpMode::Orbitope`]) and Walsh-style
+//! **value precedence** ([`SbpMode::ValuePrec`]).
 //!
-//! | mode | breaks | added size |
-//! |------|--------|------------|
-//! | [`SbpMode::Nu`] | permutations involving unused colors | K−1 binary clauses |
-//! | [`SbpMode::Ca`] | permutations violating class-size order | K−1 PB constraints |
-//! | [`SbpMode::Li`] | *all* color permutations | nK aux vars, ≈4nK clauses |
-//! | [`SbpMode::Sc`] | a heuristic slice (two pinned vertices) | ≤2 unit clauses |
-//! | [`SbpMode::NuSc`] | NU + SC combined | both of the above |
+//! The consolidated handbook in `docs/SBP.md` covers every mode — the
+//! encoding construction, its clause/aux-var size formula, the soundness
+//! argument, its assumption-soundness status for the incremental ladder
+//! ([`SbpMode::assumption_sound`]), and where to find its measured
+//! ablation numbers. Short version: NU orders color *usage*, CA orders
+//! class *sizes*, SC pins a clique prefix, and LI / LI-prefix / Orbitope /
+//! ValuePrec all force the canonical first-occurrence representative —
+//! identical solution sets, wildly different encodings (see
+//! `EXPERIMENTS.md` for how much the encoding choice matters).
 
 use crate::encode::ColoringEncoding;
 use sbgc_formula::{Lit, PbConstraint, Var};
 use sbgc_graph::Graph;
 use std::fmt;
 
-/// The instance-independent SBP constructions evaluated in the paper.
+/// The instance-independent SBP constructions evaluated in the paper,
+/// plus the post-paper extensions (see `docs/SBP.md` for the handbook).
+///
+/// # Examples
+///
+/// ```
+/// use sbgc_core::SbpMode;
+///
+/// // The default is the paper's baseline: no SBPs at all.
+/// assert_eq!(SbpMode::default(), SbpMode::None);
+///
+/// // Every mode prints as its experiment-table row label.
+/// assert_eq!(SbpMode::Orbitope.to_string(), "Orbitope");
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum SbpMode {
     /// No instance-independent SBPs (the baseline rows of Tables 2–5).
@@ -52,15 +74,58 @@ pub enum SbpMode {
     /// paper's grid — notably, it *reverses* the paper's LI conclusion
     /// (see EXPERIMENTS.md).
     LiPrefix,
+    /// Partitioning-orbitope column-lexicographic ordering
+    /// (Kaibel–Pfetsch). Views the encoding exactly as the paper does —
+    /// an n×K 0/1 matrix `x[v][c]` whose columns can be permuted — and
+    /// keeps only the lex-max column order via the standard
+    /// prefix-sum/shifted-column encoding: unit clauses zero the upper
+    /// triangle (`¬x[i][c]` for `c > i`), column-prefix variables
+    /// `P[i][c] ⇔ x[i][c] ∨ P[i−1][c]` track first use, and shifted-column
+    /// links `x[i][c] ⇒ P[i−1][c−1]` force color c to open strictly after
+    /// color c−1. Complete (exactly one representative per color-orbit
+    /// survives); `nK` aux vars, `≈4nK` clauses. Not in the paper's grid.
+    Orbitope,
+    /// Walsh-style value precedence: color `c` may be used by vertex `i`
+    /// only if color `c−1` is already used by some vertex `j < i`, in the
+    /// direct aux-free decomposition (`¬x[i][c] ∨ x[0][c−1] ∨ … ∨
+    /// x[i−1][c−1]`) plus the Narodytska–Walsh-style implied usage
+    /// ordering `y[c+1] ⇒ y[c]`. Complete, zero auxiliary variables,
+    /// `(K−1)(n+1)` clauses — but the long clauses propagate late, the
+    /// same weakness the paper found in LI. Not in the paper's grid.
+    ValuePrec,
 }
 
 impl SbpMode {
-    /// All modes, in the row order of Tables 2–4.
+    /// All modes evaluated by the paper, in the row order of Tables 2–4.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::SbpMode;
+    ///
+    /// assert_eq!(SbpMode::ALL.len(), 6);
+    /// assert!(SbpMode::ALL.starts_with(&[SbpMode::None, SbpMode::Nu]));
+    /// ```
     pub const ALL: [SbpMode; 6] =
         [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::Sc, SbpMode::NuSc];
 
-    /// The paper's grid plus the extensions.
-    pub const EXTENDED: [SbpMode; 8] = [
+    /// The paper's grid plus every extension — the full ablation grid.
+    ///
+    /// Test-time exhaustiveness checks enforce that every `SbpMode`
+    /// variant appears here (and in `docs/SBP.md`), so iterating
+    /// `EXTENDED` is guaranteed to cover the whole enum.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::SbpMode;
+    ///
+    /// assert!(SbpMode::EXTENDED.contains(&SbpMode::Orbitope));
+    /// assert!(SbpMode::EXTENDED.contains(&SbpMode::ValuePrec));
+    /// // ALL is a prefix of EXTENDED.
+    /// assert!(SbpMode::EXTENDED.starts_with(&SbpMode::ALL));
+    /// ```
+    pub const EXTENDED: [SbpMode; 10] = [
         SbpMode::None,
         SbpMode::Nu,
         SbpMode::Ca,
@@ -69,9 +134,20 @@ impl SbpMode {
         SbpMode::NuSc,
         SbpMode::ScClique,
         SbpMode::LiPrefix,
+        SbpMode::Orbitope,
+        SbpMode::ValuePrec,
     ];
 
     /// Display name used in the experiment tables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::SbpMode;
+    ///
+    /// assert_eq!(SbpMode::NuSc.display_name(), "NU+SC");
+    /// assert_eq!(SbpMode::ValuePrec.display_name(), "ValPrec");
+    /// ```
     pub fn display_name(self) -> &'static str {
         match self {
             SbpMode::None => "no SBPs",
@@ -82,7 +158,84 @@ impl SbpMode {
             SbpMode::NuSc => "NU+SC",
             SbpMode::ScClique => "SC-clq",
             SbpMode::LiPrefix => "LI-pfx",
+            SbpMode::Orbitope => "Orbitope",
+            SbpMode::ValuePrec => "ValPrec",
         }
+    }
+
+    /// Whether the construction stays sound under the incremental
+    /// ladder's suffix assumptions `¬y[target..K]`.
+    ///
+    /// The persistent [`crate::ColoringSession`] encodes once at the
+    /// ceiling K and asks "is the graph target-colorable?" by *assuming*
+    /// the suffix colors unused. An SBP is assumption-sound iff every
+    /// color-orbit of target-colorings keeps at least one representative
+    /// with all its colors in the prefix `0..target` — i.e. the
+    /// construction only ever prefers *low* color indices. All current
+    /// modes qualify: NU/CA/Orbitope/ValuePrec order used colors into a
+    /// prefix outright, LI/LI-prefix pick the first-occurrence
+    /// representative (which uses a color prefix), and SC/SC-clique pin
+    /// the *lowest* indices. A hypothetical mode preferring high indices
+    /// (or instance-dependent lex-leader SBPs over detected symmetries,
+    /// which mention y-variables arbitrarily) would return `false` and be
+    /// routed to per-k re-encoding by [`crate::ColoringSession::supports`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::SbpMode;
+    ///
+    /// // Every instance-independent mode races through the session.
+    /// assert!(SbpMode::EXTENDED.iter().all(|m| m.assumption_sound()));
+    /// ```
+    pub fn assumption_sound(self) -> bool {
+        match self {
+            SbpMode::None
+            | SbpMode::Nu
+            | SbpMode::Ca
+            | SbpMode::Li
+            | SbpMode::Sc
+            | SbpMode::NuSc
+            | SbpMode::ScClique
+            | SbpMode::LiPrefix
+            | SbpMode::Orbitope
+            | SbpMode::ValuePrec => true,
+        }
+    }
+
+    /// Parses a mode name as accepted by the bench binaries' `--sbp`
+    /// flag: the display name or the variant identifier,
+    /// case-insensitively, ignoring `-`/`+`/space punctuation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::SbpMode;
+    ///
+    /// assert_eq!(SbpMode::parse("orbitope"), Some(SbpMode::Orbitope));
+    /// assert_eq!(SbpMode::parse("NU+SC"), Some(SbpMode::NuSc));
+    /// assert_eq!(SbpMode::parse("li-pfx"), Some(SbpMode::LiPrefix));
+    /// assert_eq!(SbpMode::parse("shatter"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<SbpMode> {
+        let norm: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "none" | "nosbps" => SbpMode::None,
+            "nu" => SbpMode::Nu,
+            "ca" => SbpMode::Ca,
+            "li" => SbpMode::Li,
+            "sc" => SbpMode::Sc,
+            "nusc" => SbpMode::NuSc,
+            "scclique" | "scclq" => SbpMode::ScClique,
+            "liprefix" | "lipfx" => SbpMode::LiPrefix,
+            "orbitope" => SbpMode::Orbitope,
+            "valueprec" | "valprec" | "valueprecedence" => SbpMode::ValuePrec,
+            _ => return None,
+        })
     }
 }
 
@@ -92,10 +245,26 @@ impl fmt::Display for SbpMode {
     }
 }
 
-/// Size of the constraints added by a construction.
+/// Size of the constraints added by a construction, as measured by
+/// [`add_instance_independent_sbps`] (and exported per run in the JSON
+/// report's `sbp` object — see `docs/OBSERVABILITY.md`).
+///
+/// # Examples
+///
+/// ```
+/// use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
+/// use sbgc_graph::Graph;
+///
+/// let g = Graph::complete(3);
+/// let mut enc = ColoringEncoding::new(&g, 3);
+/// let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::ValuePrec);
+/// assert_eq!(stats.aux_vars, 0); // ValuePrec is aux-free
+/// assert_eq!(stats.clauses, (3 - 1) * (3 + 1)); // (K−1)(n+1)
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SbpSizeStats {
-    /// Auxiliary variables introduced (only LI introduces any).
+    /// Auxiliary variables introduced (only LI, LI-prefix and Orbitope
+    /// introduce any).
     pub aux_vars: usize,
     /// CNF clauses appended.
     pub clauses: usize,
@@ -107,6 +276,18 @@ pub struct SbpSizeStats {
 ///
 /// `graph` is needed only by the SC construction (degree information); the
 /// other constructions are pure functions of the encoding.
+///
+/// # Examples
+///
+/// ```
+/// use sbgc_core::{add_instance_independent_sbps, ColoringEncoding, SbpMode};
+/// use sbgc_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+/// let mut enc = ColoringEncoding::new(&g, 4);
+/// let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Orbitope);
+/// assert_eq!(stats.aux_vars, 4 * 4); // nK column-prefix variables
+/// ```
 ///
 /// # Panics
 ///
@@ -131,6 +312,8 @@ pub fn add_instance_independent_sbps(
         }
         SbpMode::ScClique => add_sc_clique(encoding, graph),
         SbpMode::LiPrefix => add_li_prefix(encoding),
+        SbpMode::Orbitope => add_orbitope(encoding),
+        SbpMode::ValuePrec => add_value_prec(encoding),
     }
     let after = encoding.formula().stats();
     SbpSizeStats {
@@ -263,6 +446,111 @@ fn add_li_prefix(encoding: &mut ColoringEncoding) {
         for i in 1..n {
             encoding.formula_mut().add_clause([p[i][j + 1].negative(), p[i - 1][j].positive()]);
         }
+    }
+}
+
+/// Orbitope — Kaibel–Pfetsch partitioning-orbitope column-lex ordering in
+/// the standard prefix-sum/shifted-column encoding:
+///
+/// * **triangle fixings** — in the lex-max representative vertex `i` can
+///   only use colors `0..=i`, so `¬x[i][c]` for every `c > i`
+///   (`≈K(K−1)/2` unit clauses, independent of n for `n ≥ K`);
+/// * **column prefixes** — `P[i][c] ⇔ x[i][c] ∨ P[i−1][c]` ("some vertex
+///   `≤ i` uses color c"), `nK` aux vars and `≈3nK` defining clauses;
+/// * **shifted-column ordering** — `x[i][c] ⇒ P[i−1][c−1]` for `c ≥ 1`:
+///   a vertex may use color c only if column c−1 already started strictly
+///   above (`≈nK` binary clauses). Row `i = 0` is covered by the triangle.
+///
+/// Together these admit exactly the colorings whose columns are in
+/// decreasing lexicographic order — the partitioning-orbitope
+/// representative, which for partition matrices is precisely the
+/// first-occurrence (staircase) form. Complete, like LI-prefix, but with
+/// the ordering carried by the x-variables themselves plus hard triangle
+/// units that shrink the search space before any propagation happens.
+fn add_orbitope(encoding: &mut ColoringEncoding) {
+    let (n, k) = (encoding.num_vertices(), encoding.num_colors());
+    if n == 0 {
+        return;
+    }
+    // Triangle fixings: column c cannot start before row c.
+    for i in 0..n {
+        for j in (i + 1)..k {
+            let lit = encoding.x(i, j).negative();
+            encoding.formula_mut().add_unit(lit);
+        }
+    }
+    // Column-prefix variables P[i][c] ⇔ x[i][c] ∨ P[i−1][c].
+    let mut p = vec![vec![Var::from_index(0); k]; n];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = encoding.formula_mut().new_var();
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // column-major access of `p`
+    for j in 0..k {
+        for i in 0..n {
+            let x = encoding.x(i, j).positive();
+            let pij = p[i][j].positive();
+            if i == 0 {
+                // P[0][j] ⇔ x[0][j].
+                encoding.formula_mut().add_implication(x, pij);
+                encoding.formula_mut().add_implication(pij, x);
+            } else {
+                let prev = p[i - 1][j].positive();
+                encoding.formula_mut().add_clause([!x, pij]);
+                encoding.formula_mut().add_clause([!prev, pij]);
+                encoding.formula_mut().add_clause([!pij, x, prev]);
+            }
+        }
+    }
+    // Shifted-column ordering: x[i][c] ⇒ P[i−1][c−1].
+    for j in 1..k {
+        for i in 1..n {
+            let x = encoding.x(i, j).negative();
+            encoding.formula_mut().add_clause([x, p[i - 1][j - 1].positive()]);
+        }
+    }
+}
+
+/// ValuePrec — Walsh-style value precedence between every adjacent color
+/// pair, in the direct aux-free decomposition:
+///
+/// * `¬x[0][c]` for `c ≥ 1` — vertex 0 opens color 0 (`K−1` units);
+/// * `¬x[i][c] ∨ x[0][c−1] ∨ … ∨ x[i−1][c−1]` for `i, c ≥ 1` — vertex i
+///   may use color c only if c−1 is used strictly earlier
+///   (`(n−1)(K−1)` long clauses, `O(n²K)` literals);
+/// * `y[c+1] ⇒ y[c]` — the Narodytska–Walsh-style implied usage ordering,
+///   logically redundant given the above but cheap and early-propagating
+///   (`K−1` binary clauses; exactly the NU chain).
+///
+/// Admits exactly the first-occurrence representative of every color
+/// orbit — the same solution set as LI-prefix and Orbitope — with *zero*
+/// auxiliary variables, at the price of long clauses whose propagation
+/// fires only once `i−1` candidates are eliminated: the same structural
+/// weakness the paper diagnosed in its LI construction.
+fn add_value_prec(encoding: &mut ColoringEncoding) {
+    let (n, k) = (encoding.num_vertices(), encoding.num_colors());
+    if n == 0 {
+        return;
+    }
+    // Vertex 0 anchors color 0.
+    for j in 1..k {
+        let lit = encoding.x(0, j).negative();
+        encoding.formula_mut().add_unit(lit);
+    }
+    // Precedence: vertex i uses color c ⇒ some vertex j < i uses c−1.
+    for j in 1..k {
+        for i in 1..n {
+            let mut clause: Vec<Lit> = vec![encoding.x(i, j).negative()];
+            clause.extend((0..i).map(|l| encoding.x(l, j - 1).positive()));
+            encoding.formula_mut().add_clause(clause);
+        }
+    }
+    // Implied usage ordering (the NU chain) as strengthening.
+    for j in 0..k.saturating_sub(1) {
+        let a = encoding.y(j + 1).positive();
+        let b = encoding.y(j).positive();
+        encoding.formula_mut().add_implication(a, b);
     }
 }
 
@@ -414,7 +702,158 @@ mod tests {
     fn mode_display_names_match_paper() {
         let names: Vec<&str> = SbpMode::ALL.iter().map(|m| m.display_name()).collect();
         assert_eq!(names, vec!["no SBPs", "NU", "CA", "LI", "SC", "NU+SC"]);
-        assert_eq!(SbpMode::EXTENDED.len(), 8);
+        assert_eq!(SbpMode::EXTENDED.len(), 10);
+    }
+
+    /// Enumerates every proper K-coloring of `g` (including ones using
+    /// fewer than K colors) by brute force.
+    fn proper_colorings(g: &Graph, k: usize) -> Vec<Coloring> {
+        let n = g.num_vertices();
+        let mut out = Vec::new();
+        let mut assign = vec![0usize; n];
+        loop {
+            let proper =
+                (0..n).all(|v| g.neighbors(v).iter().all(|&w| assign[v] != assign[w as usize]));
+            if proper {
+                out.push(Coloring::new(assign.clone()));
+            }
+            // Increment the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    return out;
+                }
+                assign[pos] += 1;
+                if assign[pos] < k {
+                    break;
+                }
+                assign[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// The canonical first-occurrence representatives of the figure-1
+    /// graph's proper colorings at K = 4: the triangle takes colors
+    /// 0, 1, 2 in vertex order, and V4 (≁ V1, V2) picks any color but
+    /// V3's. Every complete construction must admit exactly these.
+    fn figure1_canonical_forms() -> Vec<Coloring> {
+        vec![
+            Coloring::new(vec![0, 1, 2, 0]),
+            Coloring::new(vec![0, 1, 2, 1]),
+            Coloring::new(vec![0, 1, 2, 3]),
+        ]
+    }
+
+    #[test]
+    fn orbitope_adds_triangle_prefix_and_ordering_clauses() {
+        let g = figure1_graph();
+        let (n, k) = (4usize, 4usize);
+        let mut enc = ColoringEncoding::new(&g, k);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::Orbitope);
+        assert_eq!(stats.aux_vars, n * k, "nK column-prefix variables");
+        let triangle: usize = (0..n).map(|i| k.saturating_sub(i + 1)).sum();
+        let prefix_defs = k * (2 + 3 * (n - 1));
+        let ordering = (k - 1) * (n - 1);
+        assert_eq!(stats.clauses, triangle + prefix_defs + ordering);
+        assert_eq!(stats.pb_constraints, 0);
+    }
+
+    #[test]
+    fn orbitope_admits_exactly_the_first_occurrence_forms() {
+        let g = figure1_graph();
+        let (n, k) = (4usize, 4usize);
+        let mut enc = ColoringEncoding::new(&g, k);
+        let _ = add_instance_independent_sbps(&mut enc, &g, SbpMode::Orbitope);
+        // Complete the assignment with the column-prefix aux values
+        // (allocated directly after the nK + K base variables, row-major).
+        let base = n * k + k;
+        let admitted: Vec<Coloring> = proper_colorings(&g, k)
+            .into_iter()
+            .filter(|c| {
+                let mut asg = enc.assignment_for(c);
+                for i in 0..n {
+                    for j in 0..k {
+                        let val = (0..=i).any(|l| c.color(l) == j);
+                        asg.assign(Var::from_index(base + i * k + j), val);
+                    }
+                }
+                enc.formula().is_satisfied_by(&asg)
+            })
+            .collect();
+        assert_eq!(admitted, figure1_canonical_forms());
+    }
+
+    #[test]
+    fn value_prec_is_aux_free_with_linear_clause_count() {
+        let g = figure1_graph();
+        let (n, k) = (4usize, 4usize);
+        let mut enc = ColoringEncoding::new(&g, k);
+        let stats = add_instance_independent_sbps(&mut enc, &g, SbpMode::ValuePrec);
+        assert_eq!(stats.aux_vars, 0, "the direct decomposition is aux-free");
+        assert_eq!(stats.clauses, (k - 1) * (n + 1));
+        assert_eq!(stats.pb_constraints, 0);
+    }
+
+    #[test]
+    fn value_prec_admits_exactly_the_first_occurrence_forms() {
+        let g = figure1_graph();
+        let k = 4;
+        let mut enc = ColoringEncoding::new(&g, k);
+        let _ = add_instance_independent_sbps(&mut enc, &g, SbpMode::ValuePrec);
+        let admitted: Vec<Coloring> =
+            proper_colorings(&g, k).into_iter().filter(|c| admits(&enc, c)).collect();
+        assert_eq!(admitted, figure1_canonical_forms());
+    }
+
+    #[test]
+    fn extended_covers_every_variant() {
+        // Compile-time exhaustiveness: adding a variant breaks this match,
+        // forcing EXTENDED (asserted here) and docs/SBP.md (asserted
+        // below) to be extended with it.
+        fn index_of(m: SbpMode) -> usize {
+            match m {
+                SbpMode::None => 0,
+                SbpMode::Nu => 1,
+                SbpMode::Ca => 2,
+                SbpMode::Li => 3,
+                SbpMode::Sc => 4,
+                SbpMode::NuSc => 5,
+                SbpMode::ScClique => 6,
+                SbpMode::LiPrefix => 7,
+                SbpMode::Orbitope => 8,
+                SbpMode::ValuePrec => 9,
+            }
+        }
+        let mut seen = [false; SbpMode::EXTENDED.len()];
+        for &m in &SbpMode::EXTENDED {
+            seen[index_of(m)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "EXTENDED must list every SbpMode variant");
+    }
+
+    #[test]
+    fn sbp_handbook_documents_every_mode() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SBP.md");
+        let handbook =
+            std::fs::read_to_string(path).expect("docs/SBP.md (the SBP handbook) must exist");
+        for m in SbpMode::EXTENDED {
+            assert!(
+                handbook.contains(m.display_name()),
+                "docs/SBP.md is missing a section for `{}`",
+                m.display_name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_every_display_name() {
+        for m in SbpMode::EXTENDED {
+            assert_eq!(SbpMode::parse(m.display_name()), Some(m));
+            assert_eq!(SbpMode::parse(&format!("{m:?}")), Some(m), "variant identifier");
+        }
+        assert_eq!(SbpMode::parse(""), None);
+        assert_eq!(SbpMode::parse("shatter"), None);
     }
 
     #[test]

@@ -22,17 +22,25 @@
 //!
 //! # Why suffix assumptions are SBP-sound
 //!
-//! Every instance-independent SBP construction (`NU`, `CA`, `LI`, `SC`
-//! and their combinations — see `crate::sbp`) only ever *prefers low
-//! color indices*: the symmetric solutions each predicate eliminates are
+//! Every instance-independent SBP construction — the paper's `NU`, `CA`,
+//! `LI`, `SC` and their combinations, and the post-paper `Orbitope` /
+//! `ValuePrec` modes (see `crate::sbp`) — only ever *prefers low color
+//! indices*: the symmetric solutions each predicate eliminates are
 //! exactly those using a higher color index where a lower one would do.
-//! Assuming `¬y[j]` for the **suffix** `j ∈ [target, K)` removes only
-//! colorings that use high indices — and whenever such a coloring exists,
-//! its low-index representative survives both the SBPs and the
-//! assumptions. So "UNSAT under the suffix assumptions" really means "not
-//! `target`-colorable", for every SBP mode. Instance-dependent (Shatter)
-//! SBPs carry no such guarantee, which is why
-//! [`ColoringSession::supports`] excludes them.
+//! (The complete constructions — `LI`, `LI-pfx`, `Orbitope`, `ValuePrec`
+//! — keep precisely the first-occurrence representative, whose colors
+//! form a prefix `0..t`; `NU`/`CA` order used colors into a prefix;
+//! `SC` variants pin the lowest indices.) Assuming `¬y[j]` for the
+//! **suffix** `j ∈ [target, K)` removes only colorings that use high
+//! indices — and whenever such a coloring exists, its low-index
+//! representative survives both the SBPs and the assumptions. So "UNSAT
+//! under the suffix assumptions" really means "not `target`-colorable",
+//! for every SBP mode. Each mode declares this property explicitly via
+//! [`crate::SbpMode::assumption_sound`], which
+//! [`ColoringSession::supports`] consults. Instance-dependent (Shatter)
+//! SBPs carry no such guarantee — their lex-leader predicates mention
+//! arbitrary detected symmetries, not the color-index order — which is
+//! why `supports` excludes them.
 
 use crate::chromatic::bounds;
 use crate::encode::ColoringEncoding;
@@ -114,12 +122,29 @@ pub struct ColoringSession<'g> {
 impl<'g> ColoringSession<'g> {
     /// Whether `options` names a configuration the session can drive
     /// incrementally: any CDCL solver (including the portfolio), with
-    /// instance-independent SBPs only. The CPLEX baseline has no
-    /// incremental interface, and instance-dependent SBPs are not known
-    /// to be sound under suffix assumptions (see the module docs).
+    /// instance-independent SBPs only, in an
+    /// [assumption-sound](crate::SbpMode::assumption_sound) mode. The
+    /// CPLEX baseline has no incremental interface, and
+    /// instance-dependent SBPs are not known to be sound under suffix
+    /// assumptions (see the module docs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbgc_core::{ColoringSession, SbpMode, SolveOptions};
+    ///
+    /// // Every instance-independent mode — including the post-paper
+    /// // Orbitope and ValuePrec — races through the session.
+    /// let options = SolveOptions::new(8).with_sbp_mode(SbpMode::Orbitope);
+    /// assert!(ColoringSession::supports(&options));
+    ///
+    /// // Instance-dependent (Shatter) SBPs are routed to per-k re-encoding.
+    /// assert!(!ColoringSession::supports(&options.with_instance_dependent_sbps()));
+    /// ```
     pub fn supports(options: &SolveOptions) -> bool {
         !matches!(options.solver, SolverKind::Cplex)
             && matches!(options.symmetry, SymmetryHandling::InstanceIndependentOnly)
+            && options.sbp_mode.assumption_sound()
     }
 
     /// Encodes `graph` once at `K = min(options.k, DSATUR bound − 1)`

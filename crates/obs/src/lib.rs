@@ -67,5 +67,5 @@ pub use recorder::{
 };
 pub use report::{
     CertificateStats, DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile,
-    RunOutcome, RunReport, SCHEMA_VERSION,
+    RunOutcome, RunReport, SbpTelemetry, SCHEMA_VERSION,
 };

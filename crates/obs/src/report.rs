@@ -23,8 +23,11 @@ use crate::recorder::{
 /// per-worker). v5 added the `ladder` array (one entry per incremental
 /// chromatic ladder step with its `retained_clauses` counter) and the
 /// per-worker `query` field (ladder-query index for persistent-session
-/// workers, `null` for one-shot races).
-pub const SCHEMA_VERSION: u32 = 5;
+/// workers, `null` for one-shot races). v6 added the `sbp` object — the
+/// symmetry-breaking construction's label and its measured aux-var /
+/// clause / PB-constraint counts as one self-contained record (the
+/// counts were previously only recoverable from the `encoding` object).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -73,6 +76,36 @@ impl EncodingSize {
             .usize("final_vars", self.final_vars)
             .usize("final_clauses", self.final_clauses)
             .usize("final_pb", self.final_pb);
+        o.finish(indent)
+    }
+}
+
+/// The instance-independent symmetry-breaking layer of one run, as a
+/// self-contained record: which construction ran and how much it added
+/// to the formula (new in schema v6).
+///
+/// Mirrors `sbgc-core`'s `SbpSizeStats` — this crate stays
+/// dependency-free, so the counts are flattened here by the harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SbpTelemetry {
+    /// The construction's display label (e.g. `"Orbitope"`), matching
+    /// the run's top-level `sbp_mode` field.
+    pub mode: String,
+    /// Auxiliary variables the construction introduced.
+    pub aux_vars: usize,
+    /// CNF clauses the construction appended.
+    pub clauses: usize,
+    /// Pseudo-Boolean constraints the construction appended.
+    pub pb_constraints: usize,
+}
+
+impl SbpTelemetry {
+    fn to_json(&self, indent: usize) -> String {
+        let mut o = Obj::new();
+        o.str("mode", &self.mode)
+            .usize("aux_vars", self.aux_vars)
+            .usize("clauses", self.clauses)
+            .usize("pb", self.pb_constraints);
         o.finish(indent)
     }
 }
@@ -228,6 +261,9 @@ pub struct RunReport {
     pub jobs: usize,
     /// Formula sizes before and after SBP generation.
     pub encoding: EncodingSize,
+    /// The instance-independent SBP layer as a self-contained record
+    /// (label + measured sizes).
+    pub sbp: SbpTelemetry,
     /// Automorphism-detection results, when instance-dependent SBPs ran.
     pub detection: Option<DetectionStats>,
     /// Per-phase wall-clock aggregates, one entry per [`Phase`] in
@@ -287,7 +323,8 @@ impl RunReport {
             .str("sbp_mode", &self.sbp_mode)
             .str("solver", &self.solver)
             .usize("jobs", self.jobs)
-            .raw("encoding", self.encoding.to_json(inner));
+            .raw("encoding", self.encoding.to_json(inner))
+            .raw("sbp", self.sbp.to_json(inner));
         match &self.detection {
             Some(d) => o.raw("detection", d.to_json(inner)),
             None => o.raw("detection", "null"),
@@ -447,7 +484,7 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"exported\": 0"));
         assert!(json.contains("\"mean_lbd\": null"));
         assert!(json.contains("\"grid\\\"3x3\""));
@@ -456,6 +493,25 @@ mod tests {
         assert!(json.contains("\"exhaust_reason\": null"));
         assert!(json.contains("\"ladder\": []"));
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn sbp_telemetry_serializes_as_self_contained_object() {
+        let report = RunReport {
+            sbp_mode: "Orbitope".to_string(),
+            sbp: SbpTelemetry {
+                mode: "Orbitope".to_string(),
+                aux_vars: 200,
+                clauses: 810,
+                pb_constraints: 0,
+            },
+            ..Default::default()
+        };
+        let json = report.to_json(0);
+        assert!(json.contains("\"mode\": \"Orbitope\""));
+        assert!(json.contains("\"aux_vars\": 200"));
+        assert!(json.contains("\"clauses\": 810"));
+        assert!(json.contains("\"pb\": 0"));
     }
 
     #[test]

@@ -45,7 +45,15 @@ fn main() {
     println!("Figure 1 example: triangle V1V2V3 plus V4 adjacent to V3");
     println!("4-coloring admitted assignments per SBP construction:\n");
     println!("{:<8} {:>12}   example cardinality vectors (n1,n2,n3,n4)", "SBPs", "#assignments");
-    for mode in [SbpMode::None, SbpMode::Nu, SbpMode::Ca, SbpMode::Li, SbpMode::LiPrefix] {
+    for mode in [
+        SbpMode::None,
+        SbpMode::Nu,
+        SbpMode::Ca,
+        SbpMode::Li,
+        SbpMode::LiPrefix,
+        SbpMode::Orbitope,
+        SbpMode::ValuePrec,
+    ] {
         let colorings = enumerate_colorings(&graph, 4, mode);
         let mut vectors: Vec<Vec<usize>> = colorings
             .iter()
@@ -70,7 +78,8 @@ fn main() {
         "\nEach construction admits a subset of the previous one's
 assignments: NU pins null colors to the end, CA additionally orders color
 classes by size; the paper's LI (anchor encoding) breaks incompletely,
-while the LI-pfx extension leaves exactly one color assignment per
-partition into independent sets (full instance-independent breaking)."
+while LI-pfx, Orbitope and ValPrec — three encodings of the same
+first-occurrence canonical form — each leave exactly one color assignment
+per partition into independent sets (full instance-independent breaking)."
     );
 }

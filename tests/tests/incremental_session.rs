@@ -182,7 +182,10 @@ fn ladder_telemetry_lands_in_v5_report() {
         runs: vec![report],
         ..Default::default()
     };
-    assert!(file.to_json().contains("\"schema_version\": 5"), "ladder telemetry is a v5 field");
+    assert!(
+        file.to_json().contains("\"schema_version\": 6"),
+        "ladder telemetry (v5) must survive the v6 schema bump"
+    );
 }
 
 #[test]

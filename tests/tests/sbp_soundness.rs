@@ -1,0 +1,152 @@
+//! Soundness of the post-paper SBP constructions, end to end.
+//!
+//! Orbitope and ValPrec (like LI-pfx) are *complete* symmetry breaks:
+//! they admit exactly one color assignment per partition into independent
+//! sets. That makes them the most dangerous modes to get wrong — an
+//! over-constrained encoding silently inflates χ instead of failing
+//! loudly. These tests pin the properties that make the new modes safe to
+//! race through the ladder: χ must match the SBP-free baseline on every
+//! quick-suite graph, the incremental session (sequential and portfolio)
+//! must agree with the one-shot path under the new modes, and exact
+//! results produced under them must still pass the SBP-free DRAT
+//! certification.
+
+use sbgc_core::{
+    chromatic_number_certified, chromatic_number_incremental_outcome, ColoringSession, Graph,
+    SbpMode, SessionAnswer, SolveOptions,
+};
+use sbgc_graph::gen::{gnp, mycielski, queens};
+use sbgc_pb::{Budget, SolverKind};
+
+fn quick_graphs() -> Vec<(&'static str, Graph, usize)> {
+    // (name, graph, χ) — same suite the incremental-session tests pin.
+    vec![
+        ("queen4_4", queens(4, 4), 5),
+        ("queen5_5", queens(5, 5), 5),
+        ("myciel3", mycielski(3), 4),
+        ("myciel4", mycielski(4), 5),
+        ("C5", Graph::cycle(5), 3),
+        ("C6", Graph::cycle(6), 2),
+        ("K5", Graph::complete(5), 5),
+        ("gnp24", gnp(24, 0.5, 3), 7),
+    ]
+}
+
+#[test]
+fn orbitope_and_value_prec_preserve_chi_on_the_quick_suite() {
+    // The decisive soundness property: a complete symmetry break removes
+    // only symmetric duplicates, never a whole color-class partition, so
+    // χ under Orbitope/ValPrec must equal χ under no SBPs at all.
+    for (name, graph, chi) in quick_graphs() {
+        let baseline =
+            chromatic_number_incremental_outcome(&graph, &SolveOptions::new(20)).expect("valid");
+        assert_eq!(baseline.exact(), Some(chi), "{name}: baseline");
+        for mode in [SbpMode::Orbitope, SbpMode::ValuePrec] {
+            let out = chromatic_number_incremental_outcome(
+                &graph,
+                &SolveOptions::new(20).with_sbp_mode(mode),
+            )
+            .expect("valid");
+            assert_eq!(out.exact(), Some(chi), "{name} under {}", mode.display_name());
+            assert!(
+                out.witness().is_proper(&graph),
+                "{name} under {}: witness must stay proper",
+                mode.display_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_extended_mode_agrees_on_chi() {
+    // The full ten-mode grid on a small but non-trivial pair: every
+    // instance-independent construction — incomplete or complete — must
+    // leave at least one representative per color-class partition.
+    for (name, graph, chi) in
+        [("myciel3", mycielski(3), 4usize), ("gnp16", gnp(16, 0.5, 7), 5usize)]
+    {
+        for mode in SbpMode::EXTENDED {
+            let out = chromatic_number_incremental_outcome(
+                &graph,
+                &SolveOptions::new(20).with_sbp_mode(mode),
+            )
+            .expect("valid");
+            assert_eq!(out.exact(), Some(chi), "{name} under {}", mode.display_name());
+        }
+    }
+}
+
+#[test]
+fn incremental_ladder_under_orbitope_matches_portfolio_and_oneshot() {
+    // The new modes are registered assumption-sound, so the persistent
+    // session must accept them and the suffix-assumption ladder must
+    // agree with both the portfolio ladder and the one-shot optimization
+    // fallback (CPLEX baseline — the only remaining non-session path).
+    let graph = gnp(24, 0.5, 3); // χ = 7, DSATUR 8 → a real 2-step ladder
+    for mode in [SbpMode::Orbitope, SbpMode::ValuePrec] {
+        let opts = SolveOptions::new(20).with_sbp_mode(mode);
+        assert!(
+            ColoringSession::supports(&opts),
+            "{} must route through the persistent session",
+            mode.display_name()
+        );
+        let seq = chromatic_number_incremental_outcome(&graph, &opts).expect("valid");
+        let par = chromatic_number_incremental_outcome(
+            &graph,
+            &opts.clone().with_solver(SolverKind::Portfolio),
+        )
+        .expect("valid");
+        let oneshot = chromatic_number_incremental_outcome(
+            &graph,
+            &opts.clone().with_solver(SolverKind::Cplex),
+        )
+        .expect("valid");
+        assert_eq!(seq.exact(), Some(7), "{}: sequential ladder", mode.display_name());
+        assert_eq!(par.exact(), Some(7), "{}: portfolio ladder", mode.display_name());
+        assert_eq!(oneshot.exact(), Some(7), "{}: one-shot fallback", mode.display_name());
+    }
+}
+
+#[test]
+fn session_queries_under_orbitope_answer_the_whole_ladder() {
+    // Drive a session below χ step by step under the complete orbitope
+    // break: colorable at χ, uncolorable below it, with a non-empty
+    // assumption core for every UNSAT answer. (The session clamps k to
+    // DSATUR−1, so we need a graph whose greedy bound overshoots χ.)
+    let graph = gnp(24, 0.5, 3); // χ = 7, DSATUR 8 → session k = 7
+    let opts = SolveOptions::new(20).with_sbp_mode(SbpMode::Orbitope);
+    let mut session = ColoringSession::new(&graph, &opts).expect("supported configuration");
+    assert_eq!(session.k(), 7, "k = min(options.k, DSATUR bound − 1)");
+    let budget = Budget::unlimited();
+    match session.query(7, &budget).answer {
+        SessionAnswer::Colorable(c) => assert!(c.is_proper(&graph)),
+        other => panic!("target 7 must be colorable under Orbitope, got {other:?}"),
+    }
+    for target in [6usize, 5] {
+        match session.query(target, &budget).answer {
+            SessionAnswer::NotColorable { core } => {
+                assert!(!core.is_empty(), "assumption-relative UNSAT must surface a core");
+            }
+            other => panic!("target {target} must be uncolorable, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exact_results_under_new_modes_still_certify() {
+    // Certification re-derives χ on the SBP-free CNF decision encoding,
+    // so a checked certificate is an independent audit that the new
+    // constructions did not change the answer.
+    for mode in [SbpMode::Orbitope, SbpMode::ValuePrec] {
+        let opts = SolveOptions::new(20).with_sbp_mode(mode);
+        let (result, cert) = chromatic_number_certified(&mycielski(3), &opts);
+        assert_eq!(result.exact(), Some(4), "{}", mode.display_name());
+        let cert = cert.expect("exact result must certify");
+        assert_eq!(cert.chromatic_number, 4);
+        assert!(
+            cert.is_certified(),
+            "{}: DRAT refutation of 3-colorability must check",
+            mode.display_name()
+        );
+    }
+}
