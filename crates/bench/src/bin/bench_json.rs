@@ -28,6 +28,15 @@
 //! Undecided rows are recorded as such; every *decided* row must agree
 //! on χ or the binary exits non-zero.
 //!
+//! A fourth section, `heuristics`, compares the **hybrid** chromatic
+//! search (the `sbgc-heur` TabuCol/PartialCol/clique race capping the
+//! bracket before the incremental ladder) against the exact-only ladder
+//! on the same instances, recording per-instance DSATUR bounds, the
+//! heuristic cap, and the ladder rungs it skipped. Two gates ride on it:
+//! hybrid and exact-only must prove the same χ (soundness — always
+//! enforced), and under `--min-speedup` the race must skip at least one
+//! rung whenever some decided instance's DSATUR bound overshot χ.
+//!
 //! The default instance set is the Table 3 queens subset (`queen5_5`,
 //! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
 //! With `--min-speedup X` the binary exits non-zero when the overall
@@ -234,8 +243,13 @@ fn main() {
         .chain([("gnm_32_248".to_string(), gen::gnm(32, 248, 14))])
         .collect();
     for (name, graph) in &ladder_workload {
-        let opts =
-            SolveOptions::new(config.k).with_sbp_mode(SbpMode::Nu).with_budget(config.budget());
+        // Heuristics off on both sides: this section isolates the value
+        // of clause retention, which a TabuCol incumbent would mask by
+        // collapsing the ladder before the first query.
+        let opts = SolveOptions::new(config.k)
+            .with_sbp_mode(SbpMode::Nu)
+            .with_budget(config.budget())
+            .without_heuristics();
         let start = Instant::now();
         let reencode = chromatic_number_by_decision(graph, &opts, SearchStrategy::Linear);
         let reencode_time = start.elapsed();
@@ -305,9 +319,12 @@ fn main() {
             let mut enc = ColoringEncoding::new(&inst.graph, config.k);
             let sbp = add_instance_independent_sbps(&mut enc, &inst.graph, mode);
 
+            // Heuristics off: the ablation compares SBP constructions,
+            // and a shared heuristic cap would flatten their differences.
             let opts = SolveOptions::new(config.k)
                 .with_sbp_mode(mode)
-                .with_budget(Budget::unlimited().with_timeout(ablation_budget));
+                .with_budget(Budget::unlimited().with_timeout(ablation_budget))
+                .without_heuristics();
             let start = Instant::now();
             let result = chromatic_number_incremental(&inst.graph, &opts);
             let time = start.elapsed();
@@ -356,6 +373,96 @@ fn main() {
         }
     }
 
+    // Hybrid-vs-exact: the heuristic race (TabuCol/PartialCol descents
+    // plus clique search) must cap the ladder's starting rung on
+    // DSATUR-overshooting instances without ever changing the proven χ.
+    println!("\nheuristics: hybrid (heuristic race + ladder) vs exact-only ladder");
+    let mut heur_runs = Vec::new();
+    let mut heur_agree = true;
+    let mut heur_hybrid_total = Duration::ZERO;
+    let mut heur_exact_total = Duration::ZERO;
+    let mut heur_skipped_total: u64 = 0;
+    let mut heur_rung_available = false;
+    for inst in &instances {
+        let base =
+            SolveOptions::new(config.k).with_sbp_mode(SbpMode::Nu).with_budget(config.budget());
+        let start = Instant::now();
+        let exact = chromatic_number_incremental(&inst.graph, &base.clone().without_heuristics());
+        let exact_time = start.elapsed();
+
+        let rec = Recorder::new();
+        let start = Instant::now();
+        let hybrid = chromatic_number_incremental(&inst.graph, &base.with_recorder(rec.clone()));
+        let hybrid_time = start.elapsed();
+        let telemetry = rec.heuristics();
+
+        heur_exact_total += exact_time;
+        heur_hybrid_total += hybrid_time;
+        if let (Some(e), Some(h)) = (exact.exact(), hybrid.exact()) {
+            if e != h {
+                heur_agree = false;
+                eprintln!(
+                    "HEURISTICS DISAGREEMENT on {}: exact-only chi = {e}, hybrid chi = {h}",
+                    inst.meta.name
+                );
+            }
+        }
+        if let Some(t) = &telemetry {
+            heur_skipped_total += t.rungs_skipped as u64;
+            if let Some(chi) = hybrid.exact() {
+                // A DSATUR overshoot above proven χ means the race had a
+                // rung it should have recovered.
+                if t.dsatur_upper > chi {
+                    heur_rung_available = true;
+                }
+            }
+            if t.upper > t.dsatur_upper {
+                heur_agree = false;
+                eprintln!(
+                    "HEURISTICS REGRESSION on {}: heuristic upper {} above DSATUR {}",
+                    inst.meta.name, t.upper, t.dsatur_upper
+                );
+            }
+        }
+        let (dsatur_upper, heur_upper, heur_lower, rungs_skipped) = telemetry.as_ref().map_or(
+            ("null".to_string(), "null".to_string(), "null".to_string(), 0),
+            |t| {
+                (
+                    t.dsatur_upper.to_string(),
+                    t.upper.to_string(),
+                    t.lower.to_string(),
+                    t.rungs_skipped,
+                )
+            },
+        );
+        println!(
+            "  {:<10} exact {:>8.3}s  hybrid {:>8.3}s  (dsatur {}, heuristic upper {}, {} rungs skipped)",
+            inst.meta.name,
+            exact_time.as_secs_f64(),
+            hybrid_time.as_secs_f64(),
+            dsatur_upper,
+            heur_upper,
+            rungs_skipped
+        );
+        heur_runs.push(format!(
+            "      {{\"instance\": \"{}\", \"exact_s\": {:.6}, \"hybrid_s\": {:.6}, \
+             \"chi_exact\": {}, \"chi_hybrid\": {}, \"dsatur_upper\": {}, \
+             \"heuristic_upper\": {}, \"heuristic_lower\": {}, \"rungs_skipped\": {}, \
+             \"rejected_witnesses\": {}, \"failed_workers\": {}}}",
+            json_escape(inst.meta.name),
+            exact_time.as_secs_f64(),
+            hybrid_time.as_secs_f64(),
+            exact.exact().map_or("null".to_string(), |c| c.to_string()),
+            hybrid.exact().map_or("null".to_string(), |c| c.to_string()),
+            dsatur_upper,
+            heur_upper,
+            heur_lower,
+            rungs_skipped,
+            telemetry.as_ref().map_or(0, |t| t.rejected_witnesses),
+            telemetry.as_ref().map_or(0, |t| t.failed_workers),
+        ));
+    }
+
     // Gate on the geometric mean of per-instance speedups (the standard
     // suite metric): a totals ratio would let one instance whose ladder
     // is a single hard UNSAT query — a structural tie — drown out every
@@ -381,6 +488,9 @@ fn main() {
          \"chi_agree\": {}}}\n  }},\n  \
          \"ablation\": {{\n    \"budget_s\": {:.3},\n    \"modes\": {},\n    \"runs\": \
          [\n{}\n    ],\n    \"summary\": {{\"decided_runs\": {}, \"chi_agree\": {}}}\n  }},\n  \
+         \"heuristics\": {{\n    \"runs\": [\n{}\n    ],\n    \"summary\": \
+         {{\"exact_total_s\": {:.6}, \"hybrid_total_s\": {:.6}, \"rungs_skipped_total\": {}, \
+         \"chi_agree\": {}}}\n  }},\n  \
          \"summary\": {{\"sequential_total_s\": {:.6}, \"portfolio_total_s\": {:.6}, \
          \"speedup\": {:.4}, \"optimal_color_counts_agree\": {}}}\n}}\n",
         config.k,
@@ -398,6 +508,11 @@ fn main() {
         ablation_runs.join(",\n"),
         ablation_decided,
         ablation_agree,
+        heur_runs.join(",\n"),
+        heur_exact_total.as_secs_f64(),
+        heur_hybrid_total.as_secs_f64(),
+        heur_skipped_total,
+        heur_agree,
         seq_total.as_secs_f64(),
         par_total.as_secs_f64(),
         speedup,
@@ -423,6 +538,13 @@ fn main() {
         eprintln!("sbp ablation FAILED: decided modes disagree on chi");
         std::process::exit(1);
     }
+    if !heur_agree {
+        // Same reasoning: a hybrid run that proves a different χ than the
+        // exact-only ladder (or a heuristic "upper bound" above DSATUR)
+        // means a heuristic result leaked past the trust boundary.
+        eprintln!("heuristics section FAILED: hybrid and exact-only searches disagree");
+        std::process::exit(1);
+    }
 
     sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "bench_json");
@@ -443,5 +565,15 @@ fn main() {
             Some(ls) => println!("ladder gate passed: incremental speedup {ls:.2}x >= {min:.2}x"),
             None => println!("ladder gate skipped: no instance decided by both sides"),
         }
+        // The heuristic race earns its keep by recovering ladder rungs:
+        // whenever some decided instance's DSATUR bound overshot χ (as
+        // queen6_6's does), at least one rung must have been skipped.
+        if heur_rung_available && heur_skipped_total == 0 {
+            eprintln!(
+                "heuristics gate FAILED: DSATUR overshot chi but the race skipped no ladder rung"
+            );
+            std::process::exit(1);
+        }
+        println!("heuristics gate passed: {heur_skipped_total} ladder rungs skipped");
     }
 }

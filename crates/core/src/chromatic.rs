@@ -35,6 +35,38 @@ pub fn bounds(graph: &Graph) -> ChromaticBounds {
     ChromaticBounds { lower, upper: witness.num_colors(), witness }
 }
 
+/// The bracket the exact search actually starts from: the one-shot greedy
+/// [`bounds`], tightened by the heuristic race of [`crate::heuristics`]
+/// when `options.heuristics` allows it (the default). The race's TabuCol
+/// and PartialCol descents cap the upper bound below DSATUR and its
+/// clique search lifts the lower bound beyond the greedy clique; every
+/// heuristic result is re-validated against the graph before it may
+/// tighten the bracket (see `DESIGN.md` §4i).
+///
+/// # Errors
+///
+/// [`SolveError::BoundContradiction`] if the tightened bracket crosses
+/// (`upper < lower`) — impossible while both validators are sound, so it
+/// is surfaced instead of being clamped away.
+pub fn initial_bounds(
+    graph: &Graph,
+    options: &SolveOptions,
+) -> Result<ChromaticBounds, SolveError> {
+    let b = bounds(graph);
+    if !options.heuristics || b.lower >= b.upper {
+        return Ok(b);
+    }
+    let h = crate::heuristics::race_heuristics(graph, options, &b);
+    if h.upper < h.lower {
+        return Err(SolveError::BoundContradiction {
+            lower: h.lower,
+            upper: h.upper,
+            detail: "heuristic race produced a crossed bracket".to_string(),
+        });
+    }
+    Ok(ChromaticBounds { lower: h.lower, upper: h.upper, witness: h.witness })
+}
+
 /// Result of [`chromatic_number`].
 #[derive(Clone, Debug)]
 pub enum ChromaticResult {
@@ -121,7 +153,9 @@ impl ChromaticOutcome {
 
 /// Computes the chromatic number exactly, following the paper's procedure:
 /// take the DSATUR upper bound as K (clamped by `options.k` if smaller),
-/// then search. For every CDCL-backed configuration the search is the
+/// then search. By default the greedy bracket is first tightened by the
+/// heuristic race of [`initial_bounds`] (disable with
+/// [`SolveOptions::without_heuristics`] for the pure paper procedure). For every CDCL-backed configuration the search is the
 /// incremental ladder of [`chromatic_number_incremental`] (encode once,
 /// reuse learned clauses across queries); the CPLEX baseline and
 /// instance-dependent SBPs use one exact-optimization run. The clique
@@ -155,9 +189,11 @@ pub fn chromatic_number_outcome(
     if options.k == 0 {
         return Err(SolveError::ZeroColorBound);
     }
-    let b = bounds(graph);
+    let b = initial_bounds(graph, options)?;
     if b.lower >= b.upper {
-        // DSATUR met the clique bound: provably optimal without search.
+        // The bracket is already collapsed (DSATUR met the clique bound,
+        // or the heuristic race closed the gap): provably optimal without
+        // any exact search.
         return Ok(ChromaticOutcome {
             result: ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness },
             exhaust: None,
@@ -186,6 +222,13 @@ fn chromatic_number_via_optimization(
     let exhaust = report.exhaust;
     let result = match report.outcome {
         ColoringOutcome::Optimal { coloring, colors } => {
+            if colors < b.lower {
+                return Err(SolveError::BoundContradiction {
+                    lower: b.lower,
+                    upper: colors,
+                    detail: "optimal witness below the proven clique bound".to_string(),
+                });
+            }
             ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
         }
         ColoringOutcome::InfeasibleAtK => {
@@ -199,13 +242,7 @@ fn chromatic_number_via_optimization(
             }
         }
         ColoringOutcome::Feasible { coloring, colors } => {
-            if colors <= b.lower {
-                // The feasible solution meets the clique bound: optimal
-                // even though the solver ran out of budget.
-                ChromaticResult::Exact { chromatic_number: colors, witness: coloring }
-            } else {
-                ChromaticResult::Bounded { lower: b.lower, upper: colors, witness: coloring }
-            }
+            collapse_feasible(graph, b.lower, coloring, colors)?
         }
         ColoringOutcome::Unknown => {
             ChromaticResult::Bounded { lower: b.lower, upper: b.upper, witness: b.witness }
@@ -214,6 +251,48 @@ fn chromatic_number_via_optimization(
     // An exact answer supersedes any limit hit along the way.
     let exhaust = if result.exact().is_some() { None } else { exhaust };
     Ok(ChromaticOutcome { result, exhaust })
+}
+
+/// Collapses a budget-starved *feasible* answer onto the proven bracket.
+///
+/// A witness that meets the clique lower bound proves optimality even
+/// though the solver ran out of budget — but only after re-validation.
+/// The previous behavior treated `colors <= lower` as `Exact`, which
+/// would have laundered two distinct invariant violations into a fake
+/// proof: a witness *below* a proven lower bound (one of the two
+/// "proofs" must be wrong) and an improper witness whose color count
+/// coincidentally matched. Both now surface as
+/// [`SolveError::BoundContradiction`] (see `DESIGN.md` §4i).
+fn collapse_feasible(
+    graph: &Graph,
+    lower: usize,
+    coloring: Coloring,
+    colors: usize,
+) -> Result<ChromaticResult, SolveError> {
+    if colors < lower {
+        return Err(SolveError::BoundContradiction {
+            lower,
+            upper: colors,
+            detail: "feasible witness below the proven clique bound".to_string(),
+        });
+    }
+    if colors > lower {
+        return Ok(ChromaticResult::Bounded { lower, upper: colors, witness: coloring });
+    }
+    // colors == lower: re-validate before promoting the bracket collapse
+    // into an `Exact` claim.
+    if coloring.num_vertices() == graph.num_vertices()
+        && coloring.is_proper(graph)
+        && coloring.num_colors() == colors
+    {
+        Ok(ChromaticResult::Exact { chromatic_number: colors, witness: coloring })
+    } else {
+        Err(SolveError::BoundContradiction {
+            lower,
+            upper: colors,
+            detail: "feasible witness failed re-validation at bracket collapse".to_string(),
+        })
+    }
 }
 
 /// The incremental ladder: one [`ColoringSession`] answers every
@@ -233,6 +312,12 @@ fn chromatic_ladder(
 
     let mut session = ColoringSession::new(graph, options)?;
     let k = session.k();
+    // The session encoded at the one-shot DSATUR width. When the
+    // heuristic race already capped the bracket below it, retire the gap
+    // as root-level units before the first query — these are the ladder
+    // rungs the race let us skip. `b.upper` is witnessed by a coloring
+    // that `initial_bounds` re-validated, so the commit is sound.
+    session.commit_upper_bound(b.upper);
     // One wall-clock for the whole ladder: arming the deadline here (it
     // arms once) makes every step share it. Conflict caps need no special
     // handling — persistent engines count cumulatively, so a cap bounds
@@ -263,7 +348,17 @@ fn chromatic_ladder(
         step += 1;
         match s.answer {
             SessionAnswer::Colorable(c) => {
-                upper = c.num_colors().min(target);
+                let colors = c.num_colors().min(target);
+                if colors < lower {
+                    // A verified witness below a proven lower bound is an
+                    // invariant violation, not progress (§4i).
+                    return Err(SolveError::BoundContradiction {
+                        lower,
+                        upper: colors,
+                        detail: format!("ladder witness at target {target} beat the lower bound"),
+                    });
+                }
+                upper = colors;
                 witness = c;
                 // The bound is monotone; retire the colors above it as
                 // permanent units so later queries run on a formula as
@@ -456,7 +551,7 @@ pub fn chromatic_number_incremental_outcome(
     if options.k == 0 {
         return Err(SolveError::ZeroColorBound);
     }
-    let b = bounds(graph);
+    let b = initial_bounds(graph, options)?;
     if b.lower >= b.upper {
         return Ok(ChromaticOutcome {
             result: ChromaticResult::Exact { chromatic_number: b.upper, witness: b.witness },
@@ -632,9 +727,12 @@ mod tests {
         // χ = 7 with clique bound 6 and DSATUR bound 8: search needed.
         let g = gnp(24, 0.5, 3);
         let recorder = Recorder::new();
+        // Heuristics off: the race could close the bracket by itself and
+        // leave no ladder step for the assertions below.
         let opts = SolveOptions::new(20)
             .with_solver(SolverKind::Portfolio)
-            .with_recorder(recorder.clone());
+            .with_recorder(recorder.clone())
+            .without_heuristics();
         let out = chromatic_number_incremental_outcome(&g, &opts).expect("valid inputs");
         assert_eq!(out.exact(), Some(7));
         let steps = recorder.ladder_steps();
@@ -650,7 +748,9 @@ mod tests {
         // query at 7 and then an UNSAT query at 6 through the same engine.
         let g = gnp(24, 0.5, 3);
         let recorder = Recorder::new();
-        let opts = SolveOptions::new(20).with_recorder(recorder.clone());
+        // Heuristics off: a TabuCol incumbent at 7 would collapse the
+        // ladder to a single UNSAT query and leave nothing to retain.
+        let opts = SolveOptions::new(20).with_recorder(recorder.clone()).without_heuristics();
         let out = chromatic_number_outcome(&g, &opts).expect("valid inputs");
         assert_eq!(out.exact(), Some(7));
         let steps = recorder.ladder_steps();
@@ -731,5 +831,88 @@ mod tests {
             assert!(b.witness.is_proper(&g));
             assert_eq!(b.witness.num_colors(), b.upper);
         }
+    }
+
+    #[test]
+    fn initial_bounds_tighten_the_bracket_and_respect_the_flag() {
+        let g = mycielski(4); // χ = 5; DSATUR may overshoot, greedy clique is 2.
+        let base = bounds(&g);
+        let off = initial_bounds(&g, &SolveOptions::new(20).without_heuristics())
+            .expect("greedy bounds never contradict");
+        assert_eq!(off.upper, base.upper, "the flag must restore the pure paper procedure");
+        assert_eq!(off.lower, base.lower);
+        let on = initial_bounds(&g, &SolveOptions::new(20)).expect("validated bounds");
+        assert!(on.lower >= base.lower);
+        assert!(on.upper <= base.upper, "heuristics must never loosen the bracket");
+        assert_eq!(on.upper, 5, "TabuCol reliably lands χ(M4) = 5 on 23 vertices");
+        assert!(on.witness.is_proper(&g));
+        assert_eq!(on.witness.num_colors(), on.upper);
+    }
+
+    #[test]
+    fn hybrid_search_agrees_and_records_heuristic_telemetry() {
+        use sbgc_graph::gen::gnp;
+        use sbgc_obs::Recorder;
+        // χ = 7, greedy clique 6, DSATUR 8: the race has a rung to skip.
+        let g = gnp(24, 0.5, 3);
+        let base = bounds(&g);
+        let exact_only = chromatic_number_outcome(&g, &SolveOptions::new(20).without_heuristics())
+            .expect("valid inputs");
+        let recorder = Recorder::new();
+        let hybrid =
+            chromatic_number_outcome(&g, &SolveOptions::new(20).with_recorder(recorder.clone()))
+                .expect("valid inputs");
+        assert_eq!(hybrid.exact(), exact_only.exact(), "hybrid must prove the same χ");
+        assert!(hybrid.witness().is_proper(&g));
+        let h = recorder.heuristics().expect("hybrid run records heuristics telemetry");
+        assert_eq!(h.dsatur_upper, base.upper);
+        assert_eq!(h.greedy_clique_lower, base.lower);
+        assert!(h.upper <= base.upper);
+        assert_eq!(h.rungs_skipped, base.upper - h.upper);
+        assert_eq!(h.workers, 3);
+        assert_eq!(h.failed_workers, 0);
+        assert_eq!(h.rejected_witnesses, 0);
+        // Every exact query ran strictly below the heuristic cap.
+        assert!(recorder.ladder_steps().iter().all(|s| s.target < h.upper));
+    }
+
+    #[test]
+    fn feasible_collapse_validates_the_witness() {
+        let g = Graph::cycle(5); // χ = 3
+        let proper = sbgc_graph::algo::dsatur(&g);
+        assert_eq!(proper.num_colors(), 3);
+        match collapse_feasible(&g, 3, proper.clone(), 3).expect("validated collapse") {
+            ChromaticResult::Exact { chromatic_number, .. } => assert_eq!(chromatic_number, 3),
+            other => panic!("expected exact, got {other:?}"),
+        }
+        match collapse_feasible(&g, 2, proper, 3).expect("honest bracket") {
+            ChromaticResult::Bounded { lower, upper, .. } => assert_eq!((lower, upper), (2, 3)),
+            other => panic!("expected bounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_collapse_below_lower_bound_is_a_contradiction() {
+        // The old behavior reported `Exact { chromatic_number: 3 }` here:
+        // a witness below a proven lower bound was laundered into a fake
+        // optimality proof instead of being surfaced as an invariant
+        // violation.
+        let g = Graph::cycle(5);
+        let proper = sbgc_graph::algo::dsatur(&g);
+        let err = collapse_feasible(&g, 4, proper, 3).unwrap_err();
+        assert!(matches!(err, SolveError::BoundContradiction { lower: 4, upper: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn feasible_collapse_rejects_improper_and_miscounted_witnesses() {
+        let g = Graph::cycle(5);
+        // Improper witness whose color count matches the lower bound.
+        let improper = Coloring::new(vec![0; 5]);
+        let err = collapse_feasible(&g, 1, improper, 1).unwrap_err();
+        assert!(matches!(err, SolveError::BoundContradiction { .. }), "{err}");
+        // Proper witness whose actual color count contradicts the claim.
+        let proper = sbgc_graph::algo::dsatur(&g); // 3 colors
+        let err = collapse_feasible(&g, 2, proper, 2).unwrap_err();
+        assert!(matches!(err, SolveError::BoundContradiction { .. }), "{err}");
     }
 }

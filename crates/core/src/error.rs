@@ -26,6 +26,20 @@ pub enum SolveError {
     /// under suffix color assumptions is not established (see
     /// `DESIGN.md` §4g). Use the one-shot optimization path instead.
     UnsupportedIncremental,
+    /// The search derived a bracket with `upper < lower` — an invariant
+    /// violation, never a legitimate answer. A coloring below a proven
+    /// clique bound means one of the two "proofs" is wrong (an improper
+    /// witness that slipped past verification, or an unsound lower bound),
+    /// so the contradiction is surfaced instead of being laundered into a
+    /// fake `Exact` result (see `DESIGN.md` §4i).
+    BoundContradiction {
+        /// The proven lower bound the result contradicts.
+        lower: usize,
+        /// The contradicting upper bound (witness color count).
+        upper: usize,
+        /// Where the contradiction was detected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -36,6 +50,13 @@ impl std::fmt::Display for SolveError {
             SolveError::Portfolio(e) => write!(f, "portfolio could not start: {e}"),
             SolveError::UnsupportedIncremental => {
                 write!(f, "this solver configuration has no incremental interface")
+            }
+            SolveError::BoundContradiction { lower, upper, detail } => {
+                write!(
+                    f,
+                    "bound contradiction: upper bound {upper} below proven lower bound {lower} \
+                     ({detail})"
+                )
             }
         }
     }
@@ -66,6 +87,18 @@ mod tests {
         assert!(SolveError::EmptyGraph.to_string().contains("empty"));
         let wrapped = SolveError::from(PortfolioError::NoWorkers);
         assert!(wrapped.to_string().contains("portfolio"));
+    }
+
+    #[test]
+    fn bound_contradiction_reports_both_bounds() {
+        let e = SolveError::BoundContradiction {
+            lower: 6,
+            upper: 4,
+            detail: "optimization collapse".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('6') && msg.contains('4'), "{msg}");
+        assert!(msg.contains("contradiction"), "{msg}");
     }
 
     #[test]

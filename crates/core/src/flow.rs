@@ -59,6 +59,14 @@ pub struct SolveOptions {
     /// portfolio telemetry. The default disabled recorder adds only
     /// stride-boundary branches to the hot paths.
     pub recorder: Recorder,
+    /// Whether the chromatic searches may race the `sbgc-heur` local-search
+    /// workers (TabuCol/PartialCol descents and clique search) to tighten
+    /// the initial `[lower, upper]` bracket before the exact ladder runs.
+    /// On by default; affects only chromatic-number entry points, never
+    /// fixed-K [`solve_coloring`] runs. Every heuristic bound is
+    /// re-validated at the trust boundary, so this flag trades wall-clock,
+    /// not soundness (see `DESIGN.md` §4i).
+    pub heuristics: bool,
 }
 
 impl SolveOptions {
@@ -74,6 +82,7 @@ impl SolveOptions {
             shatter: ShatterOptions::default(),
             parallelism: 1,
             recorder: Recorder::disabled(),
+            heuristics: true,
         }
     }
 
@@ -112,6 +121,19 @@ impl SolveOptions {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Enables or disables the heuristic primal-bound race in the
+    /// chromatic searches.
+    pub fn with_heuristics(mut self, enabled: bool) -> Self {
+        self.heuristics = enabled;
+        self
+    }
+
+    /// Disables the heuristic primal-bound race — exact-only search, as
+    /// before the hybrid. Shorthand for `with_heuristics(false)`.
+    pub fn without_heuristics(self) -> Self {
+        self.with_heuristics(false)
     }
 
     /// The portfolio worker count implied by these options: `Some(n)` when

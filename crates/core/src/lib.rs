@@ -24,6 +24,10 @@
 //! * [`chromatic`] — exact chromatic numbers via the paper's K-selection
 //!   procedure (DSATUR upper bound, clique lower bound, then exact
 //!   optimization);
+//! * [`heuristics`] — the local-search bound race (TabuCol and PartialCol
+//!   descents plus clique search from `sbgc-heur`) that tightens the
+//!   greedy bracket before the exact ladder issues its first query, with
+//!   every heuristic result re-validated at the trust boundary;
 //! * [`certify`] — verified optimality certificates: a syntactically
 //!   checked witness coloring at χ plus a DRAT refutation of
 //!   (χ−1)-colorability replayed through the independent checker of
@@ -55,6 +59,7 @@ pub mod chromatic;
 pub mod encode;
 pub mod error;
 pub mod flow;
+pub mod heuristics;
 pub mod sbp;
 pub mod session;
 
@@ -63,9 +68,9 @@ pub use certify::{
     certify_unsat_formula_streamed, chromatic_number_certified, OptimalityCertificate, ProofStatus,
 };
 pub use chromatic::{
-    chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
-    chromatic_number_incremental_outcome, chromatic_number_outcome, ChromaticBounds,
-    ChromaticOutcome, ChromaticResult, SearchStrategy,
+    bounds, chromatic_number, chromatic_number_by_decision, chromatic_number_incremental,
+    chromatic_number_incremental_outcome, chromatic_number_outcome, initial_bounds,
+    ChromaticBounds, ChromaticOutcome, ChromaticResult, SearchStrategy,
 };
 pub use encode::{cnf_decision_formula, ColoringEncoding};
 pub use error::SolveError;
@@ -73,6 +78,7 @@ pub use flow::{
     solve_coloring, try_solve_coloring, ColoringOutcome, PreparedColoring, SolveOptions,
     SolveReport, SymmetryHandling,
 };
+pub use heuristics::{race_heuristics, race_heuristics_instrumented, HeuristicOutcome};
 pub use sbp::{add_instance_independent_sbps, SbpMode, SbpSizeStats};
 pub use session::{ColoringSession, SessionAnswer, SessionStep};
 

@@ -207,7 +207,8 @@ impl<'g> ColoringSession<'g> {
     /// Informs the session that a `upper`-coloring has been witnessed, so
     /// no future query will ever ask for more than `upper − 1` colors. The
     /// session *commits* `¬y[j]` for the retired suffix `j ∈ [upper−1, k)`
-    /// as permanent unit clauses in every backend engine.
+    /// as permanent unit clauses in every backend engine. Returns how many
+    /// color indicators were retired (0 when the bound changes nothing).
     ///
     /// This is the incremental ladder's edge over per-query assumptions:
     /// a root-level unit is propagated and simplified against once, while
@@ -217,10 +218,17 @@ impl<'g> ColoringSession<'g> {
     /// and it lowers [`ColoringSession::ceiling`] accordingly: queries
     /// above the new ceiling would be answered against the strengthened
     /// formula and are rejected.
-    pub fn commit_upper_bound(&mut self, upper: usize) {
+    ///
+    /// The witness does not have to come from the session itself: the
+    /// hybrid chromatic search commits a *validated* TabuCol/PartialCol
+    /// incumbent here before the first query, so the exact ladder starts
+    /// below the heuristic bound and skips the rungs in between. Only
+    /// re-validated colorings may reach this method — an unchecked upper
+    /// bound would strengthen the formula unsoundly (see `DESIGN.md` §4i).
+    pub fn commit_upper_bound(&mut self, upper: usize) -> usize {
         let new_ceiling = upper.saturating_sub(1).clamp(1, self.ceiling);
         if new_ceiling == self.ceiling {
-            return;
+            return 0;
         }
         let units: Vec<Lit> =
             (new_ceiling..self.ceiling).map(|j| self.encoding.y(j).negative()).collect();
@@ -232,7 +240,9 @@ impl<'g> ColoringSession<'g> {
             }
             SessionBackend::Portfolio(session) => session.commit_units(&units),
         }
+        let retired = self.ceiling - new_ceiling;
         self.ceiling = new_ceiling;
+        retired
     }
 
     /// The encoding width `K`: the largest color count the session can

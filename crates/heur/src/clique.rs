@@ -1,0 +1,232 @@
+//! Penalty-driven iterated clique search, after the dynamic-local-search
+//! family (Pullan & Hoos 2006): repeated greedy construction with vertex
+//! penalties that push successive restarts toward unexplored regions, plus a
+//! plateau phase of (1,1)-swaps.
+//!
+//! In the hybrid race the best clique found lifts the chromatic lower bound,
+//! so the caller re-validates pairwise adjacency before trusting the result
+//! (see the trust-boundary argument in DESIGN.md §4i).
+
+use crate::rng::SplitMix64;
+use sbgc_graph::{algo, Graph};
+
+/// Searches for a large clique in `graph`.
+///
+/// Runs up to `max_iters` construction restarts, stopping early when
+/// `should_stop` reports cancellation. Returns the best clique found, sorted
+/// by vertex index; it is never smaller than the deterministic greedy clique.
+/// The restart sequence is a pure function of `(graph, seed)`.
+pub fn clique_search<F: FnMut() -> bool>(
+    graph: &Graph,
+    seed: u64,
+    max_iters: u64,
+    mut should_stop: F,
+) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut best = algo::greedy_clique(graph);
+    best.sort_unstable();
+    if n == 0 || best.len() == n {
+        return best;
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let mut penalty = vec![0u64; n];
+    // missing[v]: members of the current clique NOT adjacent to v.
+    let mut missing = vec![0u32; n];
+    let mut in_clique = vec![false; n];
+
+    for restart in 0..max_iters {
+        if should_stop() {
+            break;
+        }
+
+        missing.iter_mut().for_each(|m| *m = 0);
+        in_clique.iter_mut().for_each(|b| *b = false);
+        let mut clique: Vec<usize> = Vec::new();
+
+        // Seed vertex: minimize penalty, tie max degree, tie rng.
+        let mut start = 0usize;
+        let mut ties = 0u64;
+        for v in 0..n {
+            let better = penalty[v] < penalty[start]
+                || (penalty[v] == penalty[start] && graph.degree(v) > graph.degree(start));
+            let equal = penalty[v] == penalty[start] && graph.degree(v) == graph.degree(start);
+            if v == 0 || better {
+                start = v;
+                ties = 1;
+            } else if equal {
+                ties += 1;
+                if rng.below(ties) == 0 {
+                    start = v;
+                }
+            }
+        }
+        add_vertex(graph, start, &mut clique, &mut in_clique, &mut missing);
+
+        // Greedy growth: among vertices adjacent to the whole clique, pick
+        // min penalty, tie max degree, tie rng.
+        loop {
+            let mut pick: Option<usize> = None;
+            let mut ties = 0u64;
+            for v in 0..n {
+                if in_clique[v] || missing[v] != 0 {
+                    continue;
+                }
+                match pick {
+                    None => {
+                        pick = Some(v);
+                        ties = 1;
+                    }
+                    Some(p) => {
+                        let better = penalty[v] < penalty[p]
+                            || (penalty[v] == penalty[p] && graph.degree(v) > graph.degree(p));
+                        let equal = penalty[v] == penalty[p] && graph.degree(v) == graph.degree(p);
+                        if better {
+                            pick = Some(v);
+                            ties = 1;
+                        } else if equal {
+                            ties += 1;
+                            if rng.below(ties) == 0 {
+                                pick = Some(v);
+                            }
+                        }
+                    }
+                }
+            }
+            match pick {
+                Some(v) => add_vertex(graph, v, &mut clique, &mut in_clique, &mut missing),
+                None => break,
+            }
+        }
+
+        // Plateau: a few (1,1)-swaps — exchange a member for an outside
+        // vertex missing exactly one adjacency, then regrow.
+        for _ in 0..4 {
+            let swap_in = (0..n).find(|&v| !in_clique[v] && missing[v] == 1);
+            let Some(v) = swap_in else { break };
+            let out = clique
+                .iter()
+                .copied()
+                .find(|&u| !graph.has_edge(u, v))
+                .expect("missing[v] == 1 implies one non-neighbor in the clique");
+            remove_vertex(graph, out, &mut clique, &mut in_clique, &mut missing);
+            add_vertex(graph, v, &mut clique, &mut in_clique, &mut missing);
+            // Regrow greedily after the swap.
+            while let Some(w) = (0..n).find(|&w| !in_clique[w] && missing[w] == 0) {
+                add_vertex(graph, w, &mut clique, &mut in_clique, &mut missing);
+            }
+        }
+
+        if clique.len() > best.len() {
+            best = clique.clone();
+            best.sort_unstable();
+            if best.len() == n {
+                break;
+            }
+        }
+        // Penalize the clique just built; decay everything periodically so
+        // old penalties fade.
+        for &v in &clique {
+            penalty[v] += 1;
+        }
+        if restart % 64 == 63 {
+            penalty.iter_mut().for_each(|p| *p /= 2);
+        }
+    }
+
+    debug_assert!(is_clique(graph, &best));
+    best
+}
+
+fn add_vertex(
+    graph: &Graph,
+    v: usize,
+    clique: &mut Vec<usize>,
+    in_clique: &mut [bool],
+    missing: &mut [u32],
+) {
+    debug_assert!(!in_clique[v] && missing[v] == 0);
+    clique.push(v);
+    in_clique[v] = true;
+    let mut is_neighbor = vec![false; missing.len()];
+    for &u in graph.neighbors(v) {
+        is_neighbor[u as usize] = true;
+    }
+    for (w, miss) in missing.iter_mut().enumerate() {
+        if w != v && !is_neighbor[w] {
+            *miss += 1;
+        }
+    }
+}
+
+fn remove_vertex(
+    graph: &Graph,
+    v: usize,
+    clique: &mut Vec<usize>,
+    in_clique: &mut [bool],
+    missing: &mut [u32],
+) {
+    debug_assert!(in_clique[v]);
+    clique.retain(|&u| u != v);
+    in_clique[v] = false;
+    let mut is_neighbor = vec![false; missing.len()];
+    for &u in graph.neighbors(v) {
+        is_neighbor[u as usize] = true;
+    }
+    for (w, miss) in missing.iter_mut().enumerate() {
+        if w != v && !is_neighbor[w] {
+            *miss -= 1;
+        }
+    }
+}
+
+fn is_clique(graph: &Graph, clique: &[usize]) -> bool {
+    clique.iter().enumerate().all(|(i, &u)| clique[i + 1..].iter().all(|&v| graph.has_edge(u, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgc_graph::gen;
+
+    #[test]
+    fn finds_the_whole_clique_in_complete_graphs() {
+        let g = Graph::complete(7);
+        assert_eq!(clique_search(&g, 1, 50, || false).len(), 7);
+    }
+
+    #[test]
+    fn output_is_always_a_clique() {
+        for seed in 0..4u64 {
+            let g = gen::gnp(30, 0.5, seed);
+            let c = clique_search(&g, seed, 100, || false);
+            assert!(is_clique(&g, &c), "seed {seed}");
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn never_worse_than_greedy() {
+        for seed in 0..4u64 {
+            let g = gen::gnm(40, 300, seed);
+            let greedy = algo::greedy_clique(&g).len();
+            let found = clique_search(&g, seed, 100, || false).len();
+            assert!(found >= greedy, "seed {seed}: {found} < {greedy}");
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let g = gen::gnp(25, 0.6, 8);
+        let a = clique_search(&g, 44, 200, || false);
+        let b = clique_search(&g, 44, 200, || false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queens_six_has_a_six_clique() {
+        // Each row of the queens graph is a clique.
+        let g = gen::queens(6, 6);
+        assert!(clique_search(&g, 3, 200, || false).len() >= 6);
+    }
+}

@@ -34,6 +34,9 @@ pub struct FaultPlan {
     /// 1-based index of the first proof write that fails; all later writes
     /// fail too (a full disk stays full).
     proof_fail_at: Option<u64>,
+    /// Heuristic worker whose offered witnesses are corrupted before the
+    /// trust-boundary check (exercises improper-coloring rejection).
+    improper_witness: Option<usize>,
 }
 
 impl FaultPlan {
@@ -91,9 +94,25 @@ impl FaultPlan {
         self.proof_fail_at
     }
 
+    /// Schedules heuristic worker `worker` to corrupt every coloring it
+    /// offers to the shared incumbent (the offer becomes improper before
+    /// the trust-boundary validation sees it).
+    pub fn with_improper_witness(mut self, worker: usize) -> Self {
+        self.improper_witness = Some(worker);
+        self
+    }
+
+    /// Whether heuristic worker `worker` is scheduled to emit corrupted
+    /// witnesses.
+    pub fn improper_witness(&self, worker: usize) -> bool {
+        self.improper_witness == Some(worker)
+    }
+
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.worker_panic.is_none() && self.proof_fail_at.is_none()
+        self.worker_panic.is_none()
+            && self.proof_fail_at.is_none()
+            && self.improper_witness.is_none()
     }
 }
 
@@ -142,6 +161,15 @@ mod tests {
             .map(|s| FaultPlan::new(s).with_seeded_worker_panic(4, 10).panicking_worker().unwrap())
             .collect();
         assert!(victims.len() > 1);
+    }
+
+    #[test]
+    fn improper_witness_targets_one_worker() {
+        let plan = FaultPlan::new(5).with_improper_witness(1);
+        assert!(plan.improper_witness(1));
+        assert!(!plan.improper_witness(0));
+        assert!(!plan.is_empty());
+        assert!(plan.worker_panic(1).is_none());
     }
 
     #[test]

@@ -62,8 +62,8 @@ mod report;
 
 pub use fault::FaultPlan;
 pub use recorder::{
-    Counter, LadderStepTelemetry, Phase, Recorder, SearchCounters, SpanGuard, SpanRecord,
-    WorkerTelemetry,
+    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, SearchCounters, SpanGuard,
+    SpanRecord, WorkerTelemetry,
 };
 pub use report::{
     CertificateStats, DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile,

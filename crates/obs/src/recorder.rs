@@ -220,6 +220,10 @@ pub struct SpanRecord {
 pub struct WorkerTelemetry {
     /// Worker index into the portfolio's config slice.
     pub index: usize,
+    /// What kind of worker this was: `"cdcl"` for the exact CDCL/PB
+    /// portfolio workers, or a heuristic name (`"tabucol"`, `"partialcol"`,
+    /// `"clique"`, …) for the primal-bound racers of `sbgc-heur`.
+    pub kind: String,
     /// The worker's diversification seed.
     pub seed: u64,
     /// Human-readable description of the worker's engine configuration.
@@ -270,6 +274,33 @@ pub struct LadderStepTelemetry {
     pub workers: usize,
 }
 
+/// Summary telemetry of one heuristic race (the `sbgc-heur` workers that
+/// tighten the chromatic bracket before/while the exact search runs),
+/// recorded by `sbgc-core`'s hybrid driver.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HeuristicsTelemetry {
+    /// The one-shot DSATUR upper bound the race started from.
+    pub dsatur_upper: usize,
+    /// The one-shot greedy-clique lower bound the race started from.
+    pub greedy_clique_lower: usize,
+    /// Best validated upper bound after the race (≤ `dsatur_upper`).
+    pub upper: usize,
+    /// Best validated lower bound after the race (≥ `greedy_clique_lower`).
+    pub lower: usize,
+    /// Ladder rungs the exact search no longer has to query thanks to the
+    /// heuristic incumbent (`dsatur_upper − upper`).
+    pub rungs_skipped: usize,
+    /// Heuristic workers launched.
+    pub workers: usize,
+    /// Offered bounds rejected at the trust boundary (improper coloring,
+    /// wrong color count, or non-clique).
+    pub rejected_witnesses: u64,
+    /// Heuristic workers that died (panicked) or had an offer rejected.
+    pub failed_workers: u64,
+    /// Wall-clock seconds the race ran.
+    pub seconds: f64,
+}
+
 struct Inner {
     epoch: Instant,
     depth: AtomicUsize,
@@ -277,6 +308,7 @@ struct Inner {
     spans: Mutex<Vec<SpanRecord>>,
     workers: Mutex<Vec<WorkerTelemetry>>,
     ladder: Mutex<Vec<LadderStepTelemetry>>,
+    heuristics: Mutex<Option<HeuristicsTelemetry>>,
 }
 
 /// A lightweight event/span recorder shared across the solving pipeline.
@@ -308,6 +340,7 @@ impl Recorder {
                 spans: Mutex::new(Vec::new()),
                 workers: Mutex::new(Vec::new()),
                 ladder: Mutex::new(Vec::new()),
+                heuristics: Mutex::new(None),
             })),
         }
     }
@@ -415,6 +448,24 @@ impl Recorder {
         match &self.inner {
             Some(inner) => inner.ladder.lock().unwrap_or_else(PoisonError::into_inner).clone(),
             None => Vec::new(),
+        }
+    }
+
+    /// Records the summary of a heuristic primal-bound race. A later call
+    /// overwrites an earlier one (the report carries one race per run).
+    ///
+    /// Poison-tolerant for the same reason as [`Recorder::record_worker`].
+    pub fn record_heuristics(&self, telemetry: HeuristicsTelemetry) {
+        if let Some(inner) = &self.inner {
+            *inner.heuristics.lock().unwrap_or_else(PoisonError::into_inner) = Some(telemetry);
+        }
+    }
+
+    /// The recorded heuristic-race summary, if one was recorded.
+    pub fn heuristics(&self) -> Option<HeuristicsTelemetry> {
+        match &self.inner {
+            Some(inner) => inner.heuristics.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            None => None,
         }
     }
 

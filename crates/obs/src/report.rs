@@ -8,7 +8,8 @@
 
 use crate::json::{self, Obj};
 use crate::recorder::{
-    Counter, LadderStepTelemetry, Phase, Recorder, SearchCounters, WorkerTelemetry,
+    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, SearchCounters,
+    WorkerTelemetry,
 };
 
 /// Version of the JSON schema emitted by [`RunReport::to_json`] and
@@ -27,7 +28,11 @@ use crate::recorder::{
 /// symmetry-breaking construction's label and its measured aux-var /
 /// clause / PB-constraint counts as one self-contained record (the
 /// counts were previously only recoverable from the `encoding` object).
-pub const SCHEMA_VERSION: u32 = 6;
+/// v7 added the optional `heuristics` object (the primal-bound race's
+/// bracket tightening, rung skips, and trust-boundary rejections) and the
+/// per-worker `kind` field (`"cdcl"` vs a heuristic name), so heuristic
+/// workers share the `workers` array with the exact portfolio.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -275,6 +280,10 @@ pub struct RunReport {
     pub workers: Vec<WorkerTelemetry>,
     /// Per-step incremental-ladder telemetry; empty for one-shot runs.
     pub ladder: Vec<LadderStepTelemetry>,
+    /// Summary of the heuristic primal-bound race, when one ran (new in
+    /// schema v7). The per-worker detail lives in `workers` (entries with
+    /// a non-`"cdcl"` `kind`).
+    pub heuristics: Option<HeuristicsTelemetry>,
     /// End-to-end wall-clock seconds for the run.
     pub total_seconds: f64,
     /// What the run concluded.
@@ -305,6 +314,7 @@ impl RunReport {
         self.search = rec.search_counters();
         self.workers = rec.workers();
         self.ladder = rec.ladder_steps();
+        self.heuristics = rec.heuristics();
     }
 
     /// Renders the report as a pretty-printed JSON object indented by
@@ -353,6 +363,10 @@ impl RunReport {
                 inner,
             ),
         );
+        match &self.heuristics {
+            Some(h) => o.raw("heuristics", heuristics_json(h, inner)),
+            None => o.raw("heuristics", "null"),
+        };
         o.float("total_seconds", self.total_seconds).raw("outcome", self.outcome.to_json(inner));
         match &self.certificate {
             Some(c) => o.raw("certificate", c.to_json(inner)),
@@ -378,9 +392,24 @@ fn search_counters_json(s: &SearchCounters, indent: usize) -> String {
     o.finish(indent)
 }
 
+fn heuristics_json(h: &HeuristicsTelemetry, indent: usize) -> String {
+    let mut o = Obj::new();
+    o.usize("dsatur_upper", h.dsatur_upper)
+        .usize("greedy_clique_lower", h.greedy_clique_lower)
+        .usize("upper", h.upper)
+        .usize("lower", h.lower)
+        .usize("rungs_skipped", h.rungs_skipped)
+        .usize("workers", h.workers)
+        .uint("rejected_witnesses", h.rejected_witnesses)
+        .uint("failed_workers", h.failed_workers)
+        .float("seconds", h.seconds);
+    o.finish(indent)
+}
+
 fn worker_json(w: &WorkerTelemetry, indent: usize) -> String {
     let mut o = Obj::new();
     o.usize("index", w.index)
+        .str("kind", &w.kind)
         .uint("seed", w.seed)
         .str("config", &w.config)
         .raw("search", search_counters_json(&w.search, indent + 2))
@@ -484,7 +513,8 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
+        assert!(json.contains("\"heuristics\": null"));
         assert!(json.contains("\"exported\": 0"));
         assert!(json.contains("\"mean_lbd\": null"));
         assert!(json.contains("\"grid\\\"3x3\""));
@@ -547,6 +577,7 @@ mod tests {
         let mut report = RunReport::default();
         report.workers.push(WorkerTelemetry {
             index: 1,
+            kind: "cdcl".to_string(),
             seed: 1,
             config: "Galena (seed 1)".to_string(),
             search: SearchCounters::default(),
@@ -558,7 +589,31 @@ mod tests {
         });
         let json = report.to_json(0);
         assert!(json.contains("\"failed\": \"injected fault\""));
+        assert!(json.contains("\"kind\": \"cdcl\""));
         assert!(json.contains("\"query\": 2"));
+    }
+
+    #[test]
+    fn heuristics_object_serializes_rung_skips_and_rejections() {
+        let report = RunReport {
+            heuristics: Some(HeuristicsTelemetry {
+                dsatur_upper: 9,
+                greedy_clique_lower: 6,
+                upper: 7,
+                lower: 6,
+                rungs_skipped: 2,
+                workers: 3,
+                rejected_witnesses: 1,
+                failed_workers: 1,
+                seconds: 0.2,
+            }),
+            ..RunReport::default()
+        };
+        let json = report.to_json(0);
+        assert!(json.contains("\"dsatur_upper\": 9"));
+        assert!(json.contains("\"rungs_skipped\": 2"));
+        assert!(json.contains("\"rejected_witnesses\": 1"));
+        assert!(json.contains("\"failed_workers\": 1"));
     }
 
     #[test]

@@ -68,6 +68,7 @@ fn counters_race_free_under_concurrent_workers() {
                 }
                 rec.record_worker(WorkerTelemetry {
                     index,
+                    kind: "cdcl".to_string(),
                     seed: index as u64,
                     config: format!("worker-{index}"),
                     search: SearchCounters { conflicts: ADDS, ..Default::default() },
@@ -128,6 +129,7 @@ fn disabled_recorder_adds_zero_events() {
     }
     rec.record_worker(WorkerTelemetry {
         index: 0,
+        kind: "cdcl".to_string(),
         seed: 0,
         config: "ignored".to_string(),
         search: SearchCounters::default(),

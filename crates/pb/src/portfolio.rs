@@ -400,6 +400,7 @@ pub fn solve_portfolio_instrumented(
                         engine.flush_recorder();
                         recorder.record_worker(WorkerTelemetry {
                             index,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: engine.stats().into(),
@@ -416,6 +417,7 @@ pub fn solve_portfolio_instrumented(
                     if recorder.is_enabled() {
                         recorder.record_worker(WorkerTelemetry {
                             index,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: SearchCounters::default(),
@@ -683,6 +685,7 @@ pub fn optimize_portfolio_instrumented(
                         engine.flush_recorder();
                         recorder.record_worker(WorkerTelemetry {
                             index,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: engine.stats().into(),
@@ -699,6 +702,7 @@ pub fn optimize_portfolio_instrumented(
                     if recorder.is_enabled() {
                         recorder.record_worker(WorkerTelemetry {
                             index,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: SearchCounters::default(),
@@ -1105,6 +1109,7 @@ impl PortfolioSession {
                     if self.recorder.is_enabled() {
                         self.recorder.record_worker(WorkerTelemetry {
                             index: reply.worker,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: SearchCounters::default(),
@@ -1131,6 +1136,7 @@ impl PortfolioSession {
                     if self.recorder.is_enabled() {
                         self.recorder.record_worker(WorkerTelemetry {
                             index: reply.worker,
+                            kind: "cdcl".to_string(),
                             seed: config.seed,
                             config: config_label(&config),
                             search: delta.into(),

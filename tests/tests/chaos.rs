@@ -262,3 +262,65 @@ fn memory_exhausted_search_reports_memory_reason() {
         }
     }
 }
+
+#[test]
+fn improper_heuristic_witness_is_rejected_at_the_trust_boundary() {
+    // A fault-injected TabuCol worker emits an improper coloring (one
+    // monochromatic edge). The trust boundary must reject it before it
+    // can touch the shared incumbent, count the rejection, and retire the
+    // worker — while the surviving workers keep the bracket sound.
+    use sbgc_core::{race_heuristics_instrumented, ChromaticBounds, Coloring};
+
+    let g = Graph::cycle(9); // χ = 3
+    let loose = ChromaticBounds { lower: 1, upper: 9, witness: Coloring::new((0..9).collect()) };
+    let rec = Recorder::new();
+    let opts = SolveOptions::new(20).with_recorder(rec.clone());
+    let plan = FaultPlan::new(21).with_improper_witness(0);
+    let out = race_heuristics_instrumented(&g, &opts, &loose, Some(&plan));
+
+    assert!(out.rejected_witnesses >= 1, "the corrupted offer must be rejected");
+    assert!(out.failed_workers >= 1, "an untrustworthy worker is retired");
+    assert!(out.witness.is_proper(&g), "survivors keep a validated witness");
+    assert_eq!(out.witness.num_colors(), out.upper);
+    assert!(out.lower <= out.upper);
+    assert_eq!(out.upper, 3, "PartialCol alone still walks C9 down to χ = 3");
+
+    // Telemetry tells the same story: the TabuCol record is marked
+    // failed, and the per-run heuristics object carries both tallies.
+    let workers = rec.workers();
+    let tabu = workers.iter().find(|w| w.kind == "tabucol").expect("telemetry for worker 0");
+    assert!(tabu.failed.is_some(), "the rejection is fatal for the offending worker");
+    let h = rec.heuristics().expect("heuristics telemetry recorded");
+    assert!(h.rejected_witnesses >= 1);
+    assert!(h.failed_workers >= 1);
+
+    // And the sound result is untouched by re-running without the fault.
+    let healthy = race_heuristics_instrumented(&g, &opts, &loose, None);
+    assert_eq!(healthy.rejected_witnesses, 0);
+    assert_eq!(healthy.failed_workers, 0);
+    assert_eq!(healthy.upper, 3);
+}
+
+#[test]
+fn heuristic_faults_replay_deterministically() {
+    // Chaos results are only diagnosable if a failing schedule replays
+    // identically: same fault plan, same bracket, same tallies.
+    use sbgc_core::{race_heuristics_instrumented, ChromaticBounds, Coloring};
+
+    let g = mycielski(4); // triangle-free: the clique/χ gap never closes
+    let n = g.num_vertices();
+    let loose = ChromaticBounds { lower: 2, upper: n, witness: Coloring::new((0..n).collect()) };
+    let opts = SolveOptions::new(20);
+    // Worker 1 (PartialCol) panics on entry; worker 0 (TabuCol) has its
+    // first offer corrupted into an improper coloring.
+    let plan = FaultPlan::new(5).with_worker_panic(1, 0).with_improper_witness(0);
+    let first = race_heuristics_instrumented(&g, &opts, &loose, Some(&plan));
+    let second = race_heuristics_instrumented(&g, &opts, &loose, Some(&plan));
+    assert_eq!(first.lower, second.lower);
+    assert_eq!(first.upper, second.upper);
+    assert_eq!(first.rejected_witnesses, second.rejected_witnesses);
+    assert_eq!(first.failed_workers, second.failed_workers);
+    assert_eq!(first.failed_workers, 2, "both faulted workers are retired");
+    assert_eq!(first.rejected_witnesses, 1);
+    assert!(first.witness.is_proper(&g), "the seed witness outlives the casualties");
+}
