@@ -37,6 +37,14 @@
 //! enforced), and under `--min-speedup` the race must skip at least one
 //! rung whenever some decided instance's DSATUR bound overshot χ.
 //!
+//! A fifth section, `supervised`, is the resumable-solve smoke pass: a
+//! supervised solve of queen6_6 writes rung-boundary checkpoints (to
+//! `--checkpoint PATH` or a scratch file), a second solve resumes from
+//! the result, and both must agree on χ — the binary exits non-zero when
+//! a harness-written checkpoint fails to round-trip through `resume`.
+//! `--watchdog-secs` and `--retries` feed straight into the supervised
+//! run's [`SupervisorConfig`].
+//!
 //! The default instance set is the Table 3 queens subset (`queen5_5`,
 //! `queen6_6`, `queen7_7`, `queen8_12`); override with `--instances`.
 //! With `--min-speedup X` the binary exits non-zero when the overall
@@ -50,9 +58,10 @@
 use sbgc_bench::{HarnessConfig, QUICK_INSTANCES};
 use sbgc_core::{
     add_instance_independent_sbps, chromatic_number_by_decision, chromatic_number_incremental,
-    ColoringEncoding, PreparedColoring, SbpMode, SearchStrategy, SolveOptions,
+    solve_supervised, ColoringEncoding, PreparedColoring, SbpMode, SearchStrategy, SolveOptions,
+    SupervisorConfig,
 };
-use sbgc_graph::{gen, Graph};
+use sbgc_graph::{gen, suite, Graph};
 use sbgc_pb::{
     optimize_portfolio_recorded, portfolio_configs, Budget, OptOutcome, Optimizer, Recorder,
     SolverKind, WorkerTelemetry,
@@ -463,6 +472,73 @@ fn main() {
         ));
     }
 
+    // Supervised checkpoint round-trip: the resumable-solve smoke pass.
+    // A supervised solve of queen6_6 writes rung-boundary checkpoints
+    // (`--checkpoint PATH`, or a scratch file), then a second supervised
+    // solve resumes from the final checkpoint and must reach the same χ
+    // without redoing any committed rung — the CI robustness gate that a
+    // harness-written checkpoint actually round-trips through `resume`.
+    println!("\nsupervised: checkpoint write + resume round-trip on queen6_6");
+    let sup_graph = suite::build("queen6_6").graph;
+    let ckpt_path = config.checkpoint.clone().map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("bench_json_{}.ckpt", std::process::id()))
+    });
+    // The gate needs queen6_6 decided (χ = 7 with an UNSAT proof at 6),
+    // so it gets a floor under the shared --timeout.
+    let sup_budget = Budget::unlimited().with_timeout(config.timeout.max(Duration::from_secs(60)));
+    let sup_opts =
+        SolveOptions::new(config.k.min(9)).with_sbp_mode(SbpMode::Nu).with_budget(sup_budget);
+    let sup_config = {
+        let mut c = config.supervisor_config().with_checkpoint_path(&ckpt_path);
+        c.resume_from = config.resume.clone().map(std::path::PathBuf::from);
+        c
+    };
+    let start = Instant::now();
+    // A rejected `--resume` file (corrupted, wrong graph, wrong SBP mode)
+    // is user input, not a harness bug: surface the typed error and exit
+    // like the flag parser does, no backtrace.
+    let first = solve_supervised(&sup_graph, &sup_opts, &sup_config).unwrap_or_else(|e| {
+        eprintln!("error: supervised queen6_6 solve could not start: {e}");
+        std::process::exit(2);
+    });
+    let first_time = start.elapsed();
+    let start = Instant::now();
+    let resumed = solve_supervised(
+        &sup_graph,
+        &sup_opts,
+        &SupervisorConfig::new().with_resume_from(&ckpt_path),
+    )
+    .expect("resume from a harness-written checkpoint must be accepted");
+    let resume_time = start.elapsed();
+    let supervised_ok = first.outcome.result.exact().is_some()
+        && first.outcome.result.exact() == resumed.outcome.result.exact()
+        && resumed.resumed;
+    println!(
+        "  queen6_6   solve {:>8.3}s ({} checkpoints, {} attempts)  resume {:>8.3}s  chi = {} / {}",
+        first_time.as_secs_f64(),
+        first.checkpoints_written,
+        first.attempts,
+        resume_time.as_secs_f64(),
+        first.outcome.result.exact().map_or("undecided".to_string(), |c| c.to_string()),
+        resumed.outcome.result.exact().map_or("undecided".to_string(), |c| c.to_string()),
+    );
+    let supervised_json = format!(
+        "{{\"instance\": \"queen6_6\", \"solve_s\": {:.6}, \"resume_s\": {:.6}, \
+         \"checkpoints_written\": {}, \"attempts\": {}, \"watchdog_trips\": {}, \
+         \"chi_first\": {}, \"chi_resumed\": {}, \"round_trip_ok\": {}}}",
+        first_time.as_secs_f64(),
+        resume_time.as_secs_f64(),
+        first.checkpoints_written,
+        first.attempts,
+        first.watchdog_trips,
+        first.outcome.result.exact().map_or("null".to_string(), |c| c.to_string()),
+        resumed.outcome.result.exact().map_or("null".to_string(), |c| c.to_string()),
+        supervised_ok
+    );
+    if config.checkpoint.is_none() {
+        let _ = std::fs::remove_file(&ckpt_path);
+    }
+
     // Gate on the geometric mean of per-instance speedups (the standard
     // suite metric): a totals ratio would let one instance whose ladder
     // is a single hard UNSAT query — a structural tie — drown out every
@@ -491,6 +567,7 @@ fn main() {
          \"heuristics\": {{\n    \"runs\": [\n{}\n    ],\n    \"summary\": \
          {{\"exact_total_s\": {:.6}, \"hybrid_total_s\": {:.6}, \"rungs_skipped_total\": {}, \
          \"chi_agree\": {}}}\n  }},\n  \
+         \"supervised\": {},\n  \
          \"summary\": {{\"sequential_total_s\": {:.6}, \"portfolio_total_s\": {:.6}, \
          \"speedup\": {:.4}, \"optimal_color_counts_agree\": {}}}\n}}\n",
         config.k,
@@ -513,12 +590,15 @@ fn main() {
         heur_hybrid_total.as_secs_f64(),
         heur_skipped_total,
         heur_agree,
+        supervised_json,
         seq_total.as_secs_f64(),
         par_total.as_secs_f64(),
         speedup,
         agree
     );
-    if let Err(err) = std::fs::write("BENCH_portfolio.json", &json) {
+    // Atomic (temp + rename): a crash mid-write must never leave a
+    // truncated JSON where the previous benchmark's good data used to be.
+    if let Err(err) = sbgc_obs::write_atomic("BENCH_portfolio.json".as_ref(), json.as_bytes()) {
         // The measurements are already printed; dump the JSON to stderr so
         // the data survives, then flag the failure in the exit status.
         eprintln!("error: could not write BENCH_portfolio.json: {err}");
@@ -545,6 +625,13 @@ fn main() {
         eprintln!("heuristics section FAILED: hybrid and exact-only searches disagree");
         std::process::exit(1);
     }
+    if !supervised_ok {
+        // A checkpoint the harness itself wrote that does not resume to
+        // the same χ is a durability bug, never a perf matter.
+        eprintln!("supervised section FAILED: checkpoint did not round-trip through resume");
+        std::process::exit(1);
+    }
+    println!("supervised gate passed: harness checkpoint round-tripped through resume");
 
     sbgc_bench::run_certification(&config);
     sbgc_bench::write_report(&config, "bench_json");

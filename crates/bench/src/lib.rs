@@ -36,7 +36,7 @@
 use sbgc_core::{
     certify_result_parallel, chromatic_number_certified, solve_coloring, ChromaticResult,
     ColoringOutcome, OptimalityCertificate, PreparedColoring, ProofStatus, Recorder, SbpMode,
-    SolveOptions, SolverKind, SymmetryHandling,
+    SolveOptions, SolverKind, SupervisorConfig, SymmetryHandling,
 };
 use sbgc_graph::suite::{self, Instance};
 use sbgc_obs::{
@@ -97,6 +97,44 @@ pub struct HarnessConfig {
     /// already sweep every mode (`table2`–`table5`, `bench_json`'s
     /// ablation) ignore this.
     pub sbp: Option<SbpMode>,
+    /// With `--checkpoint PATH`, supervised runs auto-checkpoint the
+    /// k-ladder state to `PATH` at every rung boundary (see
+    /// `docs/ROBUSTNESS.md`, "Checkpoint & resume"). Currently honored by
+    /// `bench_json`'s supervised smoke pass.
+    pub checkpoint: Option<String>,
+    /// With `--resume PATH`, supervised runs restore the ladder from the
+    /// checkpoint at `PATH` instead of starting fresh; the file is
+    /// re-validated at load (CRC, graph fingerprint, SBP mode, witness).
+    pub resume: Option<String>,
+    /// With `--watchdog-secs N`, supervised runs cancel and retry any
+    /// attempt that makes no conflict progress for `N` seconds. Must be
+    /// positive — validated at parse time.
+    pub watchdog_secs: Option<f64>,
+    /// With `--retries N`, supervised runs allow `N` retries after the
+    /// first attempt (escalating budgets). Must be at least 1 — validated
+    /// at parse time; `None` keeps the supervisor default.
+    pub retries: Option<u32>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            timeout: Duration::from_secs(30),
+            k: 5,
+            instances: QUICK_INSTANCES.iter().map(|s| s.to_string()).collect(),
+            per_instance: false,
+            jobs: 1,
+            report: None,
+            certify: false,
+            proof_dir: None,
+            min_speedup: None,
+            sbp: None,
+            checkpoint: None,
+            resume: None,
+            watchdog_secs: None,
+            retries: None,
+        }
+    }
 }
 
 /// The quick default subset: small and medium instances from five of the
@@ -108,18 +146,8 @@ impl HarnessConfig {
     /// Parses `std::env::args`-style flags. Unknown flags abort with a
     /// usage message.
     pub fn from_args(default_k: usize, default_timeout: Duration) -> Self {
-        let mut config = HarnessConfig {
-            timeout: default_timeout,
-            k: default_k,
-            instances: QUICK_INSTANCES.iter().map(|s| s.to_string()).collect(),
-            per_instance: false,
-            jobs: 1,
-            report: None,
-            certify: false,
-            proof_dir: None,
-            min_speedup: None,
-            sbp: None,
-        };
+        let mut config =
+            HarnessConfig { timeout: default_timeout, k: default_k, ..HarnessConfig::default() };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -185,11 +213,91 @@ impl HarnessConfig {
                         ))
                     }));
                 }
+                "--checkpoint" => {
+                    i += 1;
+                    let path = args.get(i).unwrap_or_else(|| usage("--checkpoint needs a path"));
+                    config.checkpoint = Some(path.clone());
+                }
+                "--resume" => {
+                    i += 1;
+                    let path = args.get(i).unwrap_or_else(|| usage("--resume needs a path"));
+                    config.resume = Some(path.clone());
+                }
+                "--watchdog-secs" => {
+                    i += 1;
+                    let secs: f64 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--watchdog-secs needs seconds"));
+                    config.watchdog_secs = Some(secs);
+                }
+                "--retries" => {
+                    i += 1;
+                    let retries: u32 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--retries needs an integer"));
+                    config.retries = Some(retries);
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
             i += 1;
         }
+        if let Err(message) = config.validate_supervision() {
+            usage(&message);
+        }
         config
+    }
+
+    /// Parse-time validation of the supervision knobs: degenerate values
+    /// (`--watchdog-secs 0`, `--retries 0`) and output-path collisions
+    /// (`--checkpoint` aliasing `--report` or `--resume` would make one
+    /// artifact clobber another) are rejected before any solving starts,
+    /// with the same typed messages [`SupervisorConfig::validate`] uses.
+    pub fn validate_supervision(&self) -> Result<(), String> {
+        if let Some(secs) = self.watchdog_secs {
+            // `<= 0.0 || is_nan` rather than `!(> 0.0)`: same NaN-rejecting
+            // behavior without the negated-comparison lint.
+            if secs <= 0.0 || secs.is_nan() {
+                return Err("--watchdog-secs must be positive (a zero window cancels every \
+                            attempt before its first conflict)"
+                    .to_string());
+            }
+        }
+        if self.retries == Some(0) {
+            return Err("--retries must be at least 1 (the supervisor exists to retry)".to_string());
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if self.report.as_deref() == Some(ckpt.as_str()) {
+                return Err(format!(
+                    "--checkpoint and --report both point at `{ckpt}`; the checkpoint would \
+                     clobber the report"
+                ));
+            }
+        }
+        self.supervisor_config().validate().map_err(|e| e.to_string())
+    }
+
+    /// The [`SupervisorConfig`] these flags describe (defaults where a
+    /// knob was not given). Call [`validate_supervision`] first when the
+    /// values come from an untrusted command line.
+    ///
+    /// [`validate_supervision`]: HarnessConfig::validate_supervision
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        let mut sup = SupervisorConfig::new();
+        if let Some(path) = &self.checkpoint {
+            sup = sup.with_checkpoint_path(path);
+        }
+        if let Some(path) = &self.resume {
+            sup = sup.with_resume_from(path);
+        }
+        if let Some(secs) = self.watchdog_secs {
+            sup = sup.with_watchdog(Duration::from_secs_f64(secs.max(0.0)));
+        }
+        if let Some(retries) = self.retries {
+            sup = sup.with_max_retries(retries);
+        }
+        sup
     }
 
     /// Builds the configured instances.
@@ -207,7 +315,8 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--timeout SECS] [--k K] [--instances a,b,c] [--full] [--per-instance] \
-         [--jobs N] [--report PATH] [--certify] [--proof DIR] [--min-speedup X] [--sbp MODE]"
+         [--jobs N] [--report PATH] [--certify] [--proof DIR] [--min-speedup X] [--sbp MODE] \
+         [--checkpoint PATH] [--resume PATH] [--watchdog-secs N] [--retries N]"
     );
     std::process::exit(2)
 }
@@ -465,7 +574,7 @@ pub fn run_certification(config: &HarnessConfig) {
         );
         if let (Some(dir), Some(proof)) = (&proof_dir, &cert.proof) {
             let path = format!("{dir}/{}.drat", inst.meta.name);
-            if let Err(err) = std::fs::write(&path, proof.to_dimacs()) {
+            if let Err(err) = sbgc_obs::write_atomic(path.as_ref(), proof.to_dimacs().as_bytes()) {
                 eprintln!("warning: could not write {path}: {err}; proof not archived");
             }
         }
@@ -621,11 +730,13 @@ impl ReportGuard {
         self.file.runs.push(run);
     }
 
-    /// Writes the complete report. Exits with status 1 if the file cannot
-    /// be written — with `--report` the file *is* the deliverable.
+    /// Writes the complete report atomically (temp file + rename, so a
+    /// crash mid-write can never leave a truncated report where a good
+    /// one — or none — used to be). Exits with status 1 if the file
+    /// cannot be written — with `--report` the file *is* the deliverable.
     pub fn finish(mut self) {
         self.finished = true;
-        match std::fs::write(&self.path, self.file.to_json()) {
+        match sbgc_obs::write_atomic(self.path.as_ref(), self.file.to_json().as_bytes()) {
             Ok(()) => eprintln!("report written: {}", self.path),
             Err(err) => {
                 eprintln!("error: could not write report to {}: {err}", self.path);
@@ -645,7 +756,8 @@ impl Drop for ReportGuard {
             self.file.runs.len(),
             self.path
         );
-        if let Err(err) = std::fs::write(&self.path, self.file.to_json()) {
+        if let Err(err) = sbgc_obs::write_atomic(self.path.as_ref(), self.file.to_json().as_bytes())
+        {
             eprintln!("error: could not write partial report to {}: {err}", self.path);
         }
     }
@@ -714,8 +826,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -748,8 +859,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -768,8 +878,7 @@ mod tests {
             report: None,
             certify: true,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let inst = suite::build("myciel3");
         let report = collect_run_report(&inst, &config);
@@ -799,8 +908,7 @@ mod tests {
             report: None,
             certify: false,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let inst = suite::build("queen6_6");
         let report = collect_run_report(&inst, &config);
@@ -822,8 +930,7 @@ mod tests {
             report: Some(path_str.clone()),
             certify: false,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let result = std::panic::catch_unwind(|| {
             let mut guard = ReportGuard::new(&path_str, "chaos", &config);
@@ -852,8 +959,7 @@ mod tests {
             report: Some(path_str.clone()),
             certify: false,
             proof_dir: None,
-            min_speedup: None,
-            sbp: None,
+            ..HarnessConfig::default()
         };
         let mut guard = ReportGuard::new(&path_str, "table9", &config);
         guard.push(RunReport::default());
@@ -861,6 +967,48 @@ mod tests {
         guard.finish();
         let json = std::fs::read_to_string(&path).expect("report written");
         assert!(json.contains("\"generator\": \"table9\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn supervision_knobs_validate_at_parse_time() {
+        let good = HarnessConfig {
+            checkpoint: Some("a.ckpt".to_string()),
+            watchdog_secs: Some(5.0),
+            retries: Some(2),
+            ..HarnessConfig::default()
+        };
+        assert!(good.validate_supervision().is_ok());
+        let sup = good.supervisor_config();
+        assert_eq!(sup.checkpoint_path.as_deref(), Some(std::path::Path::new("a.ckpt")));
+        assert_eq!(sup.watchdog, Some(Duration::from_secs(5)));
+        assert_eq!(sup.max_retries, 2);
+
+        let zero_watchdog = HarnessConfig { watchdog_secs: Some(0.0), ..HarnessConfig::default() };
+        assert!(zero_watchdog.validate_supervision().unwrap_err().contains("watchdog"));
+        let zero_retries = HarnessConfig { retries: Some(0), ..HarnessConfig::default() };
+        assert!(zero_retries.validate_supervision().unwrap_err().contains("retries"));
+        let collision = HarnessConfig {
+            checkpoint: Some("out.json".to_string()),
+            report: Some("out.json".to_string()),
+            ..HarnessConfig::default()
+        };
+        assert!(collision.validate_supervision().unwrap_err().contains("clobber"));
+    }
+
+    /// Satellite regression: an atomic artifact write that fails mid-flight
+    /// (injected via [`FaultPlan`]) must leave the previous report intact —
+    /// never a truncated or missing file.
+    #[test]
+    fn injected_write_failure_preserves_the_previous_report() {
+        use sbgc_obs::{write_atomic_instrumented, FaultPlan};
+        let path =
+            std::env::temp_dir().join(format!("sbgc_atomic_report_{}.json", std::process::id()));
+        std::fs::write(&path, b"{\"good\": true}").unwrap();
+        let fault = FaultPlan::new(7).with_artifact_write_failure();
+        let err = write_atomic_instrumented(&path, b"half-written", Some(&fault)).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"good\": true}");
         let _ = std::fs::remove_file(&path);
     }
 

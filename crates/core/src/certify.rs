@@ -615,7 +615,7 @@ mod tests {
 
     impl std::io::Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().unwrap().extend_from_slice(buf);
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -640,7 +640,10 @@ mod tests {
         let (status, proof) = certify_unsat_formula_streamed(&f, &Budget::unlimited(), logger);
         assert!(matches!(status, ProofStatus::Checked { .. }), "{status}");
         let proof = proof.expect("refutation");
-        let streamed = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 drat");
+        let streamed = String::from_utf8(
+            buf.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+        )
+        .expect("utf8 drat");
         assert!(!streamed.is_empty(), "the archive must receive the proof");
         // Every proof step is one archived line ending in the DRAT "0".
         assert_eq!(streamed.lines().count(), proof.steps().len());

@@ -7,6 +7,7 @@
 //! them return [`SolveError`] instead; the panicking forms remain as thin
 //! wrappers so existing code keeps its behavior (see `docs/ROBUSTNESS.md`).
 
+use crate::checkpoint::CheckpointError;
 use sbgc_pb::PortfolioError;
 
 /// Why a solve could not even be attempted. These are *input* failures,
@@ -40,6 +41,14 @@ pub enum SolveError {
         /// Where the contradiction was detected.
         detail: String,
     },
+    /// A solve checkpoint could not be written, read, or trusted —
+    /// corruption, truncation, a stale graph, or a witness that failed
+    /// re-validation (see [`CheckpointError`] for the specific failure).
+    Checkpoint(CheckpointError),
+    /// A supervisor/CLI knob was invalid at parse time: a zero watchdog
+    /// window, a zero retry cap, or a checkpoint path colliding with
+    /// another output artifact.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for SolveError {
@@ -58,6 +67,10 @@ impl std::fmt::Display for SolveError {
                      ({detail})"
                 )
             }
+            SolveError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            SolveError::InvalidConfig(detail) => {
+                write!(f, "invalid supervisor configuration: {detail}")
+            }
         }
     }
 }
@@ -66,6 +79,7 @@ impl std::error::Error for SolveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SolveError::Portfolio(e) => Some(e),
+            SolveError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -74,6 +88,12 @@ impl std::error::Error for SolveError {
 impl From<PortfolioError> for SolveError {
     fn from(e: PortfolioError) -> Self {
         SolveError::Portfolio(e)
+    }
+}
+
+impl From<CheckpointError> for SolveError {
+    fn from(e: CheckpointError) -> Self {
+        SolveError::Checkpoint(e)
     }
 }
 
@@ -107,5 +127,58 @@ mod tests {
         assert_eq!(e, SolveError::Portfolio(PortfolioError::MissingObjective));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn checkpoint_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: SolveError = CheckpointError::BadMagic.into();
+        assert!(e.to_string().contains("checkpoint"));
+        let source = e.source().expect("checkpoint errors carry a source");
+        assert!(source.to_string().contains("magic"));
+    }
+
+    /// Satellite guarantee: every `SolveError` variant (and every
+    /// `CheckpointError` / `PortfolioError` it can wrap) has a non-empty,
+    /// panic-free `Display`, and `source()` chains terminate.
+    #[test]
+    fn every_variant_displays_without_panicking() {
+        use crate::checkpoint::GraphFingerprint;
+        use std::error::Error;
+        let fp = GraphFingerprint { vertices: 3, edges: 2, edge_hash: 9 };
+        let checkpoint_errors = vec![
+            CheckpointError::Io { path: "a/b.ckpt".to_string(), detail: "denied".to_string() },
+            CheckpointError::BadMagic,
+            CheckpointError::UnsupportedVersion(9),
+            CheckpointError::ChecksumMismatch { stored: 1, computed: 2 },
+            CheckpointError::Malformed("truncated".to_string()),
+            CheckpointError::GraphMismatch { stored: fp, resuming: fp },
+            CheckpointError::SbpMismatch {
+                stored: "nu".to_string(),
+                detail: "unknown".to_string(),
+            },
+            CheckpointError::InvalidWitness("improper".to_string()),
+        ];
+        let mut errors: Vec<SolveError> = vec![
+            SolveError::EmptyGraph,
+            SolveError::ZeroColorBound,
+            SolveError::Portfolio(PortfolioError::NoWorkers),
+            SolveError::Portfolio(PortfolioError::MissingObjective),
+            SolveError::UnsupportedIncremental,
+            SolveError::BoundContradiction { lower: 2, upper: 1, detail: "x".to_string() },
+            SolveError::InvalidConfig("watchdog window must be positive".to_string()),
+        ];
+        errors.extend(checkpoint_errors.into_iter().map(SolveError::Checkpoint));
+        for e in errors {
+            assert!(!e.to_string().is_empty(), "{e:?} must Display");
+            let mut source = e.source();
+            let mut depth = 0;
+            while let Some(s) = source {
+                assert!(!s.to_string().is_empty());
+                source = s.source();
+                depth += 1;
+                assert!(depth < 8, "source chain of {e:?} must terminate");
+            }
+        }
     }
 }

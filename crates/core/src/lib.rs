@@ -31,7 +31,12 @@
 //! * [`certify`] — verified optimality certificates: a syntactically
 //!   checked witness coloring at χ plus a DRAT refutation of
 //!   (χ−1)-colorability replayed through the independent checker of
-//!   `sbgc-proof`.
+//!   `sbgc-proof`;
+//! * [`supervisor`] + [`checkpoint`] — resumable solves: versioned,
+//!   checksummed [`SolveCheckpoint`]s written atomically at ladder-rung
+//!   boundaries, resume with trust-boundary re-validation, and a
+//!   watchdog-supervised retry loop with escalating budgets (see
+//!   `docs/ROBUSTNESS.md`).
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@
 
 pub mod applications;
 pub mod certify;
+pub mod checkpoint;
 pub mod chromatic;
 pub mod encode;
 pub mod error;
@@ -62,6 +68,12 @@ pub mod flow;
 pub mod heuristics;
 pub mod sbp;
 pub mod session;
+pub mod supervisor;
+
+pub use checkpoint::{CheckpointError, GraphFingerprint, SolveCheckpoint};
+pub use supervisor::{
+    solve_supervised, solve_supervised_instrumented, SupervisedOutcome, SupervisorConfig,
+};
 
 pub use certify::{
     certify_result, certify_result_parallel, certify_unsat_formula, certify_unsat_formula_parallel,

@@ -49,9 +49,10 @@ use crate::flow::{SolveOptions, SymmetryHandling};
 use crate::sbp::add_instance_independent_sbps;
 use sbgc_formula::Lit;
 use sbgc_graph::{Coloring, Graph};
-use sbgc_obs::{Phase, Recorder};
+use sbgc_obs::{FaultPlan, Phase, Recorder};
 use sbgc_pb::{
-    portfolio_configs, Budget, ExhaustReason, PbEngine, PortfolioSession, SolveOutcome, SolverKind,
+    portfolio_configs, Budget, ExhaustReason, PbEngine, PortfolioSession, SharingConfig,
+    SolveOutcome, SolverKind,
 };
 
 /// What one ladder query established.
@@ -160,6 +161,27 @@ impl<'g> ColoringSession<'g> {
     /// degenerate inputs, [`SolveError::UnsupportedIncremental`] when
     /// [`ColoringSession::supports`] is false for `options`.
     pub fn new(graph: &'g Graph, options: &SolveOptions) -> Result<Self, SolveError> {
+        Self::new_with(graph, options, 0, None)
+    }
+
+    /// [`ColoringSession::new`] plus a worker **seed offset** and
+    /// deterministic fault injection — the supervisor's rebuild interface.
+    ///
+    /// A retry after a watchdog trip rebuilds the session with a non-zero
+    /// `seed_offset`, shifting every backend engine's diversification seed
+    /// so the restarted search explores differently from the stalled one
+    /// ("cancel, reseed, restart"). `fault` flows to the portfolio workers
+    /// for chaos tests; production callers pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColoringSession::new`].
+    pub fn new_with(
+        graph: &'g Graph,
+        options: &SolveOptions,
+        seed_offset: u64,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Self, SolveError> {
         if graph.num_vertices() == 0 {
             return Err(SolveError::EmptyGraph);
         }
@@ -189,13 +211,23 @@ impl<'g> ColoringSession<'g> {
         }
         let backend = match options.portfolio_workers() {
             Some(n) => {
-                let session =
-                    PortfolioSession::new(encoding.formula(), &portfolio_configs(n), &recorder)?;
+                let configs: Vec<_> = portfolio_configs(n)
+                    .iter()
+                    .map(|c| c.with_seed(c.seed.wrapping_add(seed_offset)))
+                    .collect();
+                let session = PortfolioSession::with_instrumentation(
+                    encoding.formula(),
+                    &configs,
+                    &recorder,
+                    fault,
+                    Some(SharingConfig::default()),
+                )?;
                 SessionBackend::Portfolio(session)
             }
             None => {
                 let config =
                     options.solver.engine_config().expect("supports() admits only CDCL solvers");
+                let config = config.with_seed(config.seed.wrapping_add(seed_offset));
                 let mut engine = PbEngine::from_formula(encoding.formula(), config);
                 engine.set_recorder(recorder.clone());
                 SessionBackend::Sequential(Box::new(engine))
@@ -264,6 +296,46 @@ impl<'g> ColoringSession<'g> {
         match &self.backend {
             SessionBackend::Sequential(_) => 1,
             SessionBackend::Portfolio(p) => p.alive_workers(),
+        }
+    }
+
+    /// The diversification seed of each backend engine, in worker order
+    /// (a single entry for the sequential backend) — persisted in
+    /// checkpoints so a resume can diversify away from them.
+    pub fn worker_seeds(&self) -> Vec<u64> {
+        match &self.backend {
+            SessionBackend::Sequential(engine) => vec![engine.config().seed],
+            SessionBackend::Portfolio(p) => p.worker_seeds(),
+        }
+    }
+
+    /// Exports the learned clauses worth persisting in a checkpoint:
+    /// every clause that passes the default LBD/size share filter. For
+    /// the portfolio backend this is the shared pool's snapshot (clauses
+    /// already filtered at export time); for the sequential backend the
+    /// engine's live learned clauses are filtered here. Each clause is
+    /// entailed by the encoding plus the committed bounds (see the module
+    /// docs), so it stays valid for any resumed query.
+    pub fn export_learned(&self) -> Vec<(Vec<Lit>, u32)> {
+        match &self.backend {
+            SessionBackend::Sequential(engine) => engine.export_learned(SharingConfig::default()),
+            SessionBackend::Portfolio(p) => p.export_clauses(),
+        }
+    }
+
+    /// Imports externally supplied learned clauses (a resumed
+    /// checkpoint's lemmas) into the backend and returns how many were
+    /// accepted. The caller must have re-committed the bounds the clauses
+    /// were learned under first — `supervisor::resume` does — or the
+    /// import would be unsound.
+    pub fn import_learned(&mut self, clauses: &[(Vec<Lit>, u32)]) -> usize {
+        match &mut self.backend {
+            SessionBackend::Sequential(engine) => {
+                let before = engine.stats().imported;
+                engine.import_learned(clauses);
+                (engine.stats().imported - before) as usize
+            }
+            SessionBackend::Portfolio(p) => p.import_clauses(clauses),
         }
     }
 

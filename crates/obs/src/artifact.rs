@@ -1,0 +1,129 @@
+//! Crash-safe artifact persistence: write-temp-then-rename.
+//!
+//! Every artifact the workspace leaves on disk — bench JSON, `--report`
+//! envelopes, solve checkpoints — goes through [`write_atomic`]. The bytes
+//! are written to a sibling temporary file (same directory, so the final
+//! `rename` never crosses a filesystem boundary), flushed, and only then
+//! renamed over the destination. A process killed at any instant therefore
+//! leaves either the old artifact or the new one, never a truncated hybrid
+//! — the invariant the checkpoint/resume path and every JSON consumer rely
+//! on.
+//!
+//! [`write_atomic_instrumented`] is the chaos-test variant: a
+//! [`FaultPlan`] with
+//! [`artifact_write_failure`](FaultPlan::artifact_write_failure) makes the
+//! write fail with an I/O error *before* the temp file is created, and a
+//! scheduled [`checkpoint_corruption`](FaultPlan::checkpoint_corruption)
+//! bit-flips one byte of the payload on its way to disk — deterministic
+//! stand-ins for a full disk and for storage rot.
+
+use crate::fault::FaultPlan;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`: write to a sibling temp file,
+/// flush, rename.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, flushing or renaming the temp
+/// file; on error the temp file is removed and `path` is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_instrumented(path, bytes, None)
+}
+
+/// [`write_atomic`] plus deterministic fault injection for chaos tests.
+/// Production callers pass `None` and pay one `is_none` branch.
+///
+/// # Errors
+///
+/// As [`write_atomic`], plus an injected `ErrorKind::Other` ("injected
+/// fault: artifact write failure") when the plan schedules write failures.
+pub fn write_atomic_instrumented(
+    path: &Path,
+    bytes: &[u8],
+    fault: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    if fault.is_some_and(FaultPlan::artifact_write_failure) {
+        return Err(std::io::Error::other("injected fault: artifact write failure"));
+    }
+    let corrupted;
+    let payload = match fault.and_then(FaultPlan::checkpoint_corruption) {
+        Some(offset) if !bytes.is_empty() => {
+            let mut flipped = bytes.to_vec();
+            let at = (offset % flipped.len() as u64) as usize;
+            flipped[at] ^= 1;
+            corrupted = flipped;
+            &corrupted[..]
+        }
+        _ => bytes,
+    };
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(payload)?;
+        // `flush` drains userspace buffers; `sync_all` makes the bytes
+        // durable before the rename publishes them.
+        file.flush()?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sbgc-artifact-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_content() {
+        let path = scratch("replace");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_write_failure_leaves_old_artifact_intact() {
+        let path = scratch("faulty");
+        write_atomic(&path, b"durable").unwrap();
+        let plan = FaultPlan::new(1).with_artifact_write_failure();
+        let err = write_atomic_instrumented(&path, b"lost", Some(&plan)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable", "old artifact must survive");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let path = scratch("corrupt");
+        let plan = FaultPlan::new(2).with_checkpoint_corruption(3);
+        write_atomic_instrumented(&path, b"abcdef", Some(&plan)).unwrap();
+        let written = std::fs::read(&path).unwrap();
+        assert_eq!(written.len(), 6);
+        let diff: Vec<usize> = written
+            .iter()
+            .zip(b"abcdef")
+            .enumerate()
+            .filter(|(_, (w, o))| w != o)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diff, vec![3]);
+        assert_eq!(written[3] ^ 1, b'd');
+        std::fs::remove_file(&path).unwrap();
+    }
+}

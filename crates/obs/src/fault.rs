@@ -37,6 +37,21 @@ pub struct FaultPlan {
     /// Heuristic worker whose offered witnesses are corrupted before the
     /// trust-boundary check (exercises improper-coloring rejection).
     improper_witness: Option<usize>,
+    /// `(worker index, query index)`: from this 0-based session query on,
+    /// workers at this index and above stall — they burn wall-clock
+    /// without conflict progress until their budget fires (exercises the
+    /// supervisor's watchdog; `(0, 0)` wedges the whole race).
+    stalled_worker: Option<(usize, u64)>,
+    /// 0-based ladder rung at whose *start* the supervised solve dies
+    /// (after the previous rung's checkpoint was written), modeling a
+    /// process kill mid-ladder.
+    mid_rung_kill: Option<u64>,
+    /// Byte offset whose lowest bit is flipped in a written checkpoint
+    /// (exercises CRC rejection of corrupted files).
+    checkpoint_corruption: Option<u64>,
+    /// When set, every artifact write through the fault-aware atomic
+    /// writer fails with an I/O error (a full disk).
+    artifact_write_failure: bool,
 }
 
 impl FaultPlan {
@@ -108,11 +123,72 @@ impl FaultPlan {
         self.improper_witness == Some(worker)
     }
 
+    /// Schedules session workers `worker` **and above** to stall (no
+    /// conflict progress, only wall-clock burn) from 0-based query
+    /// `from_query` onward. `with_stalled_worker(0, 0)` therefore wedges
+    /// the entire race — the scenario the supervisor's watchdog exists
+    /// for — while a higher index stalls only a suffix of the portfolio.
+    pub fn with_stalled_worker(mut self, worker: usize, from_query: u64) -> Self {
+        self.stalled_worker = Some((worker, from_query));
+        self
+    }
+
+    /// If worker `worker` is scheduled to stall: the 0-based query index
+    /// from which it stalls.
+    pub fn stalled_worker(&self, worker: usize) -> Option<u64> {
+        match self.stalled_worker {
+            Some((w, q)) if worker >= w => Some(q),
+            _ => None,
+        }
+    }
+
+    /// Schedules the supervised solve to die at the start of 0-based
+    /// ladder rung `rung`, after the previous rung's checkpoint was
+    /// written.
+    pub fn with_mid_rung_kill(mut self, rung: u64) -> Self {
+        self.mid_rung_kill = Some(rung);
+        self
+    }
+
+    /// The 0-based ladder rung at whose start the solve dies, if
+    /// scheduled.
+    pub fn mid_rung_kill(&self) -> Option<u64> {
+        self.mid_rung_kill
+    }
+
+    /// Schedules the lowest bit of byte `offset` to be flipped in the next
+    /// written checkpoint (the offset wraps modulo the file length).
+    pub fn with_checkpoint_corruption(mut self, offset: u64) -> Self {
+        self.checkpoint_corruption = Some(offset);
+        self
+    }
+
+    /// The byte offset scheduled for a checkpoint bit-flip, if any.
+    pub fn checkpoint_corruption(&self) -> Option<u64> {
+        self.checkpoint_corruption
+    }
+
+    /// Makes every artifact write through the fault-aware atomic writer
+    /// fail with an I/O error.
+    pub fn with_artifact_write_failure(mut self) -> Self {
+        self.artifact_write_failure = true;
+        self
+    }
+
+    /// Whether artifact writes are scheduled to fail.
+    pub fn artifact_write_failure(&self) -> bool {
+        self.artifact_write_failure
+    }
+
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.worker_panic.is_none()
             && self.proof_fail_at.is_none()
             && self.improper_witness.is_none()
+            && self.stalled_worker.is_none()
+            && self.mid_rung_kill.is_none()
+            && self.checkpoint_corruption.is_none()
+            && !self.artifact_write_failure
     }
 }
 
@@ -183,5 +259,27 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zeroth_proof_write_rejected() {
         let _ = FaultPlan::new(0).with_proof_write_failure(0);
+    }
+
+    #[test]
+    fn stalled_worker_targets_a_suffix_of_the_portfolio() {
+        let plan = FaultPlan::new(3).with_stalled_worker(1, 2);
+        assert_eq!(plan.stalled_worker(1), Some(2));
+        assert_eq!(plan.stalled_worker(3), Some(2), "higher indices stall too");
+        assert_eq!(plan.stalled_worker(0), None, "lower indices keep solving");
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn supervisor_faults_round_trip() {
+        let plan = FaultPlan::new(0)
+            .with_mid_rung_kill(2)
+            .with_checkpoint_corruption(17)
+            .with_artifact_write_failure();
+        assert_eq!(plan.mid_rung_kill(), Some(2));
+        assert_eq!(plan.checkpoint_corruption(), Some(17));
+        assert!(plan.artifact_write_failure());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(0).mid_rung_kill().is_none());
     }
 }

@@ -55,15 +55,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod fault;
 mod json;
 mod recorder;
 mod report;
 
+pub use artifact::{write_atomic, write_atomic_instrumented};
 pub use fault::FaultPlan;
 pub use recorder::{
-    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, SearchCounters, SpanGuard,
-    SpanRecord, WorkerTelemetry,
+    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, ResumeTelemetry,
+    SearchCounters, SpanGuard, SpanRecord, SupervisorTelemetry, WorkerTelemetry,
 };
 pub use report::{
     CertificateStats, DetectionStats, EncodingSize, InstanceInfo, PhaseTiming, ReportFile,

@@ -301,6 +301,48 @@ pub struct HeuristicsTelemetry {
     pub seconds: f64,
 }
 
+/// Summary telemetry of one supervised solve (the watchdog/retry loop of
+/// `sbgc-core::supervisor`), recorded once per run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SupervisorTelemetry {
+    /// Solve attempts made (1 = no retries).
+    pub attempts: u64,
+    /// Times the wall-clock watchdog tripped a stalled attempt (no
+    /// conflict progress for the configured window).
+    pub watchdog_trips: u64,
+    /// Configured watchdog stall window in seconds, when a watchdog ran.
+    pub watchdog_secs: Option<f64>,
+    /// The budget-escalation factor of the final attempt (1 = the original
+    /// budget; doubles per retry up to the supervisor's cap).
+    pub final_escalation: u64,
+    /// Checkpoints successfully written at ladder-rung boundaries.
+    pub checkpoints_written: u64,
+    /// Path checkpoints were written to, when auto-checkpointing was on.
+    pub checkpoint_path: Option<String>,
+}
+
+/// Telemetry of one resume-from-checkpoint, recorded by
+/// `sbgc-core::supervisor` after the checkpoint passed validation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResumeTelemetry {
+    /// Path the checkpoint was loaded from.
+    pub from_path: String,
+    /// Lower chromatic bound restored from the checkpoint.
+    pub lower: usize,
+    /// Upper chromatic bound (committed ladder rungs) restored.
+    pub upper: usize,
+    /// Colors used by the restored incumbent witness, if one survived
+    /// re-validation.
+    pub witness_colors: Option<usize>,
+    /// Learned clauses offered by the checkpoint.
+    pub clauses_offered: u64,
+    /// Offered clauses accepted by the rebuilt session's share filter.
+    pub clauses_imported: u64,
+    /// Ladder rungs the resumed search skips relative to a fresh start
+    /// (the fresh DSATUR upper bound minus the restored one).
+    pub rungs_skipped: u64,
+}
+
 struct Inner {
     epoch: Instant,
     depth: AtomicUsize,
@@ -309,6 +351,8 @@ struct Inner {
     workers: Mutex<Vec<WorkerTelemetry>>,
     ladder: Mutex<Vec<LadderStepTelemetry>>,
     heuristics: Mutex<Option<HeuristicsTelemetry>>,
+    supervisor: Mutex<Option<SupervisorTelemetry>>,
+    resume: Mutex<Option<ResumeTelemetry>>,
 }
 
 /// A lightweight event/span recorder shared across the solving pipeline.
@@ -341,6 +385,8 @@ impl Recorder {
                 workers: Mutex::new(Vec::new()),
                 ladder: Mutex::new(Vec::new()),
                 heuristics: Mutex::new(None),
+                supervisor: Mutex::new(None),
+                resume: Mutex::new(None),
             })),
         }
     }
@@ -469,6 +515,42 @@ impl Recorder {
         }
     }
 
+    /// Records the summary of a supervised solve. A later call overwrites
+    /// an earlier one (the report carries one supervised run).
+    ///
+    /// Poison-tolerant for the same reason as [`Recorder::record_worker`].
+    pub fn record_supervisor(&self, telemetry: SupervisorTelemetry) {
+        if let Some(inner) = &self.inner {
+            *inner.supervisor.lock().unwrap_or_else(PoisonError::into_inner) = Some(telemetry);
+        }
+    }
+
+    /// The recorded supervised-solve summary, if one was recorded.
+    pub fn supervisor(&self) -> Option<SupervisorTelemetry> {
+        match &self.inner {
+            Some(inner) => inner.supervisor.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            None => None,
+        }
+    }
+
+    /// Records the summary of a resume-from-checkpoint. A later call
+    /// overwrites an earlier one.
+    ///
+    /// Poison-tolerant for the same reason as [`Recorder::record_worker`].
+    pub fn record_resume(&self, telemetry: ResumeTelemetry) {
+        if let Some(inner) = &self.inner {
+            *inner.resume.lock().unwrap_or_else(PoisonError::into_inner) = Some(telemetry);
+        }
+    }
+
+    /// The recorded resume summary, if one was recorded.
+    pub fn resume(&self) -> Option<ResumeTelemetry> {
+        match &self.inner {
+            Some(inner) => inner.resume.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            None => None,
+        }
+    }
+
     /// Total time spent in `phase` (sum over its finished spans).
     pub fn phase_time(&self, phase: Phase) -> Duration {
         self.spans().iter().filter(|s| s.phase == phase).map(|s| s.duration).sum()
@@ -592,6 +674,31 @@ mod tests {
         assert_eq!(steps[0].target, 8);
         assert_eq!(steps[1].retained_clauses, 100);
         assert!(Recorder::disabled().ladder_steps().is_empty());
+    }
+
+    #[test]
+    fn supervisor_and_resume_record_once_each() {
+        let r = Recorder::new();
+        r.record_supervisor(SupervisorTelemetry { attempts: 1, ..Default::default() });
+        r.record_supervisor(SupervisorTelemetry {
+            attempts: 3,
+            watchdog_trips: 1,
+            final_escalation: 4,
+            ..Default::default()
+        });
+        let sup = r.supervisor().expect("supervisor summary recorded");
+        assert_eq!(sup.attempts, 3, "later record overwrites earlier");
+        assert_eq!(sup.final_escalation, 4);
+        r.record_resume(ResumeTelemetry {
+            from_path: "ckpt.bin".to_string(),
+            lower: 5,
+            upper: 7,
+            rungs_skipped: 2,
+            ..Default::default()
+        });
+        assert_eq!(r.resume().unwrap().rungs_skipped, 2);
+        assert!(Recorder::disabled().supervisor().is_none());
+        assert!(Recorder::disabled().resume().is_none());
     }
 
     #[test]

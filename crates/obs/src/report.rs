@@ -8,8 +8,8 @@
 
 use crate::json::{self, Obj};
 use crate::recorder::{
-    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, SearchCounters,
-    WorkerTelemetry,
+    Counter, HeuristicsTelemetry, LadderStepTelemetry, Phase, Recorder, ResumeTelemetry,
+    SearchCounters, SupervisorTelemetry, WorkerTelemetry,
 };
 
 /// Version of the JSON schema emitted by [`RunReport::to_json`] and
@@ -31,8 +31,12 @@ use crate::recorder::{
 /// v7 added the optional `heuristics` object (the primal-bound race's
 /// bracket tightening, rung skips, and trust-boundary rejections) and the
 /// per-worker `kind` field (`"cdcl"` vs a heuristic name), so heuristic
-/// workers share the `workers` array with the exact portfolio.
-pub const SCHEMA_VERSION: u32 = 7;
+/// workers share the `workers` array with the exact portfolio. v8 added
+/// the optional `supervisor` object (watchdog trips, retry attempts,
+/// budget escalation, checkpoints written) and the optional `resume`
+/// object (restored bracket, re-validated witness, imported clauses, and
+/// the ladder rungs the resume skipped) for supervised solves.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Identity and size of the graph instance a run solved.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -284,6 +288,12 @@ pub struct RunReport {
     /// schema v7). The per-worker detail lives in `workers` (entries with
     /// a non-`"cdcl"` `kind`).
     pub heuristics: Option<HeuristicsTelemetry>,
+    /// Summary of the supervised solve's watchdog/retry loop, when the
+    /// run went through `sbgc-core::supervisor` (new in schema v8).
+    pub supervisor: Option<SupervisorTelemetry>,
+    /// Summary of the resume-from-checkpoint, when the run restored one
+    /// (new in schema v8).
+    pub resume: Option<ResumeTelemetry>,
     /// End-to-end wall-clock seconds for the run.
     pub total_seconds: f64,
     /// What the run concluded.
@@ -315,6 +325,8 @@ impl RunReport {
         self.workers = rec.workers();
         self.ladder = rec.ladder_steps();
         self.heuristics = rec.heuristics();
+        self.supervisor = rec.supervisor();
+        self.resume = rec.resume();
     }
 
     /// Renders the report as a pretty-printed JSON object indented by
@@ -367,6 +379,14 @@ impl RunReport {
             Some(h) => o.raw("heuristics", heuristics_json(h, inner)),
             None => o.raw("heuristics", "null"),
         };
+        match &self.supervisor {
+            Some(s) => o.raw("supervisor", supervisor_json(s, inner)),
+            None => o.raw("supervisor", "null"),
+        };
+        match &self.resume {
+            Some(r) => o.raw("resume", resume_json(r, inner)),
+            None => o.raw("resume", "null"),
+        };
         o.float("total_seconds", self.total_seconds).raw("outcome", self.outcome.to_json(inner));
         match &self.certificate {
             Some(c) => o.raw("certificate", c.to_json(inner)),
@@ -403,6 +423,35 @@ fn heuristics_json(h: &HeuristicsTelemetry, indent: usize) -> String {
         .uint("rejected_witnesses", h.rejected_witnesses)
         .uint("failed_workers", h.failed_workers)
         .float("seconds", h.seconds);
+    o.finish(indent)
+}
+
+fn supervisor_json(s: &SupervisorTelemetry, indent: usize) -> String {
+    let mut o = Obj::new();
+    o.uint("attempts", s.attempts).uint("watchdog_trips", s.watchdog_trips);
+    match s.watchdog_secs {
+        Some(secs) => o.float("watchdog_secs", secs),
+        None => o.raw("watchdog_secs", "null"),
+    };
+    o.uint("final_escalation", s.final_escalation)
+        .uint("checkpoints_written", s.checkpoints_written);
+    match &s.checkpoint_path {
+        Some(p) => o.str("checkpoint_path", p),
+        None => o.raw("checkpoint_path", "null"),
+    };
+    o.finish(indent)
+}
+
+fn resume_json(r: &ResumeTelemetry, indent: usize) -> String {
+    let mut o = Obj::new();
+    o.str("from_path", &r.from_path).usize("lower", r.lower).usize("upper", r.upper);
+    match r.witness_colors {
+        Some(c) => o.usize("witness_colors", c),
+        None => o.raw("witness_colors", "null"),
+    };
+    o.uint("clauses_offered", r.clauses_offered)
+        .uint("clauses_imported", r.clauses_imported)
+        .uint("rungs_skipped", r.rungs_skipped);
     o.finish(indent)
 }
 
@@ -513,8 +562,10 @@ mod tests {
             runs: vec![report],
         };
         let json = file.to_json();
-        assert!(json.contains("\"schema_version\": 7"));
+        assert!(json.contains("\"schema_version\": 8"));
         assert!(json.contains("\"heuristics\": null"));
+        assert!(json.contains("\"supervisor\": null"));
+        assert!(json.contains("\"resume\": null"));
         assert!(json.contains("\"exported\": 0"));
         assert!(json.contains("\"mean_lbd\": null"));
         assert!(json.contains("\"grid\\\"3x3\""));
@@ -614,6 +665,47 @@ mod tests {
         assert!(json.contains("\"rungs_skipped\": 2"));
         assert!(json.contains("\"rejected_witnesses\": 1"));
         assert!(json.contains("\"failed_workers\": 1"));
+    }
+
+    #[test]
+    fn supervisor_and_resume_objects_serialize() {
+        let report = RunReport {
+            supervisor: Some(SupervisorTelemetry {
+                attempts: 3,
+                watchdog_trips: 1,
+                watchdog_secs: Some(2.5),
+                final_escalation: 4,
+                checkpoints_written: 5,
+                checkpoint_path: Some("out/queen6_6.ckpt".to_string()),
+            }),
+            resume: Some(ResumeTelemetry {
+                from_path: "out/queen6_6.ckpt".to_string(),
+                lower: 6,
+                upper: 8,
+                witness_colors: Some(8),
+                clauses_offered: 120,
+                clauses_imported: 100,
+                rungs_skipped: 3,
+            }),
+            ..RunReport::default()
+        };
+        let json = report.to_json(0);
+        assert!(json.contains("\"attempts\": 3"));
+        assert!(json.contains("\"watchdog_trips\": 1"));
+        assert!(json.contains("\"watchdog_secs\": 2.5"));
+        assert!(json.contains("\"final_escalation\": 4"));
+        assert!(json.contains("\"checkpoints_written\": 5"));
+        assert!(json.contains("\"from_path\": \"out/queen6_6.ckpt\""));
+        assert!(json.contains("\"witness_colors\": 8"));
+        assert!(json.contains("\"clauses_imported\": 100"));
+        assert!(json.contains("\"rungs_skipped\": 3"));
+        // Both objects flow off the recorder like every other section.
+        let rec = Recorder::new();
+        rec.record_supervisor(SupervisorTelemetry { attempts: 2, ..Default::default() });
+        let mut round_trip = RunReport::default();
+        round_trip.from_recorder(&rec);
+        assert_eq!(round_trip.supervisor.unwrap().attempts, 2);
+        assert!(round_trip.resume.is_none());
     }
 
     #[test]

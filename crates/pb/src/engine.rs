@@ -5,7 +5,7 @@ use crate::explain::FalseTerm;
 use sbgc_formula::{Assignment, Clause, Lit, PbConstraint, PbFormula, Var};
 use sbgc_obs::{Counter, Recorder, SearchCounters};
 use sbgc_proof::ProofLogger;
-use sbgc_sat::{Budget, ExhaustReason, GlueEma, Luby, SharingHandle, SolveOutcome};
+use sbgc_sat::{Budget, ExhaustReason, GlueEma, Luby, SharingConfig, SharingHandle, SolveOutcome};
 use std::fmt;
 
 /// Backjumps discarding more than this many decision levels are replaced
@@ -1401,6 +1401,49 @@ impl PbEngine {
     pub fn num_pb_constraints(&self) -> usize {
         self.pbs.len()
     }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Exports the live learned clauses that pass `config`'s share filter
+    /// (LBD and length caps) — the lemmas worth persisting in a solve
+    /// checkpoint. Every returned clause is derived by resolution from the
+    /// clause database alone (assumptions enter the search as decisions,
+    /// never as axioms), so it is entailed by the formula plus whatever
+    /// root units had been added when it was learned.
+    pub fn export_learned(&self, config: SharingConfig) -> Vec<(Vec<Lit>, u32)> {
+        self.clauses
+            .iter()
+            .filter(|c| {
+                c.learned
+                    && !c.deleted
+                    && !c.lits.is_empty()
+                    && c.lits.len() <= config.max_len
+                    && c.lbd >= 1
+                    && c.lbd <= config.max_lbd
+            })
+            .map(|c| (c.lits.clone(), c.lbd))
+            .collect()
+    }
+
+    /// Imports externally supplied learned clauses (a resumed checkpoint's
+    /// retained lemmas) at the root level, exactly like clauses taken from
+    /// a sharing pool: satisfied clauses are skipped, root-falsified
+    /// literals stripped, units propagated. Only sound when each clause is
+    /// entailed by the current formula — for checkpoint clauses that means
+    /// the bounds committed before they were learned have been re-committed
+    /// first (see `docs/ROBUSTNESS.md`).
+    pub fn import_learned(&mut self, clauses: &[(Vec<Lit>, u32)]) {
+        self.backtrack_to(0);
+        for (lits, lbd) in clauses {
+            if !self.ok {
+                return;
+            }
+            self.import_clause(lits.clone(), *lbd);
+        }
+    }
 }
 
 impl fmt::Debug for PbEngine {
@@ -1797,5 +1840,37 @@ mod tests {
                 assert_eq!(e.stats().reclaimed, 0);
             }
         }
+    }
+
+    #[test]
+    fn exported_learned_clauses_respect_the_share_filter() {
+        let f = mixed_pigeonhole(4);
+        let mut e = default_engine(&f);
+        assert!(e.solve().is_unsat());
+        let tight = SharingConfig { max_lbd: 2, max_len: 3 };
+        for (lits, lbd) in e.export_learned(tight) {
+            assert!(!lits.is_empty());
+            assert!(lits.len() <= 3);
+            assert!((1..=2).contains(&lbd));
+        }
+        let loose = e.export_learned(SharingConfig { max_lbd: u32::MAX, max_len: usize::MAX });
+        assert!(!loose.is_empty(), "a refutation must leave live learned clauses");
+        assert!(loose.len() >= e.export_learned(tight).len());
+    }
+
+    #[test]
+    fn import_learned_round_trips_into_a_fresh_engine() {
+        let f = mixed_pigeonhole(4);
+        let mut a = default_engine(&f);
+        assert!(a.solve().is_unsat());
+        let batch = a.export_learned(SharingConfig::default());
+        assert!(!batch.is_empty());
+        // A fresh engine on the same formula can absorb the batch at the
+        // root and must still reach the same answer.
+        let mut b = default_engine(&f);
+        b.import_learned(&batch);
+        assert!(b.stats().imported > 0, "round-tripped clauses must be imported");
+        assert!(b.solve().is_unsat());
+        b.check_invariants();
     }
 }

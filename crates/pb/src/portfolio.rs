@@ -851,6 +851,7 @@ fn session_worker(
     // as the 0-based *query index* at which this worker panics, modeling a
     // worker dying between ladder steps (see `docs/ROBUSTNESS.md`).
     let injected = fault.as_ref().and_then(|p| p.worker_panic(index));
+    let stalled_from = fault.as_ref().and_then(|p| p.stalled_worker(index));
     while let Ok(command) = rx.recv() {
         let (id, assumptions, budget) = match command {
             Command::Query { id, assumptions, budget } => (id, assumptions, budget),
@@ -886,6 +887,18 @@ fn session_worker(
         let solved = catch_unwind(AssertUnwindSafe(|| {
             if injected == Some(id) {
                 panic!("injected fault: worker {index} panicked before query {id}");
+            }
+            if stalled_from.is_some_and(|from| id >= from) {
+                // Simulate a wedged search: burn wall-clock without any
+                // conflict progress until the budget fires — a deadline,
+                // a race cancel, or the supervisor's watchdog tripping the
+                // query's cancel token. The engine is untouched, so the
+                // worker stays reusable after the stall.
+                let budget = budget.started();
+                while !budget.exhausted(0) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return (SolveOutcome::Unknown, Vec::new());
             }
             let outcome = eng.solve_with_assumptions(&assumptions, &budget);
             let core = match outcome {
@@ -980,6 +993,8 @@ pub struct PortfolioSession {
     recorder: Recorder,
     next_query: u64,
     failed_total: usize,
+    pool: Arc<SharedClausePool>,
+    sharing: Option<SharingConfig>,
 }
 
 impl PortfolioSession {
@@ -1052,6 +1067,8 @@ impl PortfolioSession {
             recorder: recorder.clone(),
             next_query: 0,
             failed_total: 0,
+            pool,
+            sharing,
         })
     }
 
@@ -1199,6 +1216,40 @@ impl PortfolioSession {
     /// Queries issued so far (the next query's 0-based index).
     pub fn queries_issued(&self) -> u64 {
         self.next_query
+    }
+
+    /// The RNG seed of each worker's engine config, in worker order —
+    /// persisted in checkpoints so a resumed session can diversify away
+    /// from the seeds that were running when the solve died.
+    pub fn worker_seeds(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.config.seed).collect()
+    }
+
+    /// Snapshot of the session's shared clause pool: every clause any
+    /// worker has exported so far, with its LBD. Clauses in the pool
+    /// already passed a share filter at export time and are entailed by
+    /// the formula plus the units committed so far, so they are exactly
+    /// the lemmas a solve checkpoint may persist.
+    ///
+    /// Workers keep running while the snapshot is taken; callers that
+    /// need a quiescent view (the checkpoint writer) call this between
+    /// queries.
+    pub fn export_clauses(&self) -> Vec<(Vec<Lit>, u32)> {
+        self.pool.snapshot()
+    }
+
+    /// Seeds the shared pool with externally supplied learned clauses (a
+    /// resumed checkpoint's lemmas); every worker imports them at its next
+    /// restart boundary. Clauses are re-filtered through the session's
+    /// sharing config. Returns the number accepted; a session built with
+    /// sharing disabled accepts none.
+    ///
+    /// Only sound when each clause is entailed by the current formula —
+    /// the resume path re-commits the checkpoint's bounds as root units
+    /// *before* importing (see `docs/ROBUSTNESS.md`).
+    pub fn import_clauses(&mut self, clauses: &[(Vec<Lit>, u32)]) -> usize {
+        let Some(config) = self.sharing else { return 0 };
+        self.pool.seed(clauses, config)
     }
 }
 

@@ -166,6 +166,51 @@ impl Budget {
         armed
     }
 
+    /// The conflict cap, if one was set.
+    pub fn max_conflicts(&self) -> Option<u64> {
+        self.max_conflicts
+    }
+
+    /// The wall-clock limit, if one was set (armed or not).
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The armed deadline, if [`started`](Budget::started) has run on a
+    /// budget with a timeout. Supervisors use this to align watchdog
+    /// polling with the solve's own wall-clock horizon.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock time left until the armed deadline (`None` when no
+    /// deadline is armed; zero once it has passed).
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The memory cap in bytes, if one was set.
+    pub fn max_memory(&self) -> Option<u64> {
+        self.max_memory
+    }
+
+    /// A budget with every *resource* cap multiplied by `factor` — the
+    /// escalation step of a supervised retry loop. Conflict, time and
+    /// memory caps scale (saturating); cancellation tokens are **not**
+    /// carried over (a retry must not be stillborn because the previous
+    /// attempt's race token is still tripped), and the deadline is
+    /// disarmed so the scaled timeout re-arms from the retry's own start.
+    #[must_use]
+    pub fn escalated(&self, factor: u32) -> Self {
+        Budget {
+            max_conflicts: self.max_conflicts.map(|m| m.saturating_mul(factor as u64)),
+            timeout: self.timeout.map(|t| t.saturating_mul(factor)),
+            deadline: None,
+            max_memory: self.max_memory.map(|m| m.saturating_mul(factor as u64)),
+            cancel: Vec::new(),
+        }
+    }
+
     /// Returns `true` once `conflicts` meets or exceeds the conflict cap.
     pub fn conflicts_exhausted(&self, conflicts: u64) -> bool {
         self.max_conflicts.is_some_and(|m| conflicts >= m)
@@ -289,6 +334,44 @@ mod tests {
         assert_eq!(ExhaustReason::Time.as_str(), "time");
         assert_eq!(ExhaustReason::Memory.to_string(), "memory");
         assert_eq!(ExhaustReason::Cancelled.as_str(), "cancelled");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let b = Budget::unlimited()
+            .with_max_conflicts(100)
+            .with_timeout(Duration::from_secs(3))
+            .with_max_memory(4096);
+        assert_eq!(b.max_conflicts(), Some(100));
+        assert_eq!(b.timeout(), Some(Duration::from_secs(3)));
+        assert_eq!(b.max_memory(), Some(4096));
+        assert_eq!(b.deadline(), None, "deadline arms on started(), not construction");
+        assert_eq!(b.remaining_time(), None);
+        let armed = b.started();
+        assert!(armed.deadline().is_some());
+        assert!(armed.remaining_time().expect("armed") <= Duration::from_secs(3));
+    }
+
+    #[test]
+    fn escalation_scales_caps_and_drops_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited()
+            .with_max_conflicts(100)
+            .with_timeout(Duration::from_secs(2))
+            .with_max_memory(1000)
+            .with_cancel_token(token)
+            .started();
+        let e = b.escalated(2);
+        assert_eq!(e.max_conflicts(), Some(200));
+        assert_eq!(e.timeout(), Some(Duration::from_secs(4)));
+        assert_eq!(e.max_memory(), Some(2000));
+        assert_eq!(e.deadline(), None, "the scaled timeout re-arms from the retry's start");
+        assert!(!e.cancelled(), "a tripped token must not leak into the retry");
+        // Unlimited dimensions stay unlimited.
+        let u = Budget::unlimited().escalated(4);
+        assert_eq!(u.max_conflicts(), None);
+        assert_eq!(u.timeout(), None);
     }
 
     #[test]

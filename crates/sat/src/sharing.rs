@@ -114,7 +114,34 @@ impl SharedClausePool {
     pub fn total_imported(&self) -> u64 {
         self.imported.load(Ordering::Relaxed)
     }
+
+    /// A persistence snapshot: every clause currently published, with its
+    /// LBD, regardless of source. This is the state a solve checkpoint
+    /// carries across process restarts — each snapshotted clause already
+    /// passed some worker's export filter, and every shared clause is
+    /// entailed by the formula plus the units committed before it was
+    /// learned, so re-seeding it after those units are re-committed is
+    /// sound (see `docs/ROBUSTNESS.md`).
+    pub fn snapshot(&self) -> Vec<(Vec<Lit>, u32)> {
+        let pool = lock_tolerant(&self.clauses);
+        pool.iter().map(|c| (c.lits.to_vec(), c.lbd)).collect()
+    }
+
+    /// Pre-populates the pool with externally supplied clauses (a resumed
+    /// checkpoint's retained lemmas), applying `config`'s export filter.
+    /// The clauses are attributed to a reserved source index no worker
+    /// uses, so every worker handle imports them at its next restart
+    /// boundary. Returns how many clauses passed the filter.
+    pub fn seed(self: &Arc<Self>, clauses: &[(Vec<Lit>, u32)], config: SharingConfig) -> usize {
+        let handle = self.handle(SEED_SOURCE, config);
+        clauses.iter().filter(|(lits, lbd)| handle.export(lits, *lbd)).count()
+    }
 }
+
+/// Source index reserved for checkpoint-seeded clauses: workers are
+/// numbered from 0, so `usize::MAX` can never collide with a real worker
+/// and seeded clauses are delivered to *every* handle.
+const SEED_SOURCE: usize = usize::MAX;
 
 /// One worker's view of a [`SharedClausePool`].
 #[derive(Debug)]
@@ -240,6 +267,35 @@ mod tests {
         let mut b = pool.handle(1, SharingConfig::default());
         assert!(a.export(&[lit(0, false), lit(1, false)], 2), "export must survive poison");
         assert_eq!(b.take_new().len(), 1, "import must survive poison");
+    }
+
+    #[test]
+    fn snapshot_and_seed_round_trip() {
+        let pool = SharedClausePool::new();
+        let a = pool.handle(0, SharingConfig::default());
+        assert!(a.export(&[lit(0, false), lit(1, true)], 2));
+        assert!(a.export(&[lit(2, false)], 1));
+        let snap = pool.snapshot();
+        assert_eq!(snap.len(), 2);
+
+        // A fresh pool seeded from the snapshot delivers every clause to
+        // every worker handle — including the handle whose source index
+        // matches the original exporter.
+        let fresh = SharedClausePool::new();
+        assert_eq!(fresh.seed(&snap, SharingConfig::default()), 2);
+        let mut w0 = fresh.handle(0, SharingConfig::default());
+        assert!(w0.has_new());
+        assert_eq!(w0.take_new(), snap);
+    }
+
+    #[test]
+    fn seed_applies_the_export_filter() {
+        let pool = SharedClausePool::new();
+        let fat: Vec<Lit> = (0..5).map(|i| lit(i, false)).collect();
+        let snap = vec![(fat, 2), (vec![lit(0, false)], 9), (vec![lit(1, true)], 1)];
+        let n = pool.seed(&snap, SharingConfig { max_lbd: 3, max_len: 3 });
+        assert_eq!(n, 1, "only the short low-glue clause passes");
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

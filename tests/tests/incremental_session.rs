@@ -185,8 +185,8 @@ fn ladder_telemetry_lands_in_v5_report() {
         ..Default::default()
     };
     assert!(
-        file.to_json().contains("\"schema_version\": 7"),
-        "ladder telemetry (v5) must survive the v7 schema bump"
+        file.to_json().contains("\"schema_version\": 8"),
+        "ladder telemetry (v5) must survive the v8 schema bump"
     );
 }
 
